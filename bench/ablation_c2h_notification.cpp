@@ -1,0 +1,111 @@
+// ABL-NOTIF: card-to-host notification strategy ablation (§IV-A/§IV-C).
+//
+// Compares four ways the host learns that C2H data is ready:
+//   1. VirtIO device-push — the FPGA writes the data into pre-posted RX
+//      buffers and interrupts once (the paper's VirtIO path);
+//   2. XDMA back-to-back — write() then read() immediately (the paper's
+//      favourable vendor-driver setup, §IV-C);
+//   3. XDMA + user IRQ — the realistic flow the paper says the example
+//      design lacks: poll() on a user interrupt before read();
+//   4. XDMA poll-mode driver — no interrupts at all, the driver spins on
+//      engine status (MMIO reads).
+#include <cstdio>
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/stats/summary.hpp"
+
+namespace {
+
+using namespace vfpga;
+
+constexpr u64 kPayload = 256;
+
+u64 iterations() {
+  if (const char* env = std::getenv("VFPGA_ITERATIONS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) {
+      return static_cast<u64>(v);
+    }
+  }
+  return 20'000;
+}
+
+void report(const char* name, const stats::SampleSet& samples) {
+  std::printf("%-26s mean %6.2f  stddev %5.2f  p95 %6.2f  p99 %6.2f (us)\n",
+              name, samples.mean(), samples.stddev(),
+              samples.percentile(95), samples.percentile(99));
+}
+
+}  // namespace
+
+int main() {
+  const u64 n = iterations();
+  std::printf("ABL-NOTIF -- C2H notification strategies, %llu round trips, "
+              "%llu-byte payload equivalent\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(kPayload));
+  const u64 wire = core::virtio_wire_bytes(kPayload);
+
+  {
+    core::TestbedOptions options;
+    options.seed = 11;
+    core::VirtioNetTestbed bed{options};
+    stats::SampleSet samples;
+    Bytes payload(kPayload, 1);
+    for (u64 i = 0; i < n; ++i) {
+      payload[0] = static_cast<u8>(i);
+      const auto rt = bed.udp_round_trip(payload);
+      if (rt.ok) {
+        samples.add(rt.total);
+      }
+    }
+    report("virtio device-push", samples);
+  }
+  {
+    core::TestbedOptions options;
+    options.seed = 12;
+    core::XdmaTestbed bed{options};
+    stats::SampleSet samples;
+    for (u64 i = 0; i < n; ++i) {
+      const auto rt = bed.write_read_round_trip(wire);
+      if (rt.ok) {
+        samples.add(rt.total);
+      }
+    }
+    report("xdma back-to-back", samples);
+  }
+  {
+    core::TestbedOptions options;
+    options.seed = 13;
+    core::XdmaTestbed bed{options};
+    stats::SampleSet samples;
+    for (u64 i = 0; i < n; ++i) {
+      const auto rt = bed.write_read_round_trip_user_irq(wire);
+      if (rt.ok) {
+        samples.add(rt.total);
+      }
+    }
+    report("xdma + user IRQ (real)", samples);
+  }
+  {
+    core::TestbedOptions options;
+    options.seed = 14;
+    core::XdmaTestbed bed{options};
+    bed.driver().set_poll_mode(true);
+    stats::SampleSet samples;
+    for (u64 i = 0; i < n; ++i) {
+      const auto rt = bed.write_read_round_trip(wire);
+      if (rt.ok) {
+        samples.add(rt.total);
+      }
+    }
+    report("xdma poll-mode driver", samples);
+  }
+
+  std::puts(
+      "\nReading: the paper's XDMA numbers use the favourable back-to-back\n"
+      "setup; the user-IRQ row shows what a real C2H-notified application\n"
+      "pays, widening VirtIO's advantage (SIV-C). Poll mode beats every\n"
+      "interrupt path on latency at the price of a spinning CPU.");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// ABL-DESC: descriptor-exchange policy ablation (§IV-A).
+//
+// The paper contrasts per-transfer descriptor programming (XDMA) with
+// VirtIO's share-rings-once design, and sketches intermediate points
+// ("using the same descriptor table for all transactions and sharing
+// the table address only at device initialization reduces overhead").
+// This bench measures the hardware-time consequences of the controller's
+// descriptor-handling choices:
+//   - conservative: one DMA read per ring structure touched (default);
+//   - batched chain fetch: adjacent descriptors fetched in one burst;
+//   - trusted credits: consume RX buffers against a cached avail-idx
+//     snapshot instead of re-polling per response;
+//   - all optimizations combined;
+// against the XDMA engine's per-transfer descriptor fetch as reference.
+#include <cstdio>
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/stats/summary.hpp"
+
+namespace {
+
+using namespace vfpga;
+
+constexpr u64 kPayload = 256;
+
+u64 iterations() {
+  if (const char* env = std::getenv("VFPGA_ITERATIONS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) {
+      return static_cast<u64>(v);
+    }
+  }
+  return 20'000;
+}
+
+void run_virtio(const char* name, core::ControllerPolicy policy, u64 n) {
+  core::TestbedOptions options;
+  options.seed = 21;
+  options.controller.policy = policy;
+  core::VirtioNetTestbed bed{options};
+  stats::SampleSet hw;
+  stats::SampleSet total;
+  Bytes payload(kPayload, 1);
+  for (u64 i = 0; i < n; ++i) {
+    payload[0] = static_cast<u8>(i);
+    const auto rt = bed.udp_round_trip(payload);
+    if (rt.ok) {
+      hw.add(rt.hardware);
+      total.add(rt.total);
+    }
+  }
+  std::printf("%-28s hw %6.2f us   total mean %6.2f us   p95 %6.2f us\n",
+              name, hw.mean(), total.mean(), total.percentile(95));
+}
+
+}  // namespace
+
+int main() {
+  const u64 n = iterations();
+  std::printf("ABL-DESC -- descriptor policy ablation, %llu round trips, "
+              "%llu-byte payload\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(kPayload));
+
+  core::ControllerPolicy conservative;
+  run_virtio("virtio conservative", conservative, n);
+
+  core::ControllerPolicy batched = conservative;
+  batched.batched_chain_fetch = true;
+  run_virtio("virtio batched-fetch", batched, n);
+
+  core::ControllerPolicy trusting = conservative;
+  trusting.trust_cached_credits = true;
+  run_virtio("virtio trusted-credits", trusting, n);
+
+  core::ControllerPolicy all = batched;
+  all.trust_cached_credits = true;
+  run_virtio("virtio all optimizations", all, n);
+
+  {
+    core::TestbedOptions options;
+    options.seed = 22;
+    core::XdmaTestbed bed{options};
+    stats::SampleSet hw;
+    stats::SampleSet total;
+    const u64 wire = core::virtio_wire_bytes(kPayload);
+    for (u64 i = 0; i < n; ++i) {
+      const auto rt = bed.write_read_round_trip(wire);
+      if (rt.ok) {
+        hw.add(rt.hardware);
+        total.add(rt.total);
+      }
+    }
+    std::printf("%-28s hw %6.2f us   total mean %6.2f us   p95 %6.2f us\n",
+                "xdma per-transfer descs", hw.mean(), total.mean(),
+                total.percentile(95));
+  }
+
+  std::puts(
+      "\nReading: every avoided descriptor/ring DMA read removes a full\n"
+      "non-posted PCIe round trip (~1.5 us on this link) from the\n"
+      "hardware share — the mechanism behind SIV-A's overhead argument.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// ABL-PAYLOAD: extended payload sweep (§V scoping).
+//
+// The paper restricts Fig. 3 to 64 B..1 KB "such that the total latency
+// is not dominated by the bus transactions and the effects of the
+// drivers and the rest of the software stack are observable." This
+// bench extends the sweep to 64 KiB on the XDMA path (VirtIO stops at
+// the 1500-byte MTU) to show the crossover into the bus-dominated
+// regime where driver choice stops mattering.
+#include <cstdio>
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/stats/summary.hpp"
+
+namespace {
+
+using namespace vfpga;
+
+u64 iterations() {
+  if (const char* env = std::getenv("VFPGA_ITERATIONS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) {
+      return static_cast<u64>(v) / 2 + 1;
+    }
+  }
+  return 8'000;
+}
+
+}  // namespace
+
+int main() {
+  const u64 n = iterations();
+  std::printf("ABL-PAYLOAD -- bus-domination sweep, %llu round trips/point\n\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%-10s %12s %12s %14s %16s\n", "bytes", "total (us)",
+              "hw (us)", "sw share (%)", "goodput (Gb/s)");
+
+  core::TestbedOptions options;
+  options.seed = 31;
+  core::XdmaTestbed bed{options};
+
+  for (u64 bytes : {u64{64}, u64{256}, u64{1024}, u64{4096}, u64{16384},
+                    u64{65536}}) {
+    stats::SampleSet total;
+    stats::SampleSet hw;
+    for (u64 i = 0; i < n; ++i) {
+      const auto rt = bed.write_read_round_trip(bytes);
+      if (rt.ok) {
+        total.add(rt.total);
+        hw.add(rt.hardware);
+      }
+    }
+    const double sw_share =
+        (total.mean() - hw.mean()) / total.mean() * 100.0;
+    // Round trip moves the payload twice (H2C + C2H).
+    const double gbps = static_cast<double>(2 * bytes) * 8.0 /
+                        (total.mean() * 1e3);
+    std::printf("%-10llu %12.2f %12.2f %14.1f %16.2f\n",
+                static_cast<unsigned long long>(bytes), total.mean(),
+                hw.mean(), sw_share, gbps);
+  }
+
+  std::puts(
+      "\nReading: below ~1 KiB the software stack is the majority of the\n"
+      "round trip (the regime the paper evaluates); by 64 KiB the bus\n"
+      "transfer dominates and goodput approaches the Gen2 x2 ceiling —\n"
+      "driver overheads become invisible, which is why the paper keeps\n"
+      "its payloads small.");
+  return 0;
+}

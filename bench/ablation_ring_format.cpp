@@ -1,0 +1,74 @@
+// ABL-RING: split vs. packed virtqueue format.
+//
+// The paper's controller implements the VirtIO split ring; the packed
+// format (VirtIO 1.1+, §2.8) was designed precisely for hardware
+// implementations: availability + descriptor arrive in one DMA read and
+// completion is one DMA write. This bench quantifies what that buys a
+// PCIe-attached FPGA, running the paper's UDP-echo experiment over both
+// formats with everything else identical.
+#include <cstdio>
+#include <cstdlib>
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/stats/summary.hpp"
+
+namespace {
+
+using namespace vfpga;
+
+u64 iterations() {
+  if (const char* env = std::getenv("VFPGA_ITERATIONS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) {
+      return static_cast<u64>(v);
+    }
+  }
+  return 20'000;
+}
+
+void run_format(bool packed, u64 n) {
+  std::printf("%s rings:\n", packed ? "packed" : "split ");
+  std::printf("  %-8s %10s %10s %12s %10s\n", "payload", "hw (us)",
+              "sw (us)", "total (us)", "p95 (us)");
+  for (u64 payload : {u64{64}, u64{256}, u64{1024}}) {
+    core::TestbedOptions options;
+    options.seed = 51 + payload;
+    options.use_packed_rings = packed;
+    core::VirtioNetTestbed bed{options};
+    stats::SampleSet hw;
+    stats::SampleSet sw;
+    stats::SampleSet total;
+    Bytes buffer(payload, 1);
+    for (u64 i = 0; i < n; ++i) {
+      buffer[0] = static_cast<u8>(i);
+      const auto rt = bed.udp_round_trip(buffer);
+      if (!rt.ok) {
+        continue;
+      }
+      hw.add(rt.hardware);
+      sw.add(rt.total - rt.hardware - rt.response_gen);
+      total.add(rt.total);
+    }
+    std::printf("  %-8llu %10.2f %10.2f %12.2f %10.2f\n",
+                static_cast<unsigned long long>(payload), hw.mean(),
+                sw.mean(), total.mean(), total.percentile(95));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const u64 n = iterations();
+  std::printf("ABL-RING -- split vs packed virtqueue format, %llu round "
+              "trips/point\n\n",
+              static_cast<unsigned long long>(n));
+  run_format(false, n);
+  std::puts("");
+  run_format(true, n);
+  std::puts(
+      "\nReading: the packed format removes ~3 non-posted ring reads per\n"
+      "echo from the FPGA's critical path (avail-idx, avail-entry and the\n"
+      "separate used-event read), shrinking the hardware share — the\n"
+      "library's main extension beyond the paper's split-ring controller.");
+  return 0;
+}

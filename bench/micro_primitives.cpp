@@ -1,0 +1,108 @@
+// MICRO: google-benchmark microbenchmarks of the library primitives —
+// wall-clock cost of the simulator itself (how fast the models run on
+// the build machine, not simulated latency). Useful for keeping the
+// 50k-packet sweeps quick and for spotting accidental slowdowns in the
+// hot paths.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/net/checksum.hpp"
+#include "vfpga/net/ethernet.hpp"
+#include "vfpga/net/ipv4.hpp"
+#include "vfpga/net/udp.hpp"
+#include "vfpga/virtio/pci_caps.hpp"
+#include "vfpga/virtio/virtqueue_driver.hpp"
+
+namespace {
+
+using namespace vfpga;
+
+void BM_Checksum(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Checksum)->Arg(64)->Arg(512)->Arg(1500);
+
+void BM_UdpFrameBuild(benchmark::State& state) {
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 1);
+  const net::Ipv4Addr src = net::Ipv4Addr::from_octets(10, 0, 0, 1);
+  const net::Ipv4Addr dst = net::Ipv4Addr::from_octets(10, 0, 0, 2);
+  for (auto _ : state) {
+    const Bytes udp =
+        net::build_udp_datagram(net::UdpHeader{1, 2}, src, dst, payload);
+    const Bytes ip = net::build_ipv4_packet(
+        net::Ipv4Header{src, dst, net::IpProtocol::Udp}, udp);
+    benchmark::DoNotOptimize(net::build_ethernet_frame(
+        net::EthernetHeader{{}, {}, net::EtherType::Ipv4}, ip));
+  }
+}
+BENCHMARK(BM_UdpFrameBuild)->Arg(64)->Arg(1024);
+
+void BM_VirtqueueAddHarvest(benchmark::State& state) {
+  mem::HostMemory memory;
+  virtio::VirtqueueDriver vq{memory, 256,
+                             virtio::FeatureSet{
+                                 1ull << virtio::feature::kVersion1}};
+  const HostAddr buf = memory.allocate(64);
+  const virtio::ChainBuffer chain{buf, 64, false};
+  u64 token = 0;
+  for (auto _ : state) {
+    const auto head = vq.add_chain(std::span{&chain, 1}, token++);
+    vq.publish();
+    // Emulate the device completing instantly.
+    const auto& addrs = vq.addresses();
+    const u16 used_idx = memory.read_le16(addrs.used + 2);
+    memory.write_le32(addrs.used + 4 + 8ull * (used_idx % 256), *head);
+    memory.write_le16(addrs.used + 2, static_cast<u16>(used_idx + 1));
+    benchmark::DoNotOptimize(vq.harvest_used());
+  }
+}
+BENCHMARK(BM_VirtqueueAddHarvest);
+
+void BM_CapabilityWalk(benchmark::State& state) {
+  pcie::ConfigSpace config;
+  virtio::VirtioPciLayout layout;
+  layout.common = {0, 0x0, virtio::commoncfg::kSize};
+  layout.notify = {0, 0x1000, 8};
+  layout.notify_off_multiplier = 4;
+  layout.isr = {0, 0x40, 1};
+  layout.device_specific = {0, 0x100, 20};
+  virtio::add_virtio_capabilities(config, layout);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(virtio::parse_virtio_capabilities(config));
+  }
+}
+BENCHMARK(BM_CapabilityWalk);
+
+void BM_VirtioRoundTripSim(benchmark::State& state) {
+  core::TestbedOptions options;
+  options.seed = 99;
+  core::VirtioNetTestbed bed{options};
+  Bytes payload(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    payload[0] = static_cast<u8>(state.iterations());
+    benchmark::DoNotOptimize(bed.udp_round_trip(payload));
+  }
+}
+BENCHMARK(BM_VirtioRoundTripSim)->Arg(64)->Arg(1024);
+
+void BM_XdmaRoundTripSim(benchmark::State& state) {
+  core::TestbedOptions options;
+  options.seed = 98;
+  core::XdmaTestbed bed{options};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bed.write_read_round_trip(static_cast<u64>(state.range(0))));
+  }
+}
+BENCHMARK(BM_XdmaRoundTripSim)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Storage personality end-to-end: the FPGA as a virtio-blk device.
+//
+// The same VirtIO controller that served packets now serves sectors —
+// bound by the virtio-blk driver model instead of virtio-net, with zero
+// FPGA-side changes beyond swapping the UserLogic personality (§IV-B).
+// Writes a data set, reads it back, then measures 4 KiB random-read
+// latency with direct vs. indirect descriptor chains.
+#include <cstdio>
+
+#include "vfpga/core/blk_device.hpp"
+#include "vfpga/core/virtio_controller.hpp"
+#include "vfpga/hostos/virtio_blk_driver.hpp"
+#include "vfpga/pcie/enumeration.hpp"
+#include "vfpga/stats/summary.hpp"
+
+int main() {
+  using namespace vfpga;
+
+  std::puts("== FPGA as a virtio-blk storage device ==\n");
+
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  core::BlkDeviceLogic blk{core::BlkDeviceConfig{.capacity_sectors = 4096}};
+  core::VirtioDeviceFunction device{blk};
+  hostos::InterruptController irq;
+  rc.set_irq_sink([&](u32 data, sim::SimTime at) { irq.deliver(data, at); });
+  rc.attach(device);
+  device.connect(rc);
+  const auto enumerated = pcie::enumerate_bus(rc);
+  if (enumerated.size() != 1) {
+    return 1;
+  }
+
+  sim::Xoshiro256 rng{2024};
+  sim::NoiseModel noise{sim::NoiseConfig{}};
+  const auto costs = hostos::CostModelConfig::fedora_defaults();
+  hostos::HostThread thread{rng, costs, noise};
+
+  hostos::VirtioBlkDriver driver;
+  hostos::VirtioPciTransport::BindContext ctx;
+  ctx.rc = &rc;
+  ctx.device = &device;
+  ctx.enumerated = &enumerated.front();
+  ctx.irq = &irq;
+  if (!driver.probe(ctx, thread)) {
+    std::puts("probe failed");
+    return 1;
+  }
+  std::printf("bound: pci %04x:%04x, capacity %llu sectors (%llu KiB)\n\n",
+              device.config().vendor_id(), device.config().device_id(),
+              static_cast<unsigned long long>(driver.capacity_sectors()),
+              static_cast<unsigned long long>(driver.capacity_sectors() / 2));
+
+  // ---- functional check: write a data set, read it back --------------------
+  Bytes dataset(64 * 1024);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    dataset[i] = static_cast<u8>((i * 2654435761u) >> 13);
+  }
+  if (!driver.write_sectors(thread, 100, dataset) || !driver.flush(thread)) {
+    std::puts("write failed");
+    return 1;
+  }
+  Bytes readback(dataset.size());
+  if (!driver.read_sectors(thread, 100, readback) || readback != dataset) {
+    std::puts("readback MISMATCH");
+    return 1;
+  }
+  std::puts("64 KiB write + flush + readback: verified\n");
+
+  // ---- 4 KiB random reads: direct vs indirect chains ------------------------
+  for (const bool indirect : {false, true}) {
+    driver.set_use_indirect(indirect);
+    stats::SampleSet latency;
+    Bytes block(4096);
+    sim::Xoshiro256 addr_rng{7};
+    for (int i = 0; i < 2000; ++i) {
+      const u64 sector = addr_rng.uniform_below(4096 - 8);
+      const sim::SimTime start = thread.now();
+      if (!driver.read_sectors(thread, sector, block)) {
+        std::puts("read failed");
+        return 1;
+      }
+      latency.add(thread.now() - start);
+    }
+    std::printf("4 KiB random read, %-8s chains: mean %6.2f us  "
+                "p95 %6.2f us\n",
+                indirect ? "indirect" : "direct", latency.mean(),
+                latency.percentile(95));
+  }
+
+  std::printf("\nrequests completed: %llu, device errors: %llu\n",
+              static_cast<unsigned long long>(driver.requests_completed()),
+              static_cast<unsigned long long>(blk.errors()));
+  std::puts("\nIndirect chains ride one ring slot and reach the FPGA in a\n"
+            "single table read — the 3-descriptor request's two extra\n"
+            "descriptor fetches collapse into one (VIRTIO_F_INDIRECT_DESC).");
+  return 0;
+}

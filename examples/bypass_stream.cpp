@@ -1,0 +1,76 @@
+// Driver-bypass streaming (§III-A): the VirtIO controller's extra
+// interface that lets user logic move bulk data to/from host memory
+// without involving the VirtIO driver — the SmartNIC application-offload
+// path.
+//
+// Streams 1 MiB in each direction, first sequentially and then full
+// duplex (both DMA channels concurrently, interleaved through the
+// discrete-event scheduler), and reports the achieved bandwidths against
+// the Gen2 x2 link's ~8 Gb/s ceiling.
+#include <cstdio>
+
+#include "vfpga/core/bypass.hpp"
+#include "vfpga/core/net_device.hpp"
+#include "vfpga/core/virtio_controller.hpp"
+#include "vfpga/pcie/enumeration.hpp"
+
+int main() {
+  using namespace vfpga;
+
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  core::NetDeviceLogic logic;
+  core::VirtioDeviceFunction device{logic};
+  rc.attach(device);
+  device.connect(rc);
+  if (pcie::enumerate_bus(rc).size() != 1) {
+    std::puts("enumeration failed");
+    return 1;
+  }
+
+  std::puts("== driver-bypass DMA streaming ==\n");
+
+  constexpr u64 kTotal = 1 << 20;  // 1 MiB
+  Bytes tx_data(kTotal);
+  for (u64 i = 0; i < kTotal; ++i) {
+    tx_data[i] = static_cast<u8>(i * 2654435761u >> 24);
+  }
+  const HostAddr host_tx = memory.allocate(kTotal, 4096);
+  const HostAddr host_rx = memory.allocate(kTotal, 4096);
+  memory.write(host_rx, tx_data);  // data the FPGA will fetch
+
+  for (u32 chunk : {u32{512}, u32{4096}, u32{32768}}) {
+    sim::Scheduler scheduler;
+    core::BypassStreamer streamer{device, scheduler};
+
+    const auto to_host = streamer.stream_to_host(host_tx, tx_data, chunk);
+    Bytes rx_buffer(kTotal);
+    const auto from_host =
+        streamer.stream_from_host(host_rx, rx_buffer, chunk);
+    const bool to_ok = memory.read_bytes(host_tx, kTotal) == tx_data;
+    const bool from_ok = rx_buffer == tx_data;
+
+    std::printf("chunk %6u B: C2H %6.2f Gb/s (%u chunks)   "
+                "H2C %6.2f Gb/s (%u chunks)   verify %s/%s\n",
+                chunk, to_host.gbit_per_s(), to_host.chunks,
+                from_host.gbit_per_s(), from_host.chunks,
+                to_ok ? "ok" : "BAD", from_ok ? "ok" : "BAD");
+  }
+
+  // Full duplex: both channels at once.
+  sim::Scheduler scheduler;
+  core::BypassStreamer streamer{device, scheduler};
+  Bytes rx_buffer(kTotal);
+  const auto [to_host, from_host] = streamer.stream_duplex(
+      host_tx, tx_data, host_rx, rx_buffer, 4096);
+  std::printf("\nfull duplex (4 KiB chunks): C2H %.2f Gb/s + H2C %.2f Gb/s "
+              "= %.2f Gb/s aggregate\n",
+              to_host.gbit_per_s(), from_host.gbit_per_s(),
+              to_host.gbit_per_s() + from_host.gbit_per_s());
+  std::printf("verify: %s\n",
+              rx_buffer == tx_data ? "ok" : "BAD");
+  std::puts("\n(The Gen2 x2 link carries ~8 Gb/s per direction; duplex\n"
+            "streams approach the sum because each direction owns a DMA\n"
+            "channel.)");
+  return 0;
+}

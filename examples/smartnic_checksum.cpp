@@ -1,0 +1,59 @@
+// SmartNIC checksum offload: the paper's motivating example of using
+// device semantics (§IV-B) — "the FPGA could either send out a received
+// Ethernet frame as is or perform additional tasks on behalf of the
+// host, e.g., a checksum calculation."
+//
+// Runs the same UDP workload twice: once with VIRTIO_NET_F_CSUM
+// negotiated (the stack leaves the UDP checksum to the FPGA) and once
+// without (the stack computes it). Demonstrates feature negotiation
+// changing the host/device work split at runtime, with the FPGA's
+// offload counters as the evidence.
+#include <cstdio>
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/stats/summary.hpp"
+
+namespace {
+
+void run_variant(bool offload) {
+  using namespace vfpga;
+  core::TestbedOptions options;
+  options.net.offer_csum = offload;
+  options.seed = 7;
+  core::VirtioNetTestbed bed{options};
+
+  std::printf("-- checksum offload %s --\n", offload ? "ON" : "OFF");
+  std::printf("   negotiated CSUM: %s\n",
+              bed.driver().negotiated().has(virtio::feature::net::kCsum)
+                  ? "yes"
+                  : "no");
+
+  stats::SampleSet latency;
+  const Bytes payload(512, 0x2f);
+  constexpr int kPackets = 2000;
+  for (int i = 0; i < kPackets; ++i) {
+    const auto rt = bed.udp_round_trip(payload);
+    if (!rt.ok) {
+      std::puts("   ROUND TRIP FAILED");
+      return;
+    }
+    latency.add(rt.total);
+  }
+  std::printf("   %d packets: mean %.2f us, p95 %.2f us\n", kPackets,
+              latency.mean(), latency.percentile(95));
+  std::printf("   checksums completed by FPGA: %llu\n\n",
+              static_cast<unsigned long long>(
+                  bed.net_logic().checksums_offloaded()));
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== SmartNIC UDP checksum offload via feature negotiation ==\n");
+  run_variant(true);
+  run_variant(false);
+  std::puts("The negotiation decides where checksum work happens — no\n"
+            "driver change, no FPGA redesign: the same controller serves\n"
+            "both configurations (paper §IV-B).");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Vendor-driver path: the XDMA example design with the reference
+// character-device driver (§III-B.2). Performs back-to-back
+// write()/read() loop-backs through /dev/xdma0_h2c_0 + /dev/xdma0_c2h_0
+// semantics and contrasts interrupt mode with the driver's poll mode.
+#include <cstdio>
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/stats/summary.hpp"
+
+int main() {
+  using namespace vfpga;
+
+  std::puts("== XDMA example design + reference driver loop-back ==\n");
+
+  core::XdmaTestbed bed;
+  std::printf("device: %04x:%04x (XDMA, BRAM behind AXI-MM)\n\n",
+              bed.device().config().vendor_id(),
+              bed.device().config().device_id());
+
+  // Interrupt mode (the paper's configuration).
+  stats::SampleSet irq_mode;
+  for (int i = 0; i < 2000; ++i) {
+    const auto rt = bed.write_read_round_trip(1024);
+    if (!rt.ok) {
+      std::puts("loop-back FAILED");
+      return 1;
+    }
+    irq_mode.add(rt.total);
+  }
+  std::printf("interrupt mode : mean %6.2f us  p95 %6.2f us  (1 KiB, "
+              "write()+read())\n",
+              irq_mode.mean(), irq_mode.percentile(95));
+
+  // Poll mode: the driver spins on the status register instead of
+  // sleeping — each poll is a full non-posted PCIe round trip, but the
+  // two sleep/wake cycles disappear.
+  bed.driver().set_poll_mode(true);
+  stats::SampleSet poll_mode;
+  for (int i = 0; i < 2000; ++i) {
+    const auto rt = bed.write_read_round_trip(1024);
+    if (!rt.ok) {
+      std::puts("loop-back FAILED");
+      return 1;
+    }
+    poll_mode.add(rt.total);
+  }
+  std::printf("poll mode      : mean %6.2f us  p95 %6.2f us\n\n",
+              poll_mode.mean(), poll_mode.percentile(95));
+
+  std::printf("transfers completed: %llu, all data loop-backs verified\n",
+              static_cast<unsigned long long>(
+                  bed.driver().transfers_completed()));
+  std::puts("\nPoll mode trades CPU burn (MMIO read spins) for latency —\n"
+            "the trade the paper's recommendation weighs for 'highly\n"
+            "optimized applications' (§V).");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Contract checking: preconditions, postconditions, and invariants.
+//
+// These are *model-correctness* checks, not recoverable error paths: a
+// failed contract means the simulation (or a driver model using it) has
+// violated a protocol invariant, and continuing would produce meaningless
+// latency numbers. Following P.7 ("catch run-time errors early") they are
+// enabled in all build types; each check is a handful of instructions and
+// the simulator is dominated by memory traffic, not branches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vfpga::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "vfpga: %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace vfpga::detail
+
+#define VFPGA_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::vfpga::detail::contract_failure("precondition", #cond,        \
+                                              __FILE__, __LINE__))
+
+#define VFPGA_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::vfpga::detail::contract_failure("postcondition", #cond,       \
+                                              __FILE__, __LINE__))
+
+#define VFPGA_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::vfpga::detail::contract_failure("invariant", #cond, __FILE__, \
+                                              __LINE__))
+
+#define VFPGA_UNREACHABLE(msg)                                              \
+  ::vfpga::detail::contract_failure("unreachable", msg, __FILE__, __LINE__)

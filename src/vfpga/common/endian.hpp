@@ -1,0 +1,86 @@
+// Little-endian (bus/VirtIO "natural") and big-endian (network order)
+// byte-level accessors.
+//
+// All VirtIO 1.x structures are little-endian regardless of guest
+// endianness; all Ethernet/IP/UDP header fields are big-endian. Every
+// structure the simulated device or driver touches in host memory goes
+// through these accessors so the in-memory layout is bit-exact and
+// portable (no type punning, no UB; P.2).
+#pragma once
+
+#include <cstring>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/common/types.hpp"
+
+namespace vfpga {
+
+// ---- little-endian ---------------------------------------------------------
+
+constexpr u16 load_le16(ConstByteSpan b, std::size_t off = 0) {
+  VFPGA_EXPECTS(b.size() >= off + 2);
+  return static_cast<u16>(static_cast<u16>(b[off]) |
+                          static_cast<u16>(b[off + 1]) << 8);
+}
+
+constexpr u32 load_le32(ConstByteSpan b, std::size_t off = 0) {
+  VFPGA_EXPECTS(b.size() >= off + 4);
+  return static_cast<u32>(b[off]) | static_cast<u32>(b[off + 1]) << 8 |
+         static_cast<u32>(b[off + 2]) << 16 |
+         static_cast<u32>(b[off + 3]) << 24;
+}
+
+constexpr u64 load_le64(ConstByteSpan b, std::size_t off = 0) {
+  VFPGA_EXPECTS(b.size() >= off + 8);
+  return static_cast<u64>(load_le32(b, off)) |
+         static_cast<u64>(load_le32(b, off + 4)) << 32;
+}
+
+constexpr void store_le16(ByteSpan b, std::size_t off, u16 v) {
+  VFPGA_EXPECTS(b.size() >= off + 2);
+  b[off] = static_cast<u8>(v & 0xff);
+  b[off + 1] = static_cast<u8>(v >> 8);
+}
+
+constexpr void store_le32(ByteSpan b, std::size_t off, u32 v) {
+  VFPGA_EXPECTS(b.size() >= off + 4);
+  b[off] = static_cast<u8>(v & 0xff);
+  b[off + 1] = static_cast<u8>((v >> 8) & 0xff);
+  b[off + 2] = static_cast<u8>((v >> 16) & 0xff);
+  b[off + 3] = static_cast<u8>(v >> 24);
+}
+
+constexpr void store_le64(ByteSpan b, std::size_t off, u64 v) {
+  store_le32(b, off, static_cast<u32>(v & 0xffffffffu));
+  store_le32(b, off + 4, static_cast<u32>(v >> 32));
+}
+
+// ---- big-endian (network byte order) ---------------------------------------
+
+constexpr u16 load_be16(ConstByteSpan b, std::size_t off = 0) {
+  VFPGA_EXPECTS(b.size() >= off + 2);
+  return static_cast<u16>(static_cast<u16>(b[off]) << 8 |
+                          static_cast<u16>(b[off + 1]));
+}
+
+constexpr u32 load_be32(ConstByteSpan b, std::size_t off = 0) {
+  VFPGA_EXPECTS(b.size() >= off + 4);
+  return static_cast<u32>(b[off]) << 24 | static_cast<u32>(b[off + 1]) << 16 |
+         static_cast<u32>(b[off + 2]) << 8 | static_cast<u32>(b[off + 3]);
+}
+
+constexpr void store_be16(ByteSpan b, std::size_t off, u16 v) {
+  VFPGA_EXPECTS(b.size() >= off + 2);
+  b[off] = static_cast<u8>(v >> 8);
+  b[off + 1] = static_cast<u8>(v & 0xff);
+}
+
+constexpr void store_be32(ByteSpan b, std::size_t off, u32 v) {
+  VFPGA_EXPECTS(b.size() >= off + 4);
+  b[off] = static_cast<u8>(v >> 24);
+  b[off + 1] = static_cast<u8>((v >> 16) & 0xff);
+  b[off + 2] = static_cast<u8>((v >> 8) & 0xff);
+  b[off + 3] = static_cast<u8>(v & 0xff);
+}
+
+}  // namespace vfpga

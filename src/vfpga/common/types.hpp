@@ -1,0 +1,47 @@
+// Fundamental scalar and byte-range types shared across the vfpga library.
+//
+// Conventions (applied library-wide, per the C++ Core Guidelines):
+//  * fixed-width integers for anything that crosses a "hardware" boundary,
+//  * std::span for non-owning byte ranges (I.13: do not pass array + size),
+//  * strong enum classes for protocol constants,
+//  * no raw new/delete anywhere in the library (R.11).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vfpga {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Mutable view over raw bytes (e.g. a DMA target buffer).
+using ByteSpan = std::span<u8>;
+/// Read-only view over raw bytes (e.g. a frame to parse).
+using ConstByteSpan = std::span<const u8>;
+/// Owning byte buffer.
+using Bytes = std::vector<u8>;
+
+/// Address in the simulated host physical address space (DMA-visible).
+using HostAddr = u64;
+/// Offset into a device BAR aperture.
+using BarOffset = u64;
+/// Address in the FPGA-internal (AXI memory-mapped) address space.
+using FpgaAddr = u64;
+
+/// Narrowing with intent: the caller asserts the value fits.
+/// (gsl::narrow_cast equivalent; checked in debug builds.)
+template <typename To, typename From>
+constexpr To narrow(From value) noexcept {
+  return static_cast<To>(value);
+}
+
+}  // namespace vfpga

@@ -1,0 +1,97 @@
+#include "vfpga/core/blk_device.hpp"
+
+#include <algorithm>
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::core {
+
+using virtio::blk::BlkConfigLayout;
+using virtio::blk::RequestHeader;
+using virtio::blk::RequestType;
+
+BlkDeviceLogic::BlkDeviceLogic(BlkDeviceConfig config)
+    : config_(config),
+      storage_(config.capacity_sectors * virtio::blk::kSectorBytes, 0) {}
+
+u8 BlkDeviceLogic::device_config_read(u32 offset) const {
+  const u64 capacity = config_.capacity_sectors;
+  if (offset < BlkConfigLayout::kCapacityOffset + 8) {
+    return static_cast<u8>(capacity >> (8 * offset));
+  }
+  if (offset >= BlkConfigLayout::kBlkSizeOffset &&
+      offset < BlkConfigLayout::kBlkSizeOffset + 4) {
+    const u32 blk_size = 512;
+    return static_cast<u8>(blk_size >>
+                           (8 * (offset - BlkConfigLayout::kBlkSizeOffset)));
+  }
+  return 0;
+}
+
+std::optional<UserLogic::Response> BlkDeviceLogic::process(
+    u16 queue, ConstByteSpan payload, u32 writable_capacity) {
+  VFPGA_EXPECTS(queue == virtio::blk::kRequestQueue);
+  VFPGA_EXPECTS(writable_capacity >= 1);  // status byte is always writable
+
+  Response response;
+  response.target_queue = queue;  // same-chain completion
+
+  if (payload.size() < virtio::blk::kRequestHeaderBytes) {
+    response.payload = {virtio::blk::kStatusIoErr};
+    response.processing_cycles = config_.fixed_cycles;
+    ++errors_;
+    return response;
+  }
+  const RequestHeader header = RequestHeader::decode(payload);
+  const u64 byte_offset = header.sector * virtio::blk::kSectorBytes;
+
+  switch (header.type) {
+    case RequestType::Out: {  // host -> device write
+      const ConstByteSpan data =
+          payload.subspan(virtio::blk::kRequestHeaderBytes);
+      if (byte_offset + data.size() > storage_.size()) {
+        response.payload = {virtio::blk::kStatusIoErr};
+        ++errors_;
+        break;
+      }
+      std::copy(data.begin(), data.end(),
+                storage_.begin() + static_cast<std::ptrdiff_t>(byte_offset));
+      response.payload = {virtio::blk::kStatusOk};
+      response.processing_cycles =
+          config_.fixed_cycles + ((data.size() + 7) / 8) *
+                                     config_.cycles_per_beat;
+      ++writes_;
+      return response;
+    }
+    case RequestType::In: {  // device -> host read
+      const u64 data_len = writable_capacity - 1;  // minus status byte
+      if (byte_offset + data_len > storage_.size()) {
+        response.payload = {virtio::blk::kStatusIoErr};
+        ++errors_;
+        break;
+      }
+      const auto first =
+          storage_.begin() + static_cast<std::ptrdiff_t>(byte_offset);
+      response.payload.assign(first,
+                              first + static_cast<std::ptrdiff_t>(data_len));
+      response.payload.push_back(virtio::blk::kStatusOk);
+      response.processing_cycles =
+          config_.fixed_cycles + ((data_len + 7) / 8) *
+                                     config_.cycles_per_beat;
+      ++reads_;
+      return response;
+    }
+    case RequestType::Flush:
+      response.payload = {virtio::blk::kStatusOk};
+      response.processing_cycles = config_.fixed_cycles;
+      return response;
+    default:
+      response.payload = {virtio::blk::kStatusUnsupported};
+      ++errors_;
+      break;
+  }
+  response.processing_cycles = config_.fixed_cycles;
+  return response;
+}
+
+}  // namespace vfpga::core

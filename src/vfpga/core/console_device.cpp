@@ -1,0 +1,39 @@
+#include "vfpga/core/console_device.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::core {
+
+using virtio::console::ConsoleConfigLayout;
+
+u8 ConsoleDeviceLogic::device_config_read(u32 offset) const {
+  switch (offset) {
+    case ConsoleConfigLayout::kColsOffset:
+      return static_cast<u8>(config_.cols & 0xff);
+    case ConsoleConfigLayout::kColsOffset + 1:
+      return static_cast<u8>(config_.cols >> 8);
+    case ConsoleConfigLayout::kRowsOffset:
+      return static_cast<u8>(config_.rows & 0xff);
+    case ConsoleConfigLayout::kRowsOffset + 1:
+      return static_cast<u8>(config_.rows >> 8);
+    case ConsoleConfigLayout::kMaxPortsOffset:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+std::optional<UserLogic::Response> ConsoleDeviceLogic::process(
+    u16 queue, ConstByteSpan payload, u32 /*writable_capacity*/) {
+  VFPGA_EXPECTS(queue == virtio::console::kTxQueue);
+  Response response;
+  response.payload.assign(payload.begin(), payload.end());
+  response.target_queue = virtio::console::kRxQueue;
+  response.processing_cycles =
+      config_.fixed_cycles + ((payload.size() + 7) / 8) *
+                                 config_.cycles_per_beat;
+  bytes_echoed_ += payload.size();
+  return response;
+}
+
+}  // namespace vfpga::core

@@ -1,0 +1,47 @@
+// virtio-console personality — the device type of the prior work [14]
+// that this system extends. Echoes every byte the host transmits back on
+// the receive queue, demonstrating that swapping personalities changes
+// only the device-specific structure and queue semantics (§IV-B).
+#pragma once
+
+#include "vfpga/core/user_logic.hpp"
+#include "vfpga/virtio/console_defs.hpp"
+
+namespace vfpga::core {
+
+struct ConsoleDeviceConfig {
+  u16 cols = 80;
+  u16 rows = 25;
+  u64 fixed_cycles = 24;
+  u64 cycles_per_beat = 1;
+};
+
+class ConsoleDeviceLogic final : public UserLogic {
+ public:
+  explicit ConsoleDeviceLogic(ConsoleDeviceConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] virtio::DeviceType device_type() const override {
+    return virtio::DeviceType::Console;
+  }
+  [[nodiscard]] virtio::FeatureSet device_features() const override {
+    virtio::FeatureSet f;
+    f.set(virtio::feature::console::kSize);
+    return f;
+  }
+  [[nodiscard]] u16 queue_count() const override { return 2; }
+  [[nodiscard]] u32 device_config_size() const override {
+    return virtio::console::ConsoleConfigLayout::kSize;
+  }
+  [[nodiscard]] u8 device_config_read(u32 offset) const override;
+  std::optional<Response> process(u16 queue, ConstByteSpan payload,
+                                  u32 writable_capacity) override;
+
+  [[nodiscard]] u64 bytes_echoed() const { return bytes_echoed_; }
+
+ private:
+  ConsoleDeviceConfig config_;
+  u64 bytes_echoed_ = 0;
+};
+
+}  // namespace vfpga::core

@@ -1,0 +1,237 @@
+#include "vfpga/core/device_spec.hpp"
+
+#include <charconv>
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::core {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_u64(std::string_view value, u64& out) {
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_bool(std::string_view value, bool& out) {
+  if (value == "on" || value == "true" || value == "1") {
+    out = true;
+    return true;
+  }
+  if (value == "off" || value == "false" || value == "0") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool parse_mac(std::string_view value, net::MacAddr& out) {
+  if (value.size() != 17) {
+    return false;
+  }
+  for (int i = 0; i < 6; ++i) {
+    const std::string_view byte = value.substr(static_cast<size_t>(i) * 3, 2);
+    u64 parsed = 0;
+    const char* begin = byte.data();
+    const auto [ptr, ec] = std::from_chars(begin, begin + 2, parsed, 16);
+    if (ec != std::errc{} || ptr != begin + 2 || parsed > 0xff) {
+      return false;
+    }
+    if (i < 5 && value[static_cast<size_t>(i) * 3 + 2] != ':') {
+      return false;
+    }
+    out.octets[static_cast<size_t>(i)] = static_cast<u8>(parsed);
+  }
+  return true;
+}
+
+bool parse_ip(std::string_view value, net::Ipv4Addr& out) {
+  u32 result = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (pos <= value.size() && octets < 4) {
+    const std::size_t dot = value.find('.', pos);
+    const std::string_view part =
+        value.substr(pos, dot == std::string_view::npos ? value.size() - pos
+                                                        : dot - pos);
+    u64 parsed = 0;
+    if (!parse_u64(part, parsed) || parsed > 255) {
+      return false;
+    }
+    result = result << 8 | static_cast<u32>(parsed);
+    ++octets;
+    if (dot == std::string_view::npos) {
+      break;
+    }
+    pos = dot + 1;
+  }
+  if (octets != 4) {
+    return false;
+  }
+  out = net::Ipv4Addr{result};
+  return true;
+}
+
+bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+std::optional<DeviceSpec> DeviceSpec::parse(std::string_view text,
+                                            std::string* error) {
+  const auto fail = [&](int line, const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line) + ": " + message;
+    }
+    return std::nullopt;
+  };
+
+  DeviceSpec spec;
+  bool device_seen = false;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line_number;
+    const std::size_t newline = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, newline == std::string_view::npos ? text.size() - pos
+                                               : newline - pos);
+    pos = newline == std::string_view::npos ? text.size() + 1 : newline + 1;
+
+    const std::size_t comment = line.find('#');
+    if (comment != std::string_view::npos) {
+      line = line.substr(0, comment);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return fail(line_number, "expected 'key = value'");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return fail(line_number, "empty key or value");
+    }
+
+    u64 number = 0;
+    bool flag = false;
+    if (key == "device") {
+      device_seen = true;
+      if (value == "net") {
+        spec.type = virtio::DeviceType::Net;
+      } else if (value == "console") {
+        spec.type = virtio::DeviceType::Console;
+      } else if (value == "blk") {
+        spec.type = virtio::DeviceType::Block;
+      } else {
+        return fail(line_number, "unknown device type '" + std::string(value) +
+                                     "' (net|console|blk)");
+      }
+    } else if (key == "queue_size") {
+      if (!parse_u64(value, number) || !is_pow2(number) || number > 256) {
+        return fail(line_number, "queue_size must be a power of two <= 256");
+      }
+      spec.controller.max_queue_size = static_cast<u16>(number);
+    } else if (key == "event_idx") {
+      if (!parse_bool(value, flag)) {
+        return fail(line_number, "event_idx must be on|off");
+      }
+      spec.controller.policy.use_event_idx = flag;
+    } else if (key == "packed_ring") {
+      if (!parse_bool(value, flag)) {
+        return fail(line_number, "packed_ring must be on|off");
+      }
+      spec.controller.policy.offer_packed = flag;
+    } else if (key == "indirect") {
+      if (!parse_bool(value, flag)) {
+        return fail(line_number, "indirect must be on|off");
+      }
+      spec.controller.policy.offer_indirect = flag;
+    } else if (key == "batched_fetch") {
+      if (!parse_bool(value, flag)) {
+        return fail(line_number, "batched_fetch must be on|off");
+      }
+      spec.controller.policy.batched_chain_fetch = flag;
+    } else if (key == "bram_kib") {
+      if (!parse_u64(value, number) || number == 0 || number > 16 * 1024) {
+        return fail(line_number, "bram_kib must be in [1, 16384]");
+      }
+      spec.controller.bram_bytes = number * 1024;
+    } else if (key == "mac") {
+      if (!parse_mac(value, spec.net.mac)) {
+        return fail(line_number, "mac must be aa:bb:cc:dd:ee:ff");
+      }
+    } else if (key == "ip") {
+      if (!parse_ip(value, spec.net.ip)) {
+        return fail(line_number, "ip must be a.b.c.d");
+      }
+    } else if (key == "mtu") {
+      if (!parse_u64(value, number) || number < 68 || number > 9000) {
+        return fail(line_number, "mtu must be in [68, 9000]");
+      }
+      spec.net.mtu = static_cast<u16>(number);
+    } else if (key == "csum_offload") {
+      if (!parse_bool(value, flag)) {
+        return fail(line_number, "csum_offload must be on|off");
+      }
+      spec.net.offer_csum = flag;
+    } else if (key == "capacity_sectors") {
+      if (!parse_u64(value, number) || number == 0) {
+        return fail(line_number, "capacity_sectors must be positive");
+      }
+      spec.blk.capacity_sectors = number;
+    } else if (key == "cols") {
+      if (!parse_u64(value, number) || number == 0 || number > 1024) {
+        return fail(line_number, "cols must be in [1, 1024]");
+      }
+      spec.console.cols = static_cast<u16>(number);
+    } else if (key == "rows") {
+      if (!parse_u64(value, number) || number == 0 || number > 1024) {
+        return fail(line_number, "rows must be in [1, 1024]");
+      }
+      spec.console.rows = static_cast<u16>(number);
+    } else {
+      return fail(line_number, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (!device_seen) {
+    return fail(line_number, "missing required key 'device'");
+  }
+  return spec;
+}
+
+BuiltDevice build_device(const DeviceSpec& spec) {
+  BuiltDevice built;
+  switch (spec.type) {
+    case virtio::DeviceType::Net:
+      built.logic = std::make_unique<NetDeviceLogic>(spec.net);
+      break;
+    case virtio::DeviceType::Console:
+      built.logic = std::make_unique<ConsoleDeviceLogic>(spec.console);
+      break;
+    case virtio::DeviceType::Block:
+      built.logic = std::make_unique<BlkDeviceLogic>(spec.blk);
+      break;
+    default:
+      VFPGA_UNREACHABLE("unsupported device type in spec");
+  }
+  built.function =
+      std::make_unique<VirtioDeviceFunction>(*built.logic, spec.controller);
+  return built;
+}
+
+}  // namespace vfpga::core

@@ -1,0 +1,62 @@
+// Declarative device specification — the DISL hook.
+//
+// The paper situates its controller inside a larger effort: "the
+// automated generation of hardware operating systems using a
+// specification of user requirements and component libraries as inputs"
+// (§VI, the Dynamic Infrastructure Services Layer). This module is that
+// front door for the VirtIO service: a textual specification selects the
+// device personality and configures the controller, and build_device()
+// assembles the corresponding endpoint from the component library — the
+// flow a DISL generator would drive.
+//
+// Spec format: one `key = value` per line, `#` comments. Keys:
+//   device          net | console | blk          (required)
+//   queue_size      power of two, <= 256
+//   event_idx       on | off
+//   packed_ring     on | off
+//   indirect        on | off
+//   batched_fetch   on | off
+//   bram_kib        staging BRAM size
+//   mac             aa:bb:cc:dd:ee:ff            (net)
+//   ip              a.b.c.d                      (net)
+//   mtu             bytes                        (net)
+//   csum_offload    on | off                     (net)
+//   capacity_sectors                             (blk)
+//   cols / rows                                  (console)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "vfpga/core/blk_device.hpp"
+#include "vfpga/core/console_device.hpp"
+#include "vfpga/core/net_device.hpp"
+#include "vfpga/core/virtio_controller.hpp"
+
+namespace vfpga::core {
+
+struct DeviceSpec {
+  virtio::DeviceType type = virtio::DeviceType::Net;
+  ControllerConfig controller;
+  NetDeviceConfig net;
+  ConsoleDeviceConfig console;
+  BlkDeviceConfig blk;
+
+  /// Parse the textual format above. On failure returns nullopt and
+  /// stores a human-readable reason (line + message) in *error.
+  static std::optional<DeviceSpec> parse(std::string_view text,
+                                         std::string* error);
+};
+
+/// An assembled endpoint: the personality and the controller wrapping
+/// it, ready to attach to a root complex.
+struct BuiltDevice {
+  std::unique_ptr<UserLogic> logic;
+  std::unique_ptr<VirtioDeviceFunction> function;
+};
+
+/// Instantiate the spec from the component library.
+[[nodiscard]] BuiltDevice build_device(const DeviceSpec& spec);
+
+}  // namespace vfpga::core

@@ -1,0 +1,239 @@
+#include "vfpga/core/net_device.hpp"
+
+#include <algorithm>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/net/arp.hpp"
+#include "vfpga/net/icmp.hpp"
+#include "vfpga/net/ethernet.hpp"
+#include "vfpga/net/ipv4.hpp"
+#include "vfpga/net/udp.hpp"
+
+namespace vfpga::core {
+
+using virtio::net::NetConfigLayout;
+using virtio::net::NetHeader;
+
+NetDeviceLogic::NetDeviceLogic(NetDeviceConfig config) : config_(config) {}
+
+virtio::FeatureSet NetDeviceLogic::device_features() const {
+  virtio::FeatureSet f;
+  f.set(virtio::feature::net::kMac);
+  f.set(virtio::feature::net::kStatus);
+  f.set(virtio::feature::net::kMtu);
+  if (config_.offer_csum) {
+    f.set(virtio::feature::net::kCsum);
+  }
+  if (config_.offer_guest_csum) {
+    f.set(virtio::feature::net::kGuestCsum);
+  }
+  return f;
+}
+
+void NetDeviceLogic::on_driver_ready(virtio::FeatureSet negotiated) {
+  negotiated_ = negotiated;
+}
+
+u8 NetDeviceLogic::device_config_read(u32 offset) const {
+  switch (offset) {
+    case NetConfigLayout::kMacOffset + 0:
+    case NetConfigLayout::kMacOffset + 1:
+    case NetConfigLayout::kMacOffset + 2:
+    case NetConfigLayout::kMacOffset + 3:
+    case NetConfigLayout::kMacOffset + 4:
+    case NetConfigLayout::kMacOffset + 5:
+      return config_.mac.octets[offset - NetConfigLayout::kMacOffset];
+    case NetConfigLayout::kStatusOffset:
+      return config_.link_up ? static_cast<u8>(virtio::net::kNetStatusLinkUp)
+                             : u8{0};
+    case NetConfigLayout::kStatusOffset + 1:
+      return 0;
+    case NetConfigLayout::kMaxPairsOffset:
+      return 1;  // single queue pair
+    case NetConfigLayout::kMaxPairsOffset + 1:
+      return 0;
+    case NetConfigLayout::kMtuOffset:
+      return static_cast<u8>(config_.mtu & 0xff);
+    case NetConfigLayout::kMtuOffset + 1:
+      return static_cast<u8>(config_.mtu >> 8);
+    default:
+      return 0;
+  }
+}
+
+u64 NetDeviceLogic::processing_cycles(u64 frame_bytes,
+                                      bool checksummed) const {
+  const u64 beats = (frame_bytes + 7) / 8;
+  u64 cycles = config_.fixed_cycles + beats * config_.cycles_per_beat;
+  if (checksummed) {
+    cycles += beats;  // second pass through the checksum pipeline
+  }
+  return cycles;
+}
+
+std::optional<UserLogic::Response> NetDeviceLogic::process(
+    u16 queue, ConstByteSpan payload, u32 /*writable_capacity*/) {
+  VFPGA_EXPECTS(queue == virtio::net::kTxQueue);
+  if (payload.size() < NetHeader::kSize) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  const NetHeader vhdr = NetHeader::decode(payload);
+  Bytes frame(payload.begin() + NetHeader::kSize, payload.end());
+
+  const auto parsed_eth = net::parse_ethernet_frame(frame);
+  if (!parsed_eth.has_value()) {
+    ++dropped_;
+    return std::nullopt;
+  }
+
+  // ---- ARP: answer requests for our address ----------------------------------
+  if (parsed_eth->header.type == net::EtherType::Arp) {
+    const auto arp = net::parse_arp_message(ConstByteSpan{frame}.subspan(
+        parsed_eth->payload_offset, parsed_eth->payload_length));
+    if (!arp.has_value() || arp->op != net::ArpOp::Request ||
+        arp->target_ip != config_.ip) {
+      ++dropped_;
+      return std::nullopt;
+    }
+    net::ArpMessage reply;
+    reply.op = net::ArpOp::Reply;
+    reply.sender_mac = config_.mac;
+    reply.sender_ip = config_.ip;
+    reply.target_mac = arp->sender_mac;
+    reply.target_ip = arp->sender_ip;
+    const Bytes reply_frame = net::build_ethernet_frame(
+        net::EthernetHeader{arp->sender_mac, config_.mac, net::EtherType::Arp},
+        net::build_arp_message(reply));
+
+    Response response;
+    response.payload.resize(NetHeader::kSize + reply_frame.size());
+    NetHeader out_hdr;
+    out_hdr.num_buffers = 1;
+    out_hdr.encode(response.payload);
+    std::copy(reply_frame.begin(), reply_frame.end(),
+              response.payload.begin() + NetHeader::kSize);
+    response.target_queue = virtio::net::kRxQueue;
+    response.processing_cycles = processing_cycles(reply_frame.size(), false);
+    ++arp_replies_;
+    return response;
+  }
+
+  // ---- IPv4 ---------------------------------------------------------------------
+  auto ip_span = ConstByteSpan{frame}.subspan(parsed_eth->payload_offset,
+                                              parsed_eth->payload_length);
+  const auto parsed_ip = net::parse_ipv4_packet(ip_span);
+  if (!parsed_ip.has_value() || !parsed_ip->checksum_ok) {
+    ++dropped_;
+    return std::nullopt;
+  }
+
+  // ---- ICMP echo (ping) -----------------------------------------------------------
+  if (parsed_ip->header.protocol == net::IpProtocol::Icmp) {
+    const auto icmp = net::parse_icmp_echo(ip_span.subspan(
+        parsed_ip->payload_offset, parsed_ip->payload_length));
+    if (!icmp.has_value() || !icmp->checksum_ok ||
+        icmp->header.type != net::IcmpType::EchoRequest ||
+        parsed_ip->header.dst != config_.ip) {
+      ++dropped_;
+      return std::nullopt;
+    }
+    net::IcmpEcho reply_hdr;
+    reply_hdr.type = net::IcmpType::EchoReply;
+    reply_hdr.identifier = icmp->header.identifier;
+    reply_hdr.sequence = icmp->header.sequence;
+    const auto icmp_payload = ip_span.subspan(
+        parsed_ip->payload_offset + icmp->payload_offset,
+        icmp->payload_length);
+    const Bytes reply_icmp = net::build_icmp_echo(reply_hdr, icmp_payload);
+    net::Ipv4Header reply_ip;
+    reply_ip.src = config_.ip;
+    reply_ip.dst = parsed_ip->header.src;
+    reply_ip.protocol = net::IpProtocol::Icmp;
+    reply_ip.identification = parsed_ip->header.identification;
+    const Bytes reply_packet = net::build_ipv4_packet(reply_ip, reply_icmp);
+    const Bytes reply_frame = net::build_ethernet_frame(
+        net::EthernetHeader{parsed_eth->header.src, config_.mac,
+                            net::EtherType::Ipv4},
+        reply_packet);
+
+    Response response;
+    response.payload.resize(NetHeader::kSize + reply_frame.size());
+    NetHeader out_hdr;
+    out_hdr.num_buffers = 1;
+    out_hdr.encode(response.payload);
+    std::copy(reply_frame.begin(), reply_frame.end(),
+              response.payload.begin() + NetHeader::kSize);
+    response.target_queue = virtio::net::kRxQueue;
+    response.processing_cycles =
+        processing_cycles(reply_frame.size(), true);  // csum recompute
+    ++icmp_echoes_;
+    return response;
+  }
+
+  // ---- UDP echo ---------------------------------------------------------------------
+  if (parsed_ip->header.protocol != net::IpProtocol::Udp) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  auto udp_span =
+      ip_span.subspan(parsed_ip->payload_offset, parsed_ip->payload_length);
+
+  // If the driver offloaded the checksum (VIRTIO_NET_F_CSUM), the UDP
+  // checksum field currently holds only the pseudo-header sum; the
+  // device must complete it — the paper's example of work the FPGA
+  // performs "on behalf of the host".
+  bool device_checksummed = false;
+  Bytes udp_copy(udp_span.begin(), udp_span.end());
+  if ((vhdr.flags & NetHeader::kNeedsCsum) != 0) {
+    net::finalize_udp_checksum(ByteSpan{udp_copy}, parsed_ip->header.src,
+                               parsed_ip->header.dst);
+    device_checksummed = true;
+    ++checksums_offloaded_;
+  } else {
+    const auto parsed_udp = net::parse_udp_datagram(
+        udp_copy, parsed_ip->header.src, parsed_ip->header.dst);
+    if (!parsed_udp.has_value() || !parsed_udp->checksum_ok) {
+      ++dropped_;
+      return std::nullopt;
+    }
+  }
+  const auto parsed_udp = net::parse_udp_datagram(
+      udp_copy, parsed_ip->header.src, parsed_ip->header.dst);
+  VFPGA_ASSERT(parsed_udp.has_value());
+
+  // Build the echo: same payload, endpoints swapped.
+  const auto echo_payload = ConstByteSpan{udp_copy}.subspan(
+      parsed_udp->payload_offset, parsed_udp->payload_length);
+  const Bytes echo_udp = net::build_udp_datagram(
+      net::UdpHeader{parsed_udp->header.dst_port, parsed_udp->header.src_port},
+      parsed_ip->header.dst, parsed_ip->header.src, echo_payload);
+  net::Ipv4Header echo_ip;
+  echo_ip.src = parsed_ip->header.dst;
+  echo_ip.dst = parsed_ip->header.src;
+  echo_ip.protocol = net::IpProtocol::Udp;
+  echo_ip.identification = parsed_ip->header.identification;
+  const Bytes echo_packet = net::build_ipv4_packet(echo_ip, echo_udp);
+  const Bytes echo_frame = net::build_ethernet_frame(
+      net::EthernetHeader{parsed_eth->header.src, config_.mac,
+                          net::EtherType::Ipv4},
+      echo_packet);
+
+  Response response;
+  response.payload.resize(NetHeader::kSize + echo_frame.size());
+  NetHeader out_hdr;
+  out_hdr.num_buffers = 1;
+  if (negotiated_.has(virtio::feature::net::kGuestCsum)) {
+    out_hdr.flags = NetHeader::kDataValid;  // we computed a full checksum
+  }
+  out_hdr.encode(response.payload);
+  std::copy(echo_frame.begin(), echo_frame.end(),
+            response.payload.begin() + NetHeader::kSize);
+  response.target_queue = virtio::net::kRxQueue;
+  response.processing_cycles =
+      processing_cycles(echo_frame.size(), device_checksummed);
+  ++udp_echoes_;
+  return response;
+}
+
+}  // namespace vfpga::core

@@ -1,0 +1,68 @@
+#include "vfpga/core/packed_queue_engine.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::core {
+
+virtio::Timed<u16> PackedQueueEngine::poll_available(sim::SimTime start) {
+  const auto peek = vq_.peek_available(start);
+  head_cached_ = peek.value;
+  return virtio::Timed<u16>{static_cast<u16>(peek.value ? 1 : 0), peek.done};
+}
+
+virtio::Timed<FetchedChain> PackedQueueEngine::consume_chain(
+    sim::SimTime start) {
+  sim::SimTime t = start + timing_.clock.cycles(timing_.arbitration_cycles);
+  if (!head_cached_) {
+    // Defensive re-peek (e.g. a trusted-credit consume without a fresh
+    // poll): the FSM must read the descriptor anyway.
+    const auto peek = vq_.peek_available(t);
+    t = peek.done;
+    VFPGA_ASSERT(peek.value);
+  }
+  head_cached_ = false;
+
+  auto consumed = vq_.consume_chain(t);
+  t = consumed.done;
+  FetchedChain chain;
+  chain.handle = consumed.value.id;
+  chain.ring_slots = consumed.value.descriptor_count;
+  chain.descriptors = std::move(consumed.value.descriptors);
+  t += timing_.clock.cycles(timing_.per_descriptor_cycles *
+                            chain.descriptors.size());
+  return virtio::Timed<FetchedChain>{std::move(chain), t};
+}
+
+IQueueEngine::Completion PackedQueueEngine::complete_chain(
+    const FetchedChain& chain, u32 written, sim::SimTime start,
+    bool refresh_suppression) {
+  sim::SimTime t = start + timing_.clock.cycles(timing_.used_update_cycles);
+  virtio::PackedVirtqueueDevice::Chain dev_chain;
+  dev_chain.id = chain.handle;
+  dev_chain.descriptor_count = chain.ring_slots;
+  const auto push = vq_.push_used(dev_chain, written, t);
+  t = push.issuer_free;
+
+  t += timing_.clock.cycles(timing_.irq_decision_cycles);
+  u16 flags;
+  if (refresh_suppression || !cached_driver_event_.has_value()) {
+    const auto event = vq_.read_driver_event_flags(t);
+    t = event.done;
+    cached_driver_event_ = event.value;
+    flags = event.value;
+  } else {
+    flags = *cached_driver_event_;
+  }
+  const bool interrupt = flags != virtio::packed::event::kDisable;
+  return Completion{t, interrupt};
+}
+
+sim::SimTime PackedQueueEngine::post_drain_update(u16 /*drained_through*/,
+                                                  sim::SimTime start) {
+  // Flags-only kick suppression: the device event structure was set to
+  // ENABLE at configure time and never changes, so there is nothing to
+  // update after a drain.
+  return start;
+}
+
+}  // namespace vfpga::core

@@ -1,0 +1,110 @@
+#include "vfpga/core/queue_engine.hpp"
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/virtio/ids.hpp"
+
+namespace vfpga::core {
+
+virtio::Timed<u16> QueueEngine::poll_available(sim::SimTime start) {
+  const auto idx = vq_.fetch_avail_idx(start);
+  const u16 outstanding =
+      static_cast<u16>(idx.value - vq_.next_avail_position());
+  return virtio::Timed<u16>{outstanding, idx.done};
+}
+
+virtio::Timed<FetchedChain> QueueEngine::consume_chain(sim::SimTime start) {
+  sim::SimTime t = start + timing_.clock.cycles(timing_.arbitration_cycles);
+
+  const auto entry = vq_.fetch_avail_entry(vq_.next_avail_position(), t);
+  t = entry.done;
+  vq_.advance_avail_cursor();
+
+  FetchedChain chain;
+  chain.handle = entry.value;
+  chain.ring_slots = 1;  // split completion needs only the head index
+
+  if (policy_.batched_chain_fetch) {
+    // Speculatively fetch two descriptors in one burst: driver free
+    // lists allocate chains contiguously in the common case, so the
+    // second slot is usually the chain's continuation.
+    const u16 head = entry.value;
+    const u16 burst = static_cast<u16>(head + 1 < vq_.size() ? 2 : 1);
+    auto fetched = vq_.fetch_descriptors(head, burst, t);
+    t = fetched.done;
+    const virtio::Descriptor& first = fetched.value.front();
+    if ((first.flags & virtio::descflags::kIndirect) != 0) {
+      // Speculation miss: the head is an indirect descriptor, so the
+      // burst bought nothing — walk it through the indirect path (which
+      // re-reads the head; the wasted burst is the realistic penalty).
+      auto indirect = vq_.fetch_chain(head, t);
+      chain.descriptors = std::move(indirect.value);
+      t = indirect.done +
+          timing_.clock.cycles(timing_.per_descriptor_cycles *
+                               chain.descriptors.size());
+      return virtio::Timed<FetchedChain>{std::move(chain), t};
+    }
+    chain.descriptors.push_back(first);
+    u16 next = first.next;
+    bool more = (first.flags & virtio::descflags::kNext) != 0;
+    if (more && burst == 2 && next == head + 1) {
+      const virtio::Descriptor& second = fetched.value[1];
+      chain.descriptors.push_back(second);
+      next = second.next;
+      more = (second.flags & virtio::descflags::kNext) != 0;
+    }
+    while (more) {  // speculation miss: walk the remainder one-by-one
+      auto d = vq_.fetch_descriptor(next, t);
+      t = d.done;
+      chain.descriptors.push_back(d.value);
+      next = d.value.next;
+      more = (d.value.flags & virtio::descflags::kNext) != 0;
+    }
+  } else {
+    auto fetched = vq_.fetch_chain(entry.value, t);
+    t = fetched.done;
+    chain.descriptors = std::move(fetched.value);
+  }
+  t += timing_.clock.cycles(timing_.per_descriptor_cycles *
+                            chain.descriptors.size());
+  return virtio::Timed<FetchedChain>{std::move(chain), t};
+}
+
+IQueueEngine::Completion QueueEngine::complete_chain(
+    const FetchedChain& chain, u32 written, sim::SimTime start,
+    bool refresh_suppression) {
+  sim::SimTime t = start + timing_.clock.cycles(timing_.used_update_cycles);
+  const u16 new_used_idx = static_cast<u16>(vq_.used_idx() + 1);
+  const auto push = vq_.push_used(chain.handle, written, t);
+  t = push.issuer_free;
+
+  bool interrupt = true;
+  t += timing_.clock.cycles(timing_.irq_decision_cycles);
+  if (policy_.use_event_idx) {
+    u16 event_value;
+    if (refresh_suppression || !cached_used_event_.has_value()) {
+      const auto event = vq_.read_used_event(t);
+      t = event.done;
+      cached_used_event_ = event.value;
+      event_value = event.value;
+    } else {
+      event_value = *cached_used_event_;
+    }
+    // §2.7.10: interrupt iff used_event was passed by this update.
+    const u16 old_used = static_cast<u16>(new_used_idx - 1);
+    interrupt = static_cast<u16>(new_used_idx - event_value - 1) <
+                static_cast<u16>(new_used_idx - old_used);
+  }
+  return Completion{t, interrupt};
+}
+
+sim::SimTime QueueEngine::post_drain_update(u16 drained_through,
+                                            sim::SimTime start) {
+  if (!policy_.use_event_idx) {
+    return start;
+  }
+  // EVENT_IDX: request a notification for the publish after the ones we
+  // are about to drain (§2.7.10 — the device writes avail_event).
+  return vq_.write_avail_event(drained_through, start).issuer_free;
+}
+
+}  // namespace vfpga::core

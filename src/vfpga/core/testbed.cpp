@@ -1,0 +1,203 @@
+#include "vfpga/core/testbed.hpp"
+
+#include <algorithm>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/net/ethernet.hpp"
+#include "vfpga/net/ipv4.hpp"
+#include "vfpga/net/udp.hpp"
+#include "vfpga/virtio/net_defs.hpp"
+
+namespace vfpga::core {
+
+u64 virtio_wire_bytes(u64 udp_payload) {
+  const u64 l3 = net::Ipv4Header::kSize + net::UdpHeader::kSize + udp_payload;
+  const u64 eth_payload = std::max<u64>(l3, net::kMinEthernetPayload);
+  return virtio::net::NetHeader::kSize + net::EthernetHeader::kSize +
+         eth_payload;
+}
+
+// ---- VirtioNetTestbed -----------------------------------------------------------
+
+namespace {
+
+TestbedOptions with_ring_format(TestbedOptions options) {
+  if (options.use_packed_rings) {
+    options.controller.policy.offer_packed = true;
+  }
+  return options;
+}
+
+}  // namespace
+
+VirtioNetTestbed::VirtioNetTestbed(TestbedOptions options)
+    : options_(with_ring_format(options)),
+      memory_(std::make_unique<mem::HostMemory>()),
+      rc_(std::make_unique<pcie::RootComplex>(
+          *memory_, pcie::LinkModel{options_.link})),
+      net_logic_(std::make_unique<NetDeviceLogic>(options_.net)),
+      device_(std::make_unique<VirtioDeviceFunction>(*net_logic_,
+                                                     options_.controller)),
+      rng_(options_.seed),
+      mem_rng_(options_.seed ^ 0x6d656d6ull),
+      noise_(options_.noise) {
+  rc_->set_irq_sink([this](u32 data, sim::SimTime at) {
+    irq_.deliver(data, at);
+  });
+  // Small host-memory-controller jitter on DMA reads: keeps the FPGA
+  // counters' variance "minimal" (paper Fig. 4) but not identically zero.
+  rc_->set_dma_read_jitter([this] {
+    return sim::from_nanos(sim::sample_lognormal(mem_rng_, 55.0, 0.6));
+  });
+  rc_->attach(*device_);
+  device_->connect(*rc_);
+
+  enumerated_ = pcie::enumerate_bus(*rc_);
+  VFPGA_ASSERT(enumerated_.size() == 1);
+
+  thread_ = std::make_unique<hostos::HostThread>(rng_, options_.costs,
+                                                 noise_);
+  hostos::VirtioNetDriver::BindContext ctx;
+  ctx.rc = rc_.get();
+  ctx.device = device_.get();
+  ctx.enumerated = &enumerated_.front();
+  ctx.irq = &irq_;
+  ctx.prefer_packed = options_.use_packed_rings;
+  const bool bound = driver_.probe(ctx, *thread_);
+  VFPGA_ASSERT(bound);
+  VFPGA_ASSERT(driver_.using_packed_rings() == options_.use_packed_rings);
+
+  stack_ = std::make_unique<hostos::KernelNetstack>(driver_, irq_);
+  stack_->configure_fpga_route(options_.net.ip, options_.net.mac);
+  socket_ = std::make_unique<hostos::UdpSocket>(*stack_, options_.udp_port);
+}
+
+VirtioNetTestbed::RoundTrip VirtioNetTestbed::udp_round_trip(
+    ConstByteSpan payload) {
+  hostos::HostThread& t = *thread_;
+  t.exec(options_.costs.app_iteration);
+
+  const sim::SimTime start = t.now();
+  RoundTrip rt;
+  if (!socket_->sendto(t, options_.net.ip, options_.fpga_udp_port, payload)) {
+    return rt;
+  }
+  const auto reply = socket_->recvfrom(t);
+  rt.total = t.now() - start;
+  if (!reply.has_value() || reply->payload.size() != payload.size() ||
+      !std::equal(payload.begin(), payload.end(), reply->payload.begin())) {
+    return rt;
+  }
+  // The paper's counters separate "time taken by the hardware to perform
+  // the DMA operation" from "the time to generate the response packet"
+  // (§IV-B): the notify->irq interval covers both, so the user-logic
+  // interval is subtracted out of the hardware share and reported on its
+  // own (both are later deducted from the total to estimate software).
+  const sim::Duration notify_to_irq =
+      device_->counters().interval("notify", "irq_sent");
+  rt.response_gen = device_->counters().interval("ul_start", "ul_done");
+  rt.hardware = notify_to_irq - rt.response_gen;
+  rt.ok = true;
+  return rt;
+}
+
+// ---- XdmaTestbed -----------------------------------------------------------------
+
+XdmaTestbed::XdmaTestbed(TestbedOptions options)
+    : options_(options),
+      memory_(std::make_unique<mem::HostMemory>()),
+      rc_(std::make_unique<pcie::RootComplex>(*memory_,
+                                              pcie::LinkModel{options.link})),
+      device_(std::make_unique<xdma::XdmaIpFunction>(options.xdma_bram_bytes,
+                                                     options.xdma_engine)),
+      rng_(options.seed ^ 0x9e3779b97f4a7c15ull),
+      mem_rng_(options.seed ^ 0x6d656d7ull),
+      noise_(options.noise) {
+  rc_->set_irq_sink([this](u32 data, sim::SimTime at) {
+    irq_.deliver(data, at);
+  });
+  rc_->set_dma_read_jitter([this] {
+    return sim::from_nanos(sim::sample_lognormal(mem_rng_, 55.0, 0.6));
+  });
+  rc_->attach(*device_);
+  device_->connect(*rc_);
+
+  enumerated_ = pcie::enumerate_bus(*rc_);
+  VFPGA_ASSERT(enumerated_.size() == 1);
+
+  thread_ = std::make_unique<hostos::HostThread>(rng_, options_.costs,
+                                                 noise_);
+  xdma::XdmaHostDriver::BindContext ctx;
+  ctx.rc = rc_.get();
+  ctx.device = device_.get();
+  ctx.enumerated = &enumerated_.front();
+  ctx.irq = &irq_;
+  const bool bound = driver_.probe(ctx, *thread_);
+  VFPGA_ASSERT(bound);
+
+  h2c_file_ = std::make_unique<hostos::XdmaDeviceFile>(
+      driver_, hostos::XdmaDeviceFile::Direction::HostToCard);
+  c2h_file_ = std::make_unique<hostos::XdmaDeviceFile>(
+      driver_, hostos::XdmaDeviceFile::Direction::CardToHost);
+}
+
+XdmaTestbed::RoundTrip XdmaTestbed::run_round_trip(u64 bytes,
+                                                   bool user_irq) {
+  VFPGA_EXPECTS(bytes > 0 && bytes <= options_.xdma_bram_bytes);
+  hostos::HostThread& t = *thread_;
+  t.exec(options_.costs.app_iteration);
+
+  if (pattern_.size() != bytes) {
+    pattern_.resize(bytes);
+    for (u64 i = 0; i < bytes; ++i) {
+      pattern_[i] = static_cast<u8>(i * 131 + 17);
+    }
+    readback_.assign(bytes, 0);
+  } else {
+    // Vary the pattern between iterations so a stale loop-back cannot
+    // pass verification.
+    ++pattern_[0];
+  }
+
+  const sim::SimTime start = t.now();
+  RoundTrip rt;
+  if (h2c_file_->write(t, pattern_) < 0) {
+    return rt;
+  }
+  if (user_irq) {
+    // The "real use case" §IV-C describes but the example design lacks:
+    // user logic raises an interrupt when data is ready for C2H and the
+    // application sits in poll() before issuing read(). The user IRQ is
+    // raised as soon as the H2C data lands (coincident with write()
+    // completion here), so the added cost is the kernel's poll()/IRQ/
+    // wake machinery itself — the cost the paper's favourable
+    // back-to-back setup discounts.
+    t.exec(options_.costs.syscall_entry);  // poll() enters the kernel
+    t.exec(options_.costs.irq_entry);      // user IRQ serviced
+    t.exec(options_.costs.wakeup);         // poller wakes
+    t.exec(options_.costs.syscall_exit);   // poll() returns readable
+  }
+  if (c2h_file_->read(t, readback_) < 0) {
+    return rt;
+  }
+  rt.total = t.now() - start;
+  if (readback_ != pattern_) {
+    return rt;
+  }
+  auto& counters = device_->counters();
+  rt.hardware = counters.interval("h2c_run", "h2c_complete") +
+                counters.interval("c2h_run", "c2h_complete");
+  rt.ok = true;
+  return rt;
+}
+
+XdmaTestbed::RoundTrip XdmaTestbed::write_read_round_trip(u64 bytes) {
+  return run_round_trip(bytes, /*user_irq=*/false);
+}
+
+XdmaTestbed::RoundTrip XdmaTestbed::write_read_round_trip_user_irq(
+    u64 bytes) {
+  return run_round_trip(bytes, /*user_irq=*/true);
+}
+
+}  // namespace vfpga::core

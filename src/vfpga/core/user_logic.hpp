@@ -1,0 +1,74 @@
+// User-logic interface to the VirtIO controller.
+//
+// Fig. 2 of the paper: the controller sits between the XDMA IP and the
+// user logic and exposes RX/TX queue interfaces "that follow the same
+// semantics as a virtqueue". A UserLogic implementation is one device
+// personality: it supplies the device type / device-specific feature
+// bits / device-specific configuration structure, and processes buffers
+// the controller delivers from the host. The controller itself stays
+// personality-agnostic — the paper's point that supporting a new VirtIO
+// device type only requires the device-specific structure (§III-A).
+#pragma once
+
+#include <optional>
+
+#include "vfpga/common/types.hpp"
+#include "vfpga/sim/time.hpp"
+#include "vfpga/virtio/features.hpp"
+#include "vfpga/virtio/ids.hpp"
+
+namespace vfpga::core {
+
+class UserLogic {
+ public:
+  UserLogic() = default;
+  UserLogic(const UserLogic&) = delete;
+  UserLogic& operator=(const UserLogic&) = delete;
+  virtual ~UserLogic() = default;
+
+  [[nodiscard]] virtual virtio::DeviceType device_type() const = 0;
+
+  /// Device-specific feature bits to offer (the controller adds the
+  /// generic ring/transport bits itself).
+  [[nodiscard]] virtual virtio::FeatureSet device_features() const = 0;
+
+  /// Number of virtqueues this personality requires (§IV-B: "only the
+  /// minimum number of queues and the device-specific configuration
+  /// structure change across device types").
+  [[nodiscard]] virtual u16 queue_count() const = 0;
+
+  /// Called once negotiation finished so the personality can adapt
+  /// (e.g. enable checksum offload datapaths).
+  virtual void on_driver_ready(virtio::FeatureSet /*negotiated*/) {}
+
+  // ---- device-specific configuration structure -------------------------------
+  [[nodiscard]] virtual u32 device_config_size() const = 0;
+  [[nodiscard]] virtual u8 device_config_read(u32 offset) const = 0;
+  virtual void device_config_write(u32 /*offset*/, u8 /*value*/) {}
+
+  // ---- datapath ----------------------------------------------------------------
+
+  struct Response {
+    /// Bytes to return to the host (including any device-type header).
+    Bytes payload;
+    /// Queue to deliver on. Equal to the source queue => write into the
+    /// device-writable tail of the *same* chain (block-device style);
+    /// different queue => consume a buffer from that queue's avail ring
+    /// (network RX style).
+    u16 target_queue = 0;
+    /// User-logic processing time in fabric cycles — the paper's
+    /// "time to generate the response packet", measured by its own
+    /// perf counter and deducted from the latency breakdown (§IV-B).
+    u64 processing_cycles = 0;
+  };
+
+  /// Process one buffer the host made available on `queue`. `payload`
+  /// is the gathered device-readable bytes of the chain;
+  /// `writable_capacity` is the total size of the chain's
+  /// device-writable buffers (a same-chain response must fit in it —
+  /// block-style requests derive their read length from it).
+  virtual std::optional<Response> process(u16 queue, ConstByteSpan payload,
+                                          u32 writable_capacity) = 0;
+};
+
+}  // namespace vfpga::core

@@ -1,0 +1,621 @@
+#include "vfpga/core/virtio_controller.hpp"
+
+#include <algorithm>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/common/log.hpp"
+
+namespace vfpga::core {
+namespace {
+
+using virtio::commoncfg::kConfigGeneration;
+using virtio::commoncfg::kDeviceFeature;
+using virtio::commoncfg::kDeviceFeatureSelect;
+using virtio::commoncfg::kDeviceStatus;
+using virtio::commoncfg::kDriverFeature;
+using virtio::commoncfg::kDriverFeatureSelect;
+using virtio::commoncfg::kMsixConfig;
+using virtio::commoncfg::kNumQueues;
+using virtio::commoncfg::kQueueDesc;
+using virtio::commoncfg::kQueueDevice;
+using virtio::commoncfg::kQueueDriver;
+using virtio::commoncfg::kQueueEnable;
+using virtio::commoncfg::kQueueMsixVector;
+using virtio::commoncfg::kQueueNotifyOff;
+using virtio::commoncfg::kQueueSelect;
+using virtio::commoncfg::kQueueSize;
+
+/// PCI class code per device personality.
+struct ClassCode {
+  u8 base, sub, prog_if;
+};
+
+ClassCode class_code_for(virtio::DeviceType type) {
+  switch (type) {
+    case virtio::DeviceType::Net:
+      return {0x02, 0x00, 0x00};  // network controller, ethernet
+    case virtio::DeviceType::Block:
+      return {0x01, 0x80, 0x00};  // mass storage, other
+    case virtio::DeviceType::Console:
+      return {0x07, 0x80, 0x00};  // communication, other
+    default:
+      return {0xff, 0x00, 0x00};
+  }
+}
+
+}  // namespace
+
+VirtioDeviceFunction::VirtioDeviceFunction(UserLogic& user_logic,
+                                           ControllerConfig config)
+    : user_logic_(&user_logic),
+      config_(config),
+      bram_(config.bram_bytes),
+      queue_state_(user_logic.queue_count()),
+      engines_(user_logic.queue_count()),
+      credits_(user_logic.queue_count(), 0),
+      total_drained_(user_logic.queue_count(), 0) {
+  const virtio::DeviceType type = user_logic.device_type();
+  auto& cfg = this->config();
+  cfg.set_ids(virtio::kVirtioPciVendorId, virtio::modern_pci_device_id(type),
+              virtio::kVirtioPciVendorId, static_cast<u16>(type));
+  cfg.set_revision(virtio::kVirtioPciModernRevision);
+  const ClassCode cc = class_code_for(type);
+  cfg.set_class_code(cc.base, cc.sub, cc.prog_if);
+  cfg.define_bar(0, pcie::BarDefinition{kBar0Size, /*is_64bit=*/true,
+                                        /*prefetchable=*/false});
+
+  cfg.add_capability(pcie::CapabilityId::PciExpress,
+                     pcie::PciExpressCapability{}.encode());
+  const u16 vectors = static_cast<u16>(user_logic.queue_count() + 1);
+  cfg.add_capability(
+      pcie::CapabilityId::MsiX,
+      pcie::make_msix_capability_body(vectors, /*table_bar=*/0,
+                                      static_cast<u32>(kMsixTableOffset),
+                                      /*pba_bar=*/0,
+                                      static_cast<u32>(kMsixPbaOffset)));
+
+  virtio::VirtioPciLayout layout;
+  layout.common = {0, static_cast<u32>(kCommonCfgOffset),
+                   virtio::commoncfg::kSize};
+  layout.notify = {0, static_cast<u32>(kNotifyOffset),
+                   kNotifyOffMultiplier * user_logic.queue_count()};
+  layout.notify_off_multiplier = kNotifyOffMultiplier;
+  layout.isr = {0, static_cast<u32>(kIsrOffset), 1};
+  layout.device_specific = {0, static_cast<u32>(kDeviceCfgOffset),
+                            user_logic.device_config_size()};
+  virtio::add_virtio_capabilities(cfg, layout);
+
+  offered_ = user_logic.device_features();
+  offered_.set(virtio::feature::kVersion1);
+  if (config_.policy.use_event_idx) {
+    offered_.set(virtio::feature::kRingEventIdx);
+  }
+  if (config_.policy.offer_indirect) {
+    offered_.set(virtio::feature::kRingIndirectDesc);
+  }
+  if (config_.policy.offer_packed) {
+    offered_.set(virtio::feature::kRingPacked);
+  }
+
+  for (auto& qs : queue_state_) {
+    qs.size = config_.max_queue_size;
+  }
+}
+
+VirtioDeviceFunction::~VirtioDeviceFunction() = default;
+
+void VirtioDeviceFunction::connect(pcie::RootComplex& rc) {
+  port_.emplace(rc.dma_port(*this));
+  msix_ = std::make_unique<pcie::MsixTable>(
+      static_cast<u32>(user_logic_->queue_count() + 1));
+  h2c_ = std::make_unique<xdma::DmaChannel>(xdma::Direction::H2C, *port_,
+                                            bram_, config_.engine,
+                                            &counters_);
+  c2h_ = std::make_unique<xdma::DmaChannel>(xdma::Direction::C2H, *port_,
+                                            bram_, config_.engine,
+                                            &counters_);
+}
+
+const VirtioDeviceFunction::QueueState& VirtioDeviceFunction::queue_state(
+    u16 q) const {
+  VFPGA_EXPECTS(q < queue_state_.size());
+  return queue_state_[q];
+}
+
+IQueueEngine& VirtioDeviceFunction::engine(u16 q) {
+  VFPGA_EXPECTS(q < engines_.size());
+  VFPGA_EXPECTS(engines_[q] != nullptr);
+  return *engines_[q];
+}
+
+// ---- MMIO dispatch -----------------------------------------------------------
+
+u64 VirtioDeviceFunction::bar_read(u32 bar, BarOffset offset, u32 size,
+                                   sim::SimTime at) {
+  VFPGA_EXPECTS(bar == 0);
+  (void)at;
+  if (offset >= kCommonCfgOffset &&
+      offset < kCommonCfgOffset + virtio::commoncfg::kSize) {
+    return common_read(offset - kCommonCfgOffset, size);
+  }
+  if (offset == kIsrOffset) {
+    const u8 isr = isr_status_;
+    isr_status_ = 0;  // read-to-clear (§4.1.4.5)
+    return isr;
+  }
+  if (offset >= kDeviceCfgOffset &&
+      offset < kDeviceCfgOffset + user_logic_->device_config_size()) {
+    u64 value = 0;
+    for (u32 i = 0; i < size; ++i) {
+      value |= static_cast<u64>(user_logic_->device_config_read(
+                   static_cast<u32>(offset - kDeviceCfgOffset) + i))
+               << (8 * i);
+    }
+    return value;
+  }
+  if (offset >= kMsixTableOffset && offset < kMsixPbaOffset) {
+    VFPGA_EXPECTS(size == 4);
+    return msix_->aperture_read(offset - kMsixTableOffset);
+  }
+  return 0;
+}
+
+void VirtioDeviceFunction::bar_write(u32 bar, BarOffset offset, u64 value,
+                                     u32 size, sim::SimTime at) {
+  VFPGA_EXPECTS(bar == 0);
+  if (offset >= kCommonCfgOffset &&
+      offset < kCommonCfgOffset + virtio::commoncfg::kSize) {
+    common_write(offset - kCommonCfgOffset, value, size, at);
+    return;
+  }
+  if (offset >= kDeviceCfgOffset &&
+      offset < kDeviceCfgOffset + user_logic_->device_config_size()) {
+    for (u32 i = 0; i < size; ++i) {
+      user_logic_->device_config_write(
+          static_cast<u32>(offset - kDeviceCfgOffset) + i,
+          static_cast<u8>(value >> (8 * i)));
+    }
+    return;
+  }
+  if (offset >= kNotifyOffset &&
+      offset <
+          kNotifyOffset + kNotifyOffMultiplier * user_logic_->queue_count()) {
+    const u16 queue =
+        static_cast<u16>((offset - kNotifyOffset) / kNotifyOffMultiplier);
+    process_notify(queue, at);
+    return;
+  }
+  if (offset >= kMsixTableOffset && offset < kMsixPbaOffset) {
+    VFPGA_EXPECTS(size == 4);
+    msix_->aperture_write(offset - kMsixTableOffset, static_cast<u32>(value),
+                          at, *port_);
+    return;
+  }
+}
+
+// ---- common configuration ------------------------------------------------------
+
+u64 VirtioDeviceFunction::common_read(BarOffset offset, u32 size) {
+  switch (offset) {
+    case kDeviceFeatureSelect:
+      return device_feature_select_;
+    case kDeviceFeature:
+      return offered_.window(device_feature_select_);
+    case kDriverFeatureSelect:
+      return driver_feature_select_;
+    case kDriverFeature:
+      return driver_features_.window(driver_feature_select_);
+    case kMsixConfig:
+      return msix_config_vector_;
+    case kNumQueues:
+      return user_logic_->queue_count();
+    case kDeviceStatus:
+      return status_.status();
+    case kConfigGeneration:
+      return config_generation_;
+    case kQueueSelect:
+      return queue_select_;
+    case kQueueSize:
+      return queue_state_[queue_select_].size;
+    case kQueueMsixVector:
+      return queue_state_[queue_select_].msix_vector;
+    case kQueueEnable:
+      return queue_state_[queue_select_].enabled ? 1 : 0;
+    case kQueueNotifyOff:
+      return queue_select_;  // notify offset == queue index
+    case kQueueDesc:
+      return size == 8 ? queue_state_[queue_select_].rings.desc
+                       : queue_state_[queue_select_].rings.desc & 0xffffffffu;
+    case kQueueDesc + 4:
+      return queue_state_[queue_select_].rings.desc >> 32;
+    case kQueueDriver:
+      return size == 8 ? queue_state_[queue_select_].rings.avail
+                       : queue_state_[queue_select_].rings.avail & 0xffffffffu;
+    case kQueueDriver + 4:
+      return queue_state_[queue_select_].rings.avail >> 32;
+    case kQueueDevice:
+      return size == 8 ? queue_state_[queue_select_].rings.used
+                       : queue_state_[queue_select_].rings.used & 0xffffffffu;
+    case kQueueDevice + 4:
+      return queue_state_[queue_select_].rings.used >> 32;
+    default:
+      return 0;
+  }
+}
+
+void VirtioDeviceFunction::common_write(BarOffset offset, u64 value, u32 size,
+                                        sim::SimTime at) {
+  const auto set_lo = [](u64& field, u64 v) {
+    field = (field & ~0xffffffffull) | (v & 0xffffffffull);
+  };
+  const auto set_hi = [](u64& field, u64 v) {
+    field = (field & 0xffffffffull) | (v << 32);
+  };
+  QueueState& q = queue_state_[queue_select_];
+  switch (offset) {
+    case kDeviceFeatureSelect:
+      device_feature_select_ = static_cast<u32>(value);
+      break;
+    case kDriverFeatureSelect:
+      driver_feature_select_ = static_cast<u32>(value);
+      break;
+    case kDriverFeature:
+      driver_features_.set_window(driver_feature_select_,
+                                  static_cast<u32>(value));
+      break;
+    case kMsixConfig:
+      msix_config_vector_ = static_cast<u16>(value);
+      break;
+    case kDeviceStatus: {
+      if (value == 0) {
+        device_reset();
+        break;
+      }
+      const bool was_live = status_.live();
+      status_.driver_writes_status(static_cast<u8>(value), offered_,
+                                   driver_features_);
+      if (!was_live && status_.live()) {
+        on_driver_ok(at);
+      }
+      break;
+    }
+    case kQueueSelect:
+      VFPGA_EXPECTS(value < queue_state_.size());
+      queue_select_ = static_cast<u16>(value);
+      break;
+    case kQueueSize:
+      VFPGA_EXPECTS(value != 0 && value <= config_.max_queue_size);
+      q.size = static_cast<u16>(value);
+      break;
+    case kQueueMsixVector:
+      q.msix_vector = static_cast<u16>(value);
+      break;
+    case kQueueEnable:
+      if (value == 1 && !q.enabled) {
+        q.enabled = true;
+        // Latch the rings: from here on a single doorbell suffices to
+        // start a transfer (§IV-A). The negotiated ring format selects
+        // the queue FSM flavour.
+        const virtio::FeatureSet negotiated =
+            offered_.intersect(driver_features_);
+        if (negotiated.has(virtio::feature::kRingPacked)) {
+          virtio::PackedVirtqueueDevice vq{*port_};
+          vq.configure(q.rings, q.size, negotiated);
+          // Kick suppression is flags-only: leave notifications enabled.
+          vq.write_device_event_flags(virtio::packed::event::kEnable,
+                                      at);
+          engines_[queue_select_] = std::make_unique<PackedQueueEngine>(
+              std::move(vq), config_.timing, config_.policy);
+        } else {
+          virtio::VirtqueueDevice vq{*port_};
+          vq.configure(q.rings, q.size, negotiated);
+          engines_[queue_select_] = std::make_unique<QueueEngine>(
+              std::move(vq), config_.timing, config_.policy);
+        }
+        credits_[queue_select_] = 0;
+      }
+      break;
+    case kQueueDesc:
+      if (size == 8) {
+        q.rings.desc = value;
+      } else {
+        set_lo(q.rings.desc, value);
+      }
+      break;
+    case kQueueDesc + 4:
+      set_hi(q.rings.desc, value);
+      break;
+    case kQueueDriver:
+      if (size == 8) {
+        q.rings.avail = value;
+      } else {
+        set_lo(q.rings.avail, value);
+      }
+      break;
+    case kQueueDriver + 4:
+      set_hi(q.rings.avail, value);
+      break;
+    case kQueueDevice:
+      if (size == 8) {
+        q.rings.used = value;
+      } else {
+        set_lo(q.rings.used, value);
+      }
+      break;
+    case kQueueDevice + 4:
+      set_hi(q.rings.used, value);
+      break;
+    default:
+      break;
+  }
+}
+
+void VirtioDeviceFunction::device_reset() {
+  status_.reset();
+  driver_features_ = virtio::FeatureSet{};
+  device_feature_select_ = 0;
+  driver_feature_select_ = 0;
+  queue_select_ = 0;
+  isr_status_ = 0;
+  msix_config_vector_ = virtio::kNoVector;
+  for (auto& qs : queue_state_) {
+    qs = QueueState{};
+    qs.size = config_.max_queue_size;
+  }
+  for (auto& e : engines_) {
+    e.reset();
+  }
+  std::fill(credits_.begin(), credits_.end(), u16{0});
+  std::fill(total_drained_.begin(), total_drained_.end(), u16{0});
+  frames_processed_ = 0;
+  interrupts_suppressed_ = 0;
+  ++config_generation_;
+}
+
+void VirtioDeviceFunction::on_driver_ok(sim::SimTime at) {
+  (void)at;
+  user_logic_->on_driver_ready(offered_.intersect(driver_features_));
+  VFPGA_DEBUG("virtio-ctl",
+              "driver ready, features=" + virtio::describe_net_features(
+                                              offered_.intersect(
+                                                  driver_features_)));
+}
+
+// ---- datapath ---------------------------------------------------------------------
+
+void VirtioDeviceFunction::fire_queue_interrupt(u16 queue, sim::SimTime at) {
+  const u16 vector = queue_state_[queue].msix_vector;
+  if (vector == virtio::kNoVector) {
+    return;
+  }
+  isr_status_ |= virtio::isr::kQueueInterrupt;
+  msix_->fire(vector, at, *port_);
+  counters_.capture("irq_sent", at);
+}
+
+void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
+  VFPGA_EXPECTS(queue < queue_state_.size());
+  if (!status_.live() || !queue_state_[queue].enabled) {
+    return;  // spurious notify before DRIVER_OK: ignore, as hardware would
+  }
+  counters_.capture("notify", at);
+  IQueueEngine& eng = engine(queue);
+  sim::SimTime t =
+      at + config_.timing.clock.cycles(config_.timing.notify_decode_cycles);
+
+  // "The device then accesses the data structures in host memory to
+  // determine how many new buffers were exposed" (§IV-A).
+  auto poll = eng.poll_available(t);
+  t = poll.done;
+  credits_[queue] = poll.value;
+  total_drained_[queue] = static_cast<u16>(total_drained_[queue] +
+                                           credits_[queue]);
+  // Advance the kick-suppression threshold past what we are about to
+  // drain (split EVENT_IDX; no-op for packed flags-only suppression).
+  t = eng.post_drain_update(total_drained_[queue], t);
+
+  while (credits_[queue] > 0) {
+    --credits_[queue];
+    auto fetched = eng.consume_chain(t);
+    t = fetched.done;
+    const FetchedChain& chain = fetched.value;
+
+    // Stage the device-readable payload into BRAM through the DMA
+    // engine (Fig. 2: the engine moves data between host memory and
+    // FPGA memory), then hand it to user logic.
+    Bytes payload;
+    FpgaAddr bram_cursor = 0;
+    for (const virtio::Descriptor& d : chain.descriptors) {
+      if ((d.flags & virtio::descflags::kWrite) != 0) {
+        continue;
+      }
+      t = h2c_->transfer(t, d.addr, bram_cursor, d.len);
+      const std::size_t old = payload.size();
+      payload.resize(old + d.len);
+      bram_.read(bram_cursor, ByteSpan{payload}.subspan(old));
+      bram_cursor += d.len;
+    }
+    ++frames_processed_;
+
+    u32 writable_capacity = 0;
+    for (const virtio::Descriptor& d : chain.descriptors) {
+      if ((d.flags & virtio::descflags::kWrite) != 0) {
+        writable_capacity += d.len;
+      }
+    }
+
+    counters_.capture("ul_start", t);
+    std::optional<UserLogic::Response> response =
+        user_logic_->process(queue, payload, writable_capacity);
+    if (response.has_value()) {
+      const sim::Duration processing =
+          config_.timing.clock.cycles(response->processing_cycles);
+      t += processing;
+      last_response_generation_ = processing;
+    } else {
+      last_response_generation_ = sim::Duration{};
+    }
+    counters_.capture("ul_done", t);
+
+    const bool same_chain_response =
+        response.has_value() && response->target_queue == queue;
+
+    if (same_chain_response) {
+      // Block-device style: write into the writable tail of this chain.
+      Bytes staged = response->payload;
+      u32 written = 0;
+      sim::SimTime issuer = t;
+      std::size_t off = 0;
+      for (const virtio::Descriptor& d : chain.descriptors) {
+        if ((d.flags & virtio::descflags::kWrite) == 0 ||
+            off >= staged.size()) {
+          continue;
+        }
+        const u32 chunk =
+            static_cast<u32>(std::min<std::size_t>(d.len, staged.size() - off));
+        bram_.write(0, ConstByteSpan{staged}.subspan(off, chunk));
+        issuer = c2h_->transfer(issuer, d.addr, 0, chunk);
+        off += chunk;
+        written += chunk;
+      }
+      VFPGA_ASSERT(off == staged.size());
+      t = issuer;
+      const auto completion =
+          eng.complete_chain(chain, written, t, /*refresh_suppression=*/true);
+      t = completion.engine_free;
+      if (completion.interrupt) {
+        fire_queue_interrupt(queue, t);
+      } else {
+        ++interrupts_suppressed_;
+      }
+      t = replenish_credits(eng, queue, t);
+      continue;
+    }
+
+    // The TX-side completion only recycles the buffer; the driver keeps
+    // its interrupt suppressed, so the FSM may use its cached used_event
+    // threshold instead of a fresh DMA read.
+    if (config_.tx_complete_before_response || !response.has_value()) {
+      const auto completion = eng.complete_chain(
+          chain, 0, t, /*refresh_suppression=*/false);
+      t = completion.engine_free;
+      if (completion.interrupt) {
+        fire_queue_interrupt(queue, t);
+      } else {
+        ++interrupts_suppressed_;
+      }
+      if (response.has_value()) {
+        t = deliver_response(*response, chain, queue, t);
+      }
+    } else {
+      t = deliver_response(*response, chain, queue, t);
+      const auto completion = eng.complete_chain(
+          chain, 0, t, /*refresh_suppression=*/false);
+      t = completion.engine_free;
+      if (completion.interrupt) {
+        fire_queue_interrupt(queue, t);
+      } else {
+        ++interrupts_suppressed_;
+      }
+    }
+    t = replenish_credits(eng, queue, t);
+  }
+}
+
+sim::SimTime VirtioDeviceFunction::replenish_credits(IQueueEngine& eng,
+                                                     u16 queue,
+                                                     sim::SimTime t) {
+  // Packed rings cannot report an exact outstanding count: when the
+  // drain estimate runs out, peek again until the ring is empty.
+  if (credits_[queue] == 0 && !eng.poll_is_exact()) {
+    const auto poll = eng.poll_available(t);
+    t = poll.done;
+    credits_[queue] = poll.value;
+    total_drained_[queue] =
+        static_cast<u16>(total_drained_[queue] + poll.value);
+  }
+  return t;
+}
+
+sim::SimTime VirtioDeviceFunction::deliver_response(
+    const UserLogic::Response& response, const FetchedChain& source_chain,
+    u16 source_queue, sim::SimTime t) {
+  (void)source_chain;
+  (void)source_queue;
+  const u16 target = response.target_queue;
+  VFPGA_EXPECTS(target < queue_state_.size());
+  if (!queue_state_[target].enabled) {
+    return t;  // target queue not live: drop, as a NIC drops without buffers
+  }
+  IQueueEngine& eng = engine(target);
+
+  if (credits_[target] == 0 || !config_.policy.trust_cached_credits) {
+    const auto poll = eng.poll_available(t);
+    t = poll.done;
+    credits_[target] = poll.value;
+    if (credits_[target] == 0) {
+      VFPGA_WARN("virtio-ctl", "no RX buffer available: dropping response");
+      return t;
+    }
+  }
+  --credits_[target];
+
+  auto fetched = eng.consume_chain(t);
+  t = fetched.done;
+  const FetchedChain& chain = fetched.value;
+
+  // Stage the response in BRAM, then scatter into the chain's writable
+  // buffers via the C2H engine.
+  bram_.write(0, response.payload);
+  u32 written = 0;
+  std::size_t off = 0;
+  for (const virtio::Descriptor& d : chain.descriptors) {
+    if ((d.flags & virtio::descflags::kWrite) == 0) {
+      continue;
+    }
+    if (off >= response.payload.size()) {
+      break;
+    }
+    const u32 chunk = static_cast<u32>(
+        std::min<std::size_t>(d.len, response.payload.size() - off));
+    t = c2h_->transfer(t, d.addr, off, chunk);
+    off += chunk;
+    written += chunk;
+  }
+  VFPGA_ASSERT(off == response.payload.size());
+
+  const auto completion =
+      eng.complete_chain(chain, written, t, /*refresh_suppression=*/true);
+  t = completion.engine_free;
+  if (completion.interrupt) {
+    fire_queue_interrupt(target, t);
+  } else {
+    ++interrupts_suppressed_;
+  }
+  return t;
+}
+
+// ---- driver-bypass DMA (§III-A) ---------------------------------------------------
+
+sim::SimTime VirtioDeviceFunction::bypass_to_host(sim::SimTime start,
+                                                  HostAddr host_addr,
+                                                  ConstByteSpan data,
+                                                  FpgaAddr card_addr) {
+  VFPGA_EXPECTS(card_addr + data.size() <= bram_.size());
+  bram_.write(card_addr, data);
+  return c2h_->transfer(start, host_addr, card_addr,
+                        static_cast<u32>(data.size()));
+}
+
+sim::SimTime VirtioDeviceFunction::bypass_from_host(sim::SimTime start,
+                                                    HostAddr host_addr,
+                                                    ByteSpan out,
+                                                    FpgaAddr card_addr) {
+  VFPGA_EXPECTS(card_addr + out.size() <= bram_.size());
+  const sim::SimTime done =
+      h2c_->transfer(start, host_addr, card_addr, static_cast<u32>(out.size()));
+  bram_.read(card_addr, out);
+  return done;
+}
+
+}  // namespace vfpga::core

@@ -1,0 +1,40 @@
+// FPGA clock domain.
+//
+// Both test designs run user logic at 125 MHz (8 ns per cycle) — the
+// paper's hardware performance counters therefore have 8 ns resolution.
+// All FPGA-side work in the models is expressed in cycles and converted
+// through this type so no module hard-codes the period.
+#pragma once
+
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::fpga {
+
+class ClockDomain {
+ public:
+  constexpr explicit ClockDomain(u64 frequency_hz) : freq_hz_(frequency_hz) {}
+
+  [[nodiscard]] constexpr u64 frequency_hz() const { return freq_hz_; }
+
+  [[nodiscard]] constexpr sim::Duration period() const {
+    return sim::Duration{static_cast<i64>(1'000'000'000'000ull / freq_hz_)};
+  }
+
+  [[nodiscard]] constexpr sim::Duration cycles(u64 n) const {
+    return period() * static_cast<i64>(n);
+  }
+
+  /// Cycles elapsed in `d`, truncated — how a free-running counter
+  /// samples an interval.
+  [[nodiscard]] constexpr u64 cycles_in(sim::Duration d) const {
+    return static_cast<u64>(d.picos() / period().picos());
+  }
+
+ private:
+  u64 freq_hz_;
+};
+
+/// The 125 MHz user-logic clock of the paper's designs.
+inline constexpr ClockDomain kUserClock{125'000'000};
+
+}  // namespace vfpga::fpga

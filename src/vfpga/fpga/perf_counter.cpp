@@ -1,0 +1,37 @@
+#include "vfpga/fpga/perf_counter.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::fpga {
+
+void PerfCounterBank::capture(const std::string& name, sim::SimTime at) {
+  VFPGA_EXPECTS(at.picos() >= 0);
+  const u64 cycle =
+      static_cast<u64>(at.picos()) / static_cast<u64>(clock_.period().picos());
+  latest_[name] = cycle;
+  history_.push_back(Capture{name, cycle});
+}
+
+std::optional<u64> PerfCounterBank::cycles(const std::string& name) const {
+  const auto it = latest_.find(name);
+  if (it == latest_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+sim::Duration PerfCounterBank::interval(const std::string& from,
+                                        const std::string& to) const {
+  const auto a = cycles(from);
+  const auto b = cycles(to);
+  VFPGA_EXPECTS(a.has_value() && b.has_value());
+  VFPGA_EXPECTS(*b >= *a);
+  return clock_.cycles(*b - *a);
+}
+
+void PerfCounterBank::reset() {
+  latest_.clear();
+  history_.clear();
+}
+
+}  // namespace vfpga::fpga

@@ -1,0 +1,57 @@
+// Hardware performance counters.
+//
+// The paper instruments both FPGA designs with free-running cycle
+// counters that timestamp events (notification received, DMA issued,
+// DMA complete, interrupt sent); intervals between captured timestamps
+// are read out by the host and have the clock's resolution (8 ns at
+// 125 MHz). The model reproduces the quantization: a captured timestamp
+// is the value of a cycle counter, i.e. sim-time truncated to whole
+// cycles, so measured intervals carry the same ±1-cycle error a real
+// counter pair does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vfpga/fpga/clock.hpp"
+
+namespace vfpga::fpga {
+
+class PerfCounterBank {
+ public:
+  explicit PerfCounterBank(ClockDomain clock = kUserClock) : clock_(clock) {}
+
+  /// Capture event `name` at simulation time `at` (quantized to cycles).
+  void capture(const std::string& name, sim::SimTime at);
+
+  /// Cycle count captured for `name` (latest capture wins).
+  [[nodiscard]] std::optional<u64> cycles(const std::string& name) const;
+
+  /// Interval between two captured events, in simulated time, quantized
+  /// to the counter resolution. `from` must have been captured no later
+  /// than `to`.
+  [[nodiscard]] sim::Duration interval(const std::string& from,
+                                       const std::string& to) const;
+
+  /// All captures in capture order (diagnostics / tracing).
+  struct Capture {
+    std::string name;
+    u64 cycle;
+  };
+  [[nodiscard]] const std::vector<Capture>& history() const {
+    return history_;
+  }
+
+  void reset();
+
+  [[nodiscard]] ClockDomain clock() const { return clock_; }
+
+ private:
+  ClockDomain clock_;
+  std::unordered_map<std::string, u64> latest_;
+  std::vector<Capture> history_;
+};
+
+}  // namespace vfpga::fpga

@@ -1,0 +1,31 @@
+#include "vfpga/fpga/stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::fpga {
+
+bool StreamFifo::push(StreamFrame frame) {
+  if (full()) {
+    return false;
+  }
+  frames_.push_back(std::move(frame));
+  high_water_ = std::max(high_water_, frames_.size());
+  return true;
+}
+
+StreamFrame StreamFifo::pop() {
+  VFPGA_EXPECTS(!frames_.empty());
+  StreamFrame frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+const StreamFrame& StreamFifo::front() const {
+  VFPGA_EXPECTS(!frames_.empty());
+  return frames_.front();
+}
+
+}  // namespace vfpga::fpga

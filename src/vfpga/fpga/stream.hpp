@@ -1,0 +1,53 @@
+// AXI-Stream-style frame FIFO.
+//
+// The VirtIO controller hands received frames to user logic (and accepts
+// responses) over interfaces "that follow the same semantics as a
+// virtqueue" (§III-A) — at transaction level this is a bounded FIFO of
+// framed byte payloads with backpressure. Depth is in frames, matching
+// a BRAM-backed packet FIFO; a full FIFO rejects pushes, which the
+// producer must handle exactly like TREADY deassertion.
+#pragma once
+
+#include <deque>
+
+#include "vfpga/common/types.hpp"
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::fpga {
+
+struct StreamFrame {
+  Bytes payload;
+  sim::SimTime enqueued_at{};
+  /// Side-band metadata (TUSER): e.g. virtqueue index the frame came from.
+  u32 user = 0;
+};
+
+class StreamFifo {
+ public:
+  explicit StreamFifo(std::size_t depth_frames) : depth_(depth_frames) {}
+
+  [[nodiscard]] bool full() const { return frames_.size() >= depth_; }
+  [[nodiscard]] bool empty() const { return frames_.empty(); }
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+  /// Push a frame; returns false (frame dropped by caller's choice) when
+  /// the FIFO is full — the caller models backpressure/stall.
+  [[nodiscard]] bool push(StreamFrame frame);
+
+  /// Pop the oldest frame; FIFO must not be empty.
+  StreamFrame pop();
+
+  /// Peek without consuming; FIFO must not be empty.
+  [[nodiscard]] const StreamFrame& front() const;
+
+  /// High-water mark observed since construction (sizing diagnostics).
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::deque<StreamFrame> frames_;
+  std::size_t depth_;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace vfpga::fpga

@@ -1,0 +1,19 @@
+// Render a performance-counter capture history as a human-readable
+// timeline — the debugging view a hardware engineer gets from an ILA
+// (integrated logic analyzer) trigger dump, reconstructed from the
+// counter bank the paper's designs embed.
+#pragma once
+
+#include <string>
+
+#include "vfpga/fpga/perf_counter.hpp"
+
+namespace vfpga::fpga {
+
+/// Render the most recent `max_events` captures (all when 0) as one row
+/// per event: cycle count, time since the window's first event, delta to
+/// the previous event, and the event name.
+[[nodiscard]] std::string render_timeline(const PerfCounterBank& counters,
+                                          std::size_t max_events = 0);
+
+}  // namespace vfpga::fpga

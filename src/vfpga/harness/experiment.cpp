@@ -1,0 +1,24 @@
+#include "vfpga/harness/experiment.hpp"
+
+#include <cstdlib>
+
+namespace vfpga::harness {
+
+ExperimentConfig ExperimentConfig::from_env() {
+  ExperimentConfig config;
+  if (const char* iters = std::getenv("VFPGA_ITERATIONS")) {
+    const long long v = std::atoll(iters);
+    if (v > 0) {
+      config.iterations = static_cast<u64>(v);
+    }
+  }
+  if (const char* seed = std::getenv("VFPGA_SEED")) {
+    const long long v = std::atoll(seed);
+    if (v > 0) {
+      config.seed = static_cast<u64>(v);
+    }
+  }
+  return config;
+}
+
+}  // namespace vfpga::harness

@@ -1,0 +1,93 @@
+#include "vfpga/harness/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "vfpga/sim/rng.hpp"
+
+namespace vfpga::harness {
+
+unsigned worker_threads(std::size_t cells) {
+  unsigned threads = std::thread::hardware_concurrency();
+  if (threads == 0) {
+    threads = 4;
+  }
+  if (const char* env = std::getenv("VFPGA_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 0) {
+      threads = static_cast<unsigned>(v);
+    }
+  }
+  if (cells > 0 && threads > cells) {
+    threads = static_cast<unsigned>(cells);
+  }
+  return threads;
+}
+
+void run_parallel(std::vector<std::function<void()>> tasks,
+                  unsigned threads) {
+  if (threads <= 1 || tasks.size() <= 1) {
+    for (auto& task : tasks) {
+      task();
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::jthread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t index = next.fetch_add(1);
+        if (index >= tasks.size()) {
+          return;
+        }
+        tasks[index]();
+      }
+    });
+  }
+}
+
+std::pair<SweepResult, SweepResult> run_both_sweeps_parallel(
+    const ExperimentConfig& config) {
+  SweepResult virtio;
+  virtio.driver_name = "VirtIO";
+  virtio.cells.resize(config.payloads.size());
+  SweepResult xdma;
+  xdma.driver_name = "XDMA";
+  xdma.cells.resize(config.payloads.size());
+
+  // Derive cell seeds exactly as the sequential runners do, so parallel
+  // and sequential execution produce identical numbers.
+  std::vector<u64> virtio_seeds;
+  {
+    sim::SplitMix64 seeder{config.seed};
+    for (std::size_t i = 0; i < config.payloads.size(); ++i) {
+      virtio_seeds.push_back(seeder.next());
+    }
+  }
+  std::vector<u64> xdma_seeds;
+  {
+    sim::SplitMix64 seeder{config.seed ^ 0xdadau};
+    for (std::size_t i = 0; i < config.payloads.size(); ++i) {
+      xdma_seeds.push_back(seeder.next());
+    }
+  }
+
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < config.payloads.size(); ++i) {
+    tasks.emplace_back([&, i] {
+      virtio.cells[i] =
+          run_virtio_cell(config, config.payloads[i], virtio_seeds[i]);
+    });
+    tasks.emplace_back([&, i] {
+      xdma.cells[i] = run_xdma_cell(config, config.payloads[i], xdma_seeds[i]);
+    });
+  }
+  run_parallel(std::move(tasks), worker_threads(tasks.size()));
+  return {std::move(virtio), std::move(xdma)};
+}
+
+}  // namespace vfpga::harness

@@ -1,0 +1,30 @@
+// Parallel sweep driver.
+//
+// Each (driver, payload) cell is an independent simulation with its own
+// testbed and seeded RNG stream, so cells run on a thread pool with
+// bit-identical results regardless of scheduling — "same seed, same
+// tables" holds at any thread count (set VFPGA_THREADS=1 to verify).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "vfpga/harness/virtio_bench.hpp"
+#include "vfpga/harness/xdma_bench.hpp"
+
+namespace vfpga::harness {
+
+/// Number of worker threads to use (VFPGA_THREADS override, default:
+/// hardware_concurrency capped at the cell count).
+unsigned worker_threads(std::size_t cells);
+
+/// Run `tasks` on up to `threads` workers; task order in the result is
+/// preserved.
+void run_parallel(std::vector<std::function<void()>> tasks,
+                  unsigned threads);
+
+/// Run both driver sweeps with all cells in parallel.
+std::pair<SweepResult, SweepResult> run_both_sweeps_parallel(
+    const ExperimentConfig& config);
+
+}  // namespace vfpga::harness

@@ -1,0 +1,154 @@
+#include "vfpga/harness/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/stats/histogram.hpp"
+
+namespace vfpga::harness {
+namespace {
+
+std::string line(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::string line(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return std::string{buf} + "\n";
+}
+
+}  // namespace
+
+std::string render_fig3(const SweepResult& virtio, const SweepResult& xdma,
+                        bool with_histograms) {
+  VFPGA_EXPECTS(virtio.cells.size() == xdma.cells.size());
+  std::string out;
+  out += line("Fig. 3 -- Round-trip latency with VirtIO and vendor-provided "
+              "device drivers (us)");
+  out += line("%-8s %-7s %8s %8s %8s %8s %8s %8s", "payload", "driver",
+              "mean", "stddev", "min", "median", "p95", "max");
+  for (std::size_t i = 0; i < virtio.cells.size(); ++i) {
+    for (const CellResult* cell : {&virtio.cells[i], &xdma.cells[i]}) {
+      const bool is_virtio = cell == &virtio.cells[i];
+      const auto s = stats::LatencySummary::from(cell->total_us);
+      out += line("%-8llu %-7s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f",
+                  static_cast<unsigned long long>(cell->payload),
+                  is_virtio ? "VirtIO" : "XDMA", s.mean_us, s.stddev_us,
+                  s.min_us, s.median_us, s.p95_us, s.max_us);
+    }
+  }
+  if (with_histograms) {
+    for (std::size_t i = 0; i < virtio.cells.size(); ++i) {
+      out += line("\n  payload %llu B -- latency distribution (us)",
+                  static_cast<unsigned long long>(virtio.cells[i].payload));
+      for (const CellResult* cell : {&virtio.cells[i], &xdma.cells[i]}) {
+        const bool is_virtio = cell == &virtio.cells[i];
+        out += line("  %s:", is_virtio ? "VirtIO" : "XDMA");
+        stats::Histogram hist{0.0, 120.0, 5.0};
+        hist.add_all(cell->total_us);
+        out += hist.render(44);
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_breakdown_figure(const SweepResult& sweep,
+                                    const std::string& title) {
+  std::string out;
+  out += title + "\n";
+  out += line("%-8s %12s %12s %12s %12s %10s", "payload", "hw mean",
+              "hw stddev", "sw mean", "sw stddev", "total");
+  for (const CellResult& cell : sweep.cells) {
+    out += line("%-8llu %12.2f %12.2f %12.2f %12.2f %10.2f",
+                static_cast<unsigned long long>(cell.payload),
+                cell.hardware_us.mean(), cell.hardware_us.stddev(),
+                cell.software_us.mean(), cell.software_us.stddev(),
+                cell.total_us.mean());
+  }
+  return out;
+}
+
+std::string render_table1(const SweepResult& virtio, const SweepResult& xdma) {
+  VFPGA_EXPECTS(virtio.cells.size() == xdma.cells.size());
+  std::string out;
+  out += line("Table I -- Tail latencies for data movement with VirtIO and "
+              "XDMA (us)");
+  out += line("%-8s | %8s %8s | %8s %8s | %8s %8s", "Payload", "95%V",
+              "95%X", "99%V", "99%X", "99.9%V", "99.9%X");
+  for (std::size_t i = 0; i < virtio.cells.size(); ++i) {
+    const auto& v = virtio.cells[i];
+    const auto& x = xdma.cells[i];
+    out += line("%-8llu | %8.1f %8.1f | %8.1f %8.1f | %8.1f %8.1f",
+                static_cast<unsigned long long>(v.payload),
+                v.total_us.percentile(95), x.total_us.percentile(95),
+                v.total_us.percentile(99), x.total_us.percentile(99),
+                v.total_us.percentile(99.9), x.total_us.percentile(99.9));
+  }
+  return out;
+}
+
+std::string render_footer(const ExperimentConfig& config,
+                          const SweepResult& virtio, const SweepResult& xdma) {
+  u64 failures = 0;
+  u64 samples = 0;
+  for (const auto* sweep : {&virtio, &xdma}) {
+    for (const CellResult& cell : sweep->cells) {
+      failures += cell.failures;
+      samples += cell.total_us.count();
+    }
+  }
+  return line("[%llu samples total, %llu packets/point, seed %llu, "
+              "%llu verification failures]",
+              static_cast<unsigned long long>(samples),
+              static_cast<unsigned long long>(config.iterations),
+              static_cast<unsigned long long>(config.seed),
+              static_cast<unsigned long long>(failures));
+}
+
+bool write_sweep_csv(const SweepResult& virtio, const SweepResult& xdma,
+                     const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  std::fputs(
+      "driver,payload_bytes,samples,mean_us,stddev_us,min_us,median_us,"
+      "p95_us,p99_us,p999_us,max_us,hw_mean_us,sw_mean_us\n",
+      file);
+  for (const auto* sweep : {&virtio, &xdma}) {
+    for (const CellResult& cell : sweep->cells) {
+      const auto s = stats::LatencySummary::from(cell.total_us);
+      std::fprintf(file,
+                   "%s,%llu,%zu,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,"
+                   "%.3f,%.3f\n",
+                   sweep->driver_name.c_str(),
+                   static_cast<unsigned long long>(cell.payload),
+                   cell.total_us.count(), s.mean_us, s.stddev_us, s.min_us,
+                   s.median_us, s.p95_us, s.p99_us, s.p999_us, s.max_us,
+                   cell.hardware_us.mean(), cell.software_us.mean());
+    }
+  }
+  std::fclose(file);
+  return true;
+}
+
+std::string maybe_export_csv(const SweepResult& virtio,
+                             const SweepResult& xdma,
+                             const std::string& name) {
+  const char* dir = std::getenv("VFPGA_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return {};
+  }
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  if (!write_sweep_csv(virtio, xdma, path)) {
+    return {};
+  }
+  return path;
+}
+
+}  // namespace vfpga::harness

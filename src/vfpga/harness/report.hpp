@@ -1,0 +1,39 @@
+// Paper-style table/figure renderers for the reproduction benches.
+#pragma once
+
+#include <string>
+
+#include "vfpga/harness/experiment.hpp"
+
+namespace vfpga::harness {
+
+/// Fig. 3: round-trip latency distribution summary per payload for both
+/// drivers (whisker stats + optional ASCII histograms).
+std::string render_fig3(const SweepResult& virtio, const SweepResult& xdma,
+                        bool with_histograms);
+
+/// Fig. 4 / Fig. 5: the hardware-vs-software latency breakdown for one
+/// driver (mean with standard-deviation "error bars").
+std::string render_breakdown_figure(const SweepResult& sweep,
+                                    const std::string& title);
+
+/// Table I: tail latencies at 95 / 99 / 99.9 percentiles.
+std::string render_table1(const SweepResult& virtio, const SweepResult& xdma);
+
+/// One-line sanity footer: iteration counts, failures, checks.
+std::string render_footer(const ExperimentConfig& config,
+                          const SweepResult& virtio, const SweepResult& xdma);
+
+/// Machine-readable export for replotting: one CSV row per
+/// (driver, payload) cell with the full summary statistics plus the
+/// hardware/software breakdown means. Returns false on I/O failure.
+bool write_sweep_csv(const SweepResult& virtio, const SweepResult& xdma,
+                     const std::string& path);
+
+/// When the VFPGA_CSV_DIR environment variable is set, write the sweep
+/// CSV into that directory as `<name>.csv` and return the path.
+std::string maybe_export_csv(const SweepResult& virtio,
+                             const SweepResult& xdma,
+                             const std::string& name);
+
+}  // namespace vfpga::harness

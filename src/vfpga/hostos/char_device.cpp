@@ -1,0 +1,25 @@
+#include "vfpga/hostos/char_device.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::hostos {
+
+i64 XdmaDeviceFile::write(HostThread& thread, ConstByteSpan data,
+                          FpgaAddr card_addr) {
+  VFPGA_EXPECTS(direction_ == Direction::HostToCard);
+  thread.exec(thread.costs().syscall_entry);
+  const bool ok = driver_->h2c_transfer(thread, data, card_addr);
+  thread.exec(thread.costs().syscall_exit);
+  return ok ? static_cast<i64>(data.size()) : -1;
+}
+
+i64 XdmaDeviceFile::read(HostThread& thread, ByteSpan out,
+                         FpgaAddr card_addr) {
+  VFPGA_EXPECTS(direction_ == Direction::CardToHost);
+  thread.exec(thread.costs().syscall_entry);
+  const bool ok = driver_->c2h_transfer(thread, out, card_addr);
+  thread.exec(thread.costs().syscall_exit);
+  return ok ? static_cast<i64>(out.size()) : -1;
+}
+
+}  // namespace vfpga::hostos

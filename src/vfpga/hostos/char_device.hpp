@@ -1,0 +1,34 @@
+// Character-device file layer.
+//
+// The VFS-level view the XDMA test application uses: the reference
+// driver exposes /dev/xdma0_h2c_0 and /dev/xdma0_c2h_0, and "at the most
+// basic level, a user application can use the I/O system calls read()
+// and write() to move data between a buffer in the host memory and FPGA
+// memory" (§IV-A). XdmaDeviceFile charges the syscall boundary and
+// forwards into the driver model.
+#pragma once
+
+#include "vfpga/xdma/host_driver.hpp"
+
+namespace vfpga::hostos {
+
+class XdmaDeviceFile {
+ public:
+  enum class Direction { HostToCard, CardToHost };
+
+  XdmaDeviceFile(xdma::XdmaHostDriver& driver, Direction direction)
+      : driver_(&driver), direction_(direction) {}
+
+  /// write(2) on /dev/xdma0_h2c_0: move `data` to card memory at
+  /// `card_addr`. Returns bytes written or -1.
+  i64 write(HostThread& thread, ConstByteSpan data, FpgaAddr card_addr = 0);
+
+  /// read(2) on /dev/xdma0_c2h_0: fill `out` from card memory.
+  i64 read(HostThread& thread, ByteSpan out, FpgaAddr card_addr = 0);
+
+ private:
+  xdma::XdmaHostDriver* driver_;
+  Direction direction_;
+};
+
+}  // namespace vfpga::hostos

@@ -1,0 +1,97 @@
+// Host software cost model and the simulated host thread.
+//
+// Every kernel/userspace code segment the two driver stacks execute is a
+// calibrated JitteredSegment (median + lognormal jitter); scheduler
+// wake-ups are a MixtureSegment (fast path / shallow / deep C-state
+// exit — the dominant multi-modality of real wake-up latency). The
+// HostThread advances a timeline through these segments, accumulating
+// "software residency" that the NoiseModel uses to inject preemption
+// interference (see vfpga/sim/noise.hpp for why this reproduces the
+// paper's variance structure).
+//
+// Defaults are calibrated against the paper's testbed class (Fedora,
+// desktop-class CPU, no isolation/pinning): absolute values are
+// model inputs, not measurements — EXPERIMENTS.md discusses the match.
+#pragma once
+
+#include "vfpga/sim/distributions.hpp"
+#include "vfpga/sim/noise.hpp"
+#include "vfpga/sim/rng.hpp"
+
+namespace vfpga::hostos {
+
+struct CostModelConfig {
+  // ---- generic kernel entry/exit ----
+  sim::JitteredSegment syscall_entry;   ///< user->kernel crossing
+  sim::JitteredSegment syscall_exit;    ///< kernel->user return
+  sim::MixtureSegment wakeup;           ///< blocked task woken (C-states!)
+  sim::JitteredSegment irq_entry;       ///< hard-IRQ entry + dispatch
+
+  // ---- network stack (VirtIO path) ----
+  sim::JitteredSegment udp_tx_stack;    ///< sendto: skb, UDP/IP build, route
+  sim::JitteredSegment udp_rx_stack;    ///< IP/UDP receive, socket queue
+  sim::JitteredSegment virtio_xmit;     ///< virtio-net xmit: hdr+chain+publish
+  sim::JitteredSegment virtio_rx_napi;  ///< NAPI poll: harvest used, skb
+  sim::JitteredSegment virtio_rx_refill;///< repost RX buffers
+  sim::JitteredSegment socket_recv;     ///< recvfrom dequeue + copyout
+
+  // ---- vendor driver (XDMA path) ----
+  sim::JitteredSegment xdma_submit;     ///< pin pages, SG map, build descs
+  sim::JitteredSegment xdma_isr_body;   ///< ISR bookkeeping (sans MMIO read)
+  sim::JitteredSegment xdma_teardown;   ///< unmap/unpin on completion
+
+  // ---- test application ----
+  sim::JitteredSegment app_iteration;   ///< loop bookkeeping + clock_gettime
+
+  /// Per-KiB copy cost (copy_{from,to}_user) in nanoseconds.
+  double copy_ns_per_kib = 40.0;
+
+  /// Defaults representative of the paper's Fedora 37 desktop host.
+  static CostModelConfig fedora_defaults();
+};
+
+/// The simulated application/kernel thread: a timeline plus software-
+/// residency accounting. One HostThread drives one test program.
+class HostThread {
+ public:
+  HostThread(sim::Xoshiro256& rng, const CostModelConfig& costs,
+             const sim::NoiseModel& noise, sim::SimTime start = {});
+
+  [[nodiscard]] sim::SimTime now() const { return now_; }
+  [[nodiscard]] const CostModelConfig& costs() const { return *costs_; }
+  [[nodiscard]] sim::Xoshiro256& rng() { return *rng_; }
+
+  /// Total time this thread spent executing software (excludes blocked
+  /// waits and MMIO stalls).
+  [[nodiscard]] sim::Duration software_time() const { return software_; }
+  /// Total CPU-stalled MMIO wait time (non-posted register reads).
+  [[nodiscard]] sim::Duration mmio_stall_time() const { return mmio_stall_; }
+
+  /// Execute a software segment: sample its cost, add preemption noise.
+  void exec(const sim::JitteredSegment& segment);
+  void exec(const sim::MixtureSegment& segment);
+  /// Execute a fixed-cost software step (already-sampled or derived).
+  void exec_fixed(sim::Duration d);
+  /// Copy `bytes` across the user/kernel boundary.
+  void copy(u64 bytes);
+
+  /// CPU stalled on a non-posted MMIO read (not software, not blocked).
+  void mmio_stall(sim::Duration d);
+
+  /// Blocked (sleeping) until `t`; no software time accrues. Returns the
+  /// actual resume point (>= now()).
+  sim::SimTime block_until(sim::SimTime t);
+
+  /// Reset the per-iteration accounting (software/mmio accumulators).
+  void reset_accounting();
+
+ private:
+  sim::Xoshiro256* rng_;
+  const CostModelConfig* costs_;
+  const sim::NoiseModel* noise_;
+  sim::SimTime now_;
+  sim::Duration software_{};
+  sim::Duration mmio_stall_{};
+};
+
+}  // namespace vfpga::hostos

@@ -1,0 +1,31 @@
+#include "vfpga/hostos/interrupt.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::hostos {
+
+u32 InterruptController::allocate_vector() {
+  queues_.emplace_back();
+  return static_cast<u32>(queues_.size() - 1);
+}
+
+void InterruptController::deliver(u32 message_data, sim::SimTime at) {
+  VFPGA_EXPECTS(message_data < queues_.size());
+  queues_[message_data].push_back(at);
+  ++delivered_;
+}
+
+bool InterruptController::pending(u32 vector) const {
+  VFPGA_EXPECTS(vector < queues_.size());
+  return !queues_[vector].empty();
+}
+
+sim::SimTime InterruptController::consume(u32 vector) {
+  VFPGA_EXPECTS(vector < queues_.size());
+  VFPGA_EXPECTS(!queues_[vector].empty());
+  const sim::SimTime at = queues_[vector].front();
+  queues_[vector].pop_front();
+  return at;
+}
+
+}  // namespace vfpga::hostos

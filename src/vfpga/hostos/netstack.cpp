@@ -1,0 +1,283 @@
+#include "vfpga/hostos/netstack.hpp"
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/common/endian.hpp"
+#include "vfpga/net/ethernet.hpp"
+#include "vfpga/net/ipv4.hpp"
+
+namespace vfpga::hostos {
+
+KernelNetstack::KernelNetstack(VirtioNetDriver& driver,
+                               InterruptController& irq,
+                               NetstackConfig config)
+    : driver_(&driver), irq_(&irq), config_(config) {}
+
+void KernelNetstack::configure_fpga_route(net::Ipv4Addr fpga_ip,
+                                          net::MacAddr fpga_mac) {
+  routes_.add(net::Route{fpga_ip, 32, config_.virtio_ifindex, std::nullopt});
+  arp_.insert(fpga_ip, fpga_mac, /*permanent=*/true);
+}
+
+bool KernelNetstack::udp_send(HostThread& thread, u16 src_port,
+                              net::Ipv4Addr dst, u16 dst_port,
+                              ConstByteSpan payload) {
+  thread.exec(thread.costs().syscall_entry);
+  thread.copy(payload.size());
+  thread.exec(thread.costs().udp_tx_stack);
+
+  const auto next_hop = routes_.lookup(dst);
+  if (!next_hop.has_value()) {
+    thread.exec(thread.costs().syscall_exit);
+    return false;
+  }
+  const auto neighbour = arp_.lookup(next_hop->address);
+  if (!neighbour.has_value()) {
+    thread.exec(thread.costs().syscall_exit);
+    return false;
+  }
+
+  const Bytes udp = net::build_udp_datagram(net::UdpHeader{src_port, dst_port},
+                                            config_.host_ip, dst, payload);
+  net::Ipv4Header ip;
+  ip.src = config_.host_ip;
+  ip.dst = dst;
+  ip.protocol = net::IpProtocol::Udp;
+  ip.ttl = config_.ip_ttl;
+  ip.identification = next_ip_id_++;
+  Bytes packet = net::build_ipv4_packet(ip, udp);
+
+  const bool offload_csum =
+      driver_->negotiated().has(virtio::feature::net::kCsum);
+  if (offload_csum) {
+    // The stack leaves the L4 checksum for the device: zero the field
+    // (the partial pseudo-header sum is logically there; the device
+    // recomputes in full).
+    store_be16(ByteSpan{packet}, net::Ipv4Header::kSize + 6, 0);
+  }
+
+  const Bytes frame = net::build_ethernet_frame(
+      net::EthernetHeader{*neighbour, driver_->mac(), net::EtherType::Ipv4},
+      packet);
+
+  driver_->xmit_frame(thread, frame, offload_csum,
+                      /*csum_start=*/net::EthernetHeader::kSize +
+                          net::Ipv4Header::kSize,
+                      /*csum_offset=*/6);
+  thread.exec(thread.costs().syscall_exit);
+  return true;
+}
+
+std::optional<net::MacAddr> KernelNetstack::arp_resolve(HostThread& thread,
+                                                        net::Ipv4Addr ip) {
+  if (const auto cached = arp_.lookup(ip)) {
+    return cached;
+  }
+  net::ArpMessage request;
+  request.op = net::ArpOp::Request;
+  request.sender_mac = driver_->mac();
+  request.sender_ip = config_.host_ip;
+  request.target_mac = net::MacAddr{};
+  request.target_ip = ip;
+  const Bytes frame = net::build_ethernet_frame(
+      net::EthernetHeader{net::kBroadcastMac, driver_->mac(),
+                          net::EtherType::Arp},
+      net::build_arp_message(request));
+  thread.exec(thread.costs().udp_tx_stack);  // neigh xmit path
+  driver_->xmit_frame(thread, frame, false);
+
+  if (!irq_->pending(driver_->rx_vector())) {
+    return std::nullopt;  // nobody answered
+  }
+  service_rx_interrupt(thread, irq_->consume(driver_->rx_vector()));
+  return arp_.lookup(ip);
+}
+
+void KernelNetstack::service_rx_interrupt(HostThread& thread,
+                                          sim::SimTime irq_time) {
+  thread.block_until(irq_time);
+  thread.exec(thread.costs().irq_entry);
+  driver_->napi_poll(thread);
+  demux_frames(thread);
+}
+
+void KernelNetstack::demux_frames(HostThread& thread) {
+  while (const auto frame = driver_->pop_rx_frame()) {
+    const auto eth = net::parse_ethernet_frame(*frame);
+    if (!eth.has_value()) {
+      ++frames_dropped_;
+      continue;
+    }
+    if (eth->header.type == net::EtherType::Arp) {
+      const auto arp = net::parse_arp_message(ConstByteSpan{*frame}.subspan(
+          eth->payload_offset, eth->payload_length));
+      if (arp.has_value()) {
+        arp_.observe(*arp, config_.host_ip, driver_->mac());
+        ++frames_demuxed_;
+      } else {
+        ++frames_dropped_;
+      }
+      continue;
+    }
+    thread.exec(thread.costs().udp_rx_stack);
+    const auto ip = net::parse_ipv4_packet(ConstByteSpan{*frame}.subspan(
+        eth->payload_offset, eth->payload_length));
+    if (!ip.has_value() || !ip->checksum_ok ||
+        ip->header.dst != config_.host_ip) {
+      ++frames_dropped_;
+      continue;
+    }
+    if (ip->header.protocol == net::IpProtocol::Icmp) {
+      const auto icmp_span = ConstByteSpan{*frame}.subspan(
+          eth->payload_offset + ip->payload_offset, ip->payload_length);
+      const auto icmp = net::parse_icmp_echo(icmp_span);
+      if (!icmp.has_value() || !icmp->checksum_ok ||
+          icmp->header.type != net::IcmpType::EchoReply) {
+        ++frames_dropped_;
+        continue;
+      }
+      IcmpReply reply;
+      reply.src = ip->header.src;
+      reply.identifier = icmp->header.identifier;
+      reply.sequence = icmp->header.sequence;
+      reply.payload.assign(
+          icmp_span.begin() +
+              static_cast<std::ptrdiff_t>(icmp->payload_offset),
+          icmp_span.begin() + static_cast<std::ptrdiff_t>(
+                                  icmp->payload_offset +
+                                  icmp->payload_length));
+      icmp_replies_.push_back(std::move(reply));
+      ++frames_demuxed_;
+      continue;
+    }
+    if (ip->header.protocol != net::IpProtocol::Udp) {
+      ++frames_dropped_;
+      continue;
+    }
+    const auto ip_payload =
+        ConstByteSpan{*frame}.subspan(eth->payload_offset + ip->payload_offset,
+                                      ip->payload_length);
+    const auto udp =
+        net::parse_udp_datagram(ip_payload, ip->header.src, ip->header.dst);
+    if (!udp.has_value() || !udp->checksum_ok) {
+      ++frames_dropped_;
+      continue;
+    }
+    Datagram dgram;
+    dgram.src = ip->header.src;
+    dgram.src_port = udp->header.src_port;
+    dgram.dst_port = udp->header.dst_port;
+    dgram.payload.assign(
+        ip_payload.begin() + static_cast<std::ptrdiff_t>(udp->payload_offset),
+        ip_payload.begin() +
+            static_cast<std::ptrdiff_t>(udp->payload_offset +
+                                        udp->payload_length));
+    socket_queues_[udp->header.dst_port].push_back(std::move(dgram));
+    ++frames_demuxed_;
+  }
+}
+
+std::optional<KernelNetstack::Datagram> KernelNetstack::udp_receive_blocking(
+    HostThread& thread, u16 local_port) {
+  thread.exec(thread.costs().syscall_entry);
+
+  auto& queue = socket_queues_[local_port];
+  if (queue.empty()) {
+    // Task blocks; the next RX interrupt wakes it. In the transaction-
+    // level flow the device has already computed the delivery time.
+    if (!irq_->pending(driver_->rx_vector())) {
+      thread.exec(thread.costs().syscall_exit);
+      return std::nullopt;  // would block forever: timeout analogue
+    }
+    service_rx_interrupt(thread, irq_->consume(driver_->rx_vector()));
+    thread.exec(thread.costs().wakeup);  // scheduler wakes the receiver
+  }
+  if (queue.empty()) {
+    thread.exec(thread.costs().syscall_exit);
+    return std::nullopt;
+  }
+  Datagram dgram = std::move(queue.front());
+  queue.pop_front();
+  thread.exec(thread.costs().socket_recv);
+  thread.copy(dgram.payload.size());
+  thread.exec(thread.costs().syscall_exit);
+  return dgram;
+}
+
+std::optional<sim::Duration> KernelNetstack::icmp_ping(
+    HostThread& thread, net::Ipv4Addr dst, u16 identifier, u16 sequence,
+    ConstByteSpan payload) {
+  const sim::SimTime start = thread.now();
+  thread.exec(thread.costs().syscall_entry);
+  thread.copy(payload.size());
+  thread.exec(thread.costs().udp_tx_stack);  // raw-socket TX path
+
+  const auto next_hop = routes_.lookup(dst);
+  if (!next_hop.has_value()) {
+    return std::nullopt;
+  }
+  const auto neighbour = arp_.lookup(next_hop->address);
+  if (!neighbour.has_value()) {
+    return std::nullopt;
+  }
+  const Bytes icmp = net::build_icmp_echo(
+      net::IcmpEcho{net::IcmpType::EchoRequest, identifier, sequence},
+      payload);
+  net::Ipv4Header ip;
+  ip.src = config_.host_ip;
+  ip.dst = dst;
+  ip.protocol = net::IpProtocol::Icmp;
+  ip.identification = next_ip_id_++;
+  const Bytes frame = net::build_ethernet_frame(
+      net::EthernetHeader{*neighbour, driver_->mac(), net::EtherType::Ipv4},
+      net::build_ipv4_packet(ip, icmp));
+  driver_->xmit_frame(thread, frame, false);
+
+  // Block for the reply.
+  if (icmp_replies_.empty()) {
+    if (!irq_->pending(driver_->rx_vector())) {
+      thread.exec(thread.costs().syscall_exit);
+      return std::nullopt;
+    }
+    service_rx_interrupt(thread, irq_->consume(driver_->rx_vector()));
+    thread.exec(thread.costs().wakeup);
+  }
+  if (icmp_replies_.empty()) {
+    thread.exec(thread.costs().syscall_exit);
+    return std::nullopt;
+  }
+  const IcmpReply reply = std::move(icmp_replies_.front());
+  icmp_replies_.pop_front();
+  thread.copy(reply.payload.size());
+  thread.exec(thread.costs().syscall_exit);
+
+  const bool matches =
+      reply.src == dst && reply.identifier == identifier &&
+      reply.sequence == sequence &&
+      reply.payload.size() == payload.size() &&
+      std::equal(payload.begin(), payload.end(), reply.payload.begin());
+  if (!matches) {
+    return std::nullopt;
+  }
+  return thread.now() - start;
+}
+
+std::optional<KernelNetstack::Datagram> KernelNetstack::udp_receive_poll(
+    HostThread& thread, u16 local_port) {
+  thread.exec(thread.costs().syscall_entry);
+  while (irq_->pending(driver_->rx_vector())) {
+    service_rx_interrupt(thread, irq_->consume(driver_->rx_vector()));
+  }
+  auto& queue = socket_queues_[local_port];
+  if (queue.empty()) {
+    thread.exec(thread.costs().syscall_exit);
+    return std::nullopt;
+  }
+  Datagram dgram = std::move(queue.front());
+  queue.pop_front();
+  thread.exec(thread.costs().socket_recv);
+  thread.copy(dgram.payload.size());
+  thread.exec(thread.costs().syscall_exit);
+  return dgram;
+}
+
+}  // namespace vfpga::hostos

@@ -1,0 +1,106 @@
+// Kernel UDP/IP network stack model.
+//
+// The glue between the socket API and the virtio-net driver: routing
+// (FIB) and neighbour (ARP) lookups on transmit, frame
+// construction/validation with real checksums, NAPI-driven receive
+// demultiplexing to per-port socket queues, and blocking receive that
+// sleeps on the RX interrupt. The paper's test setup — "entries are
+// added to the operating system's routing table and ARP cache to
+// facilitate routing packets from the test application to the FPGA"
+// (§III-B.1) — is configure_fpga_route().
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "vfpga/hostos/virtio_net_driver.hpp"
+#include "vfpga/net/arp.hpp"
+#include "vfpga/net/icmp.hpp"
+#include "vfpga/net/routing.hpp"
+#include "vfpga/net/udp.hpp"
+
+namespace vfpga::hostos {
+
+struct NetstackConfig {
+  net::Ipv4Addr host_ip = net::Ipv4Addr::from_octets(10, 42, 0, 1);
+  u8 ip_ttl = 64;
+  /// Interface id assigned to the virtio-net device in the FIB.
+  u32 virtio_ifindex = 2;
+};
+
+class KernelNetstack {
+ public:
+  KernelNetstack(VirtioNetDriver& driver, InterruptController& irq,
+                 NetstackConfig config = {});
+
+  [[nodiscard]] net::RoutingTable& routes() { return routes_; }
+  [[nodiscard]] net::ArpCache& arp() { return arp_; }
+  [[nodiscard]] const NetstackConfig& config() const { return config_; }
+
+  /// The paper's static setup: host route to the FPGA through the
+  /// virtio-net interface plus a permanent neighbour entry.
+  void configure_fpga_route(net::Ipv4Addr fpga_ip, net::MacAddr fpga_mac);
+
+  /// Dynamic neighbour resolution: ARP request/reply round trip through
+  /// the device. Returns the resolved MAC.
+  std::optional<net::MacAddr> arp_resolve(HostThread& thread,
+                                          net::Ipv4Addr ip);
+
+  /// sendto(2) semantics: route, resolve, build, transmit. Returns false
+  /// on EHOSTUNREACH (no route / no neighbour).
+  bool udp_send(HostThread& thread, u16 src_port, net::Ipv4Addr dst,
+                u16 dst_port, ConstByteSpan payload);
+
+  struct Datagram {
+    net::Ipv4Addr src{};
+    u16 src_port = 0;
+    u16 dst_port = 0;
+    Bytes payload;
+  };
+
+  /// recvfrom(2) with blocking semantics: sleep until the RX interrupt,
+  /// run the NAPI/IP/UDP receive path, return the datagram for
+  /// `local_port`. Nullopt when no interrupt is (or becomes) pending —
+  /// the sequential-simulation analogue of a receive timeout.
+  std::optional<Datagram> udp_receive_blocking(HostThread& thread,
+                                               u16 local_port);
+
+  /// Non-blocking variant: only drains already-delivered interrupts.
+  std::optional<Datagram> udp_receive_poll(HostThread& thread,
+                                           u16 local_port);
+
+  /// ping(8): send an ICMP echo request and block for the matching
+  /// reply. Returns the application-measured round-trip time, or
+  /// nullopt on timeout/verification failure.
+  std::optional<sim::Duration> icmp_ping(HostThread& thread,
+                                         net::Ipv4Addr dst, u16 identifier,
+                                         u16 sequence, ConstByteSpan payload);
+
+  [[nodiscard]] u64 frames_demuxed() const { return frames_demuxed_; }
+  [[nodiscard]] u64 frames_dropped() const { return frames_dropped_; }
+
+ private:
+  /// Service one RX interrupt: irq entry, NAPI poll, IP/UDP demux.
+  void service_rx_interrupt(HostThread& thread, sim::SimTime irq_time);
+  void demux_frames(HostThread& thread);
+
+  VirtioNetDriver* driver_;
+  InterruptController* irq_;
+  NetstackConfig config_;
+  net::RoutingTable routes_;
+  net::ArpCache arp_;
+  u16 next_ip_id_ = 1;
+  std::map<u16, std::deque<Datagram>> socket_queues_;
+  struct IcmpReply {
+    net::Ipv4Addr src{};
+    u16 identifier = 0;
+    u16 sequence = 0;
+    Bytes payload;
+  };
+  std::deque<IcmpReply> icmp_replies_;
+  u64 frames_demuxed_ = 0;
+  u64 frames_dropped_ = 0;
+};
+
+}  // namespace vfpga::hostos

@@ -1,0 +1,42 @@
+// User-space socket API.
+//
+// The paper's test application "uses the C socket programming API to
+// send packets to the FPGA" (§III-B.1). UdpSocket gives examples and
+// benchmarks the same shape: socket / bind / sendto / recvfrom, with
+// every call charged through the host thread's cost model.
+#pragma once
+
+#include "vfpga/hostos/netstack.hpp"
+
+namespace vfpga::hostos {
+
+class UdpSocket {
+ public:
+  UdpSocket(KernelNetstack& stack, u16 local_port)
+      : stack_(&stack), local_port_(local_port) {}
+
+  [[nodiscard]] u16 local_port() const { return local_port_; }
+
+  /// sendto(2): returns false on EHOSTUNREACH.
+  bool sendto(HostThread& thread, net::Ipv4Addr dst, u16 dst_port,
+              ConstByteSpan payload) {
+    return stack_->udp_send(thread, local_port_, dst, dst_port, payload);
+  }
+
+  /// recvfrom(2), blocking.
+  std::optional<KernelNetstack::Datagram> recvfrom(HostThread& thread) {
+    return stack_->udp_receive_blocking(thread, local_port_);
+  }
+
+  /// recvfrom(2) with MSG_DONTWAIT.
+  std::optional<KernelNetstack::Datagram> recvfrom_nonblock(
+      HostThread& thread) {
+    return stack_->udp_receive_poll(thread, local_port_);
+  }
+
+ private:
+  KernelNetstack* stack_;
+  u16 local_port_;
+};
+
+}  // namespace vfpga::hostos

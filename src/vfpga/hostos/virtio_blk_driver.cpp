@@ -1,0 +1,137 @@
+#include "vfpga/hostos/virtio_blk_driver.hpp"
+
+#include <array>
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::hostos {
+
+using virtio::blk::BlkConfigLayout;
+using virtio::blk::RequestHeader;
+using virtio::blk::RequestType;
+
+bool VirtioBlkDriver::probe(const BindContext& ctx, HostThread& thread) {
+  virtio::FeatureSet wanted;
+  wanted.set(virtio::feature::blk::kBlkSize);
+  wanted.set(virtio::feature::blk::kFlush);
+  if (!transport_.begin_probe(ctx, virtio::DeviceType::Block, wanted,
+                              thread)) {
+    return false;
+  }
+  irq_ = ctx.irq;
+
+  const u32 config_vector = transport_.setup_vector(0, thread);
+  (void)config_vector;
+  transport_.set_config_vector(0, thread);
+  request_vector_ = transport_.setup_vector(1, thread);
+  auto& queue = transport_.setup_queue(virtio::blk::kRequestQueue,
+                                       /*msix_entry=*/1, thread);
+  queue.enable_interrupts();
+  transport_.finish_probe(thread);
+
+  capacity_sectors_ = transport_.device_config_read64(
+      BlkConfigLayout::kCapacityOffset, thread);
+
+  auto& memory = transport_.memory();
+  header_addr_ = memory.allocate(virtio::blk::kRequestHeaderBytes, 16);
+  status_addr_ = memory.allocate(1);
+  bounce_addr_ = memory.allocate(bounce_capacity_, 4096);
+  return true;
+}
+
+std::optional<u8> VirtioBlkDriver::submit(HostThread& thread,
+                                          RequestType type, u64 sector,
+                                          HostAddr data_addr, u32 data_len,
+                                          bool data_device_writable) {
+  VFPGA_EXPECTS(bound());
+  auto& queue = transport_.queue(virtio::blk::kRequestQueue);
+  auto& memory = transport_.memory();
+
+  // Request construction: the block layer's work per bio.
+  thread.exec(thread.costs().xdma_submit);  // pin/SG-map analogue
+
+  RequestHeader header;
+  header.type = type;
+  header.sector = sector;
+  std::array<u8, virtio::blk::kRequestHeaderBytes> raw{};
+  header.encode(raw);
+  memory.write(header_addr_, raw);
+  memory.write_u8(status_addr_, 0xaa);  // poison: device must overwrite
+
+  std::vector<virtio::ChainBuffer> chain;
+  chain.push_back({header_addr_, virtio::blk::kRequestHeaderBytes, false});
+  if (data_len > 0) {
+    chain.push_back({data_addr, data_len, data_device_writable});
+  }
+  chain.push_back({status_addr_, 1, true});
+
+  std::optional<u16> handle;
+  if (use_indirect_ &&
+      transport_.negotiated().has(virtio::feature::kRingIndirectDesc) &&
+      !transport_.using_packed_rings()) {
+    auto& split = static_cast<virtio::VirtqueueDriver&>(queue);
+    handle = split.add_chain_indirect(chain, /*token=*/requests_completed_);
+  } else {
+    handle = queue.add_chain(chain, /*token=*/requests_completed_);
+  }
+  if (!handle.has_value()) {
+    return std::nullopt;  // queue full (cannot happen serialized)
+  }
+  queue.publish();
+  if (queue.should_kick()) {
+    transport_.notify(virtio::blk::kRequestQueue, thread);
+  }
+
+  // Sleep until the completion interrupt, then harvest.
+  if (!irq_->pending(request_vector_)) {
+    return std::nullopt;
+  }
+  thread.block_until(irq_->consume(request_vector_));
+  thread.exec(thread.costs().irq_entry);
+  const auto completion = queue.harvest();
+  VFPGA_ASSERT(completion.has_value());
+  queue.enable_interrupts();
+  thread.exec(thread.costs().wakeup);
+  thread.exec(thread.costs().xdma_teardown);  // unmap/unpin analogue
+  ++requests_completed_;
+  return memory.read_u8(status_addr_);
+}
+
+bool VirtioBlkDriver::read_sectors(HostThread& thread, u64 sector,
+                                   ByteSpan out) {
+  VFPGA_EXPECTS(out.size() % virtio::blk::kSectorBytes == 0);
+  VFPGA_EXPECTS(out.size() <= bounce_capacity_);
+  thread.exec(thread.costs().syscall_entry);
+  const auto status =
+      submit(thread, RequestType::In, sector, bounce_addr_,
+             static_cast<u32>(out.size()), /*data_device_writable=*/true);
+  if (status == virtio::blk::kStatusOk) {
+    transport_.memory().read(bounce_addr_, out);
+  }
+  thread.copy(out.size());
+  thread.exec(thread.costs().syscall_exit);
+  return status == virtio::blk::kStatusOk;
+}
+
+bool VirtioBlkDriver::write_sectors(HostThread& thread, u64 sector,
+                                    ConstByteSpan data) {
+  VFPGA_EXPECTS(data.size() % virtio::blk::kSectorBytes == 0);
+  VFPGA_EXPECTS(data.size() <= bounce_capacity_);
+  thread.exec(thread.costs().syscall_entry);
+  thread.copy(data.size());
+  transport_.memory().write(bounce_addr_, data);
+  const auto status =
+      submit(thread, RequestType::Out, sector, bounce_addr_,
+             static_cast<u32>(data.size()), /*data_device_writable=*/false);
+  thread.exec(thread.costs().syscall_exit);
+  return status == virtio::blk::kStatusOk;
+}
+
+bool VirtioBlkDriver::flush(HostThread& thread) {
+  thread.exec(thread.costs().syscall_entry);
+  const auto status = submit(thread, RequestType::Flush, 0, 0, 0, false);
+  thread.exec(thread.costs().syscall_exit);
+  return status == virtio::blk::kStatusOk;
+}
+
+}  // namespace vfpga::hostos

@@ -1,0 +1,74 @@
+// Host-kernel virtio-blk front-end driver model.
+//
+// Binds to the FPGA's block-device personality and issues §5.2.6
+// requests: [header][data][status] chains on the single request queue,
+// sleeping on the completion interrupt like the kernel's virtio_blk
+// request path. Demonstrates the paper's §IV-B point from the host side:
+// the *same* FPGA controller, bound by a different in-kernel driver,
+// becomes a storage device — no vendor driver written.
+//
+// Chains are three descriptors, so this driver is also the natural user
+// of VIRTIO_F_INDIRECT_DESC: with `use_indirect` the whole request rides
+// one ring slot and the device fetches the table in a single DMA read.
+#pragma once
+
+#include "vfpga/hostos/virtio_transport.hpp"
+#include "vfpga/virtio/blk_defs.hpp"
+
+namespace vfpga::hostos {
+
+class VirtioBlkDriver {
+ public:
+  using BindContext = VirtioPciTransport::BindContext;
+
+  /// Probe + initialize (request queue, MSI-X, capacity from device
+  /// config). Returns false when the device is not a virtio-blk modern
+  /// device or negotiation fails.
+  bool probe(const BindContext& ctx, HostThread& thread);
+
+  [[nodiscard]] bool bound() const { return transport_.bound(); }
+  [[nodiscard]] u64 capacity_sectors() const { return capacity_sectors_; }
+  [[nodiscard]] u32 request_vector() const { return request_vector_; }
+  [[nodiscard]] virtio::FeatureSet negotiated() const {
+    return transport_.negotiated();
+  }
+
+  /// Submit requests through indirect descriptor tables when negotiated
+  /// (split rings only; defaults off to mirror virtio_blk's threshold
+  /// behaviour for short chains).
+  void set_use_indirect(bool enabled) { use_indirect_ = enabled; }
+  [[nodiscard]] bool use_indirect() const { return use_indirect_; }
+
+  /// Blocking sector I/O (512-byte sectors). Sizes must be multiples of
+  /// the sector size. Returns false on device-reported error.
+  bool read_sectors(HostThread& thread, u64 sector, ByteSpan out);
+  bool write_sectors(HostThread& thread, u64 sector, ConstByteSpan data);
+  bool flush(HostThread& thread);
+
+  [[nodiscard]] u64 requests_completed() const {
+    return requests_completed_;
+  }
+
+ private:
+  /// Build/submit one request chain and sleep until its completion.
+  /// `data_len` bytes at `data_addr` are the payload area (device-
+  /// readable for writes, device-writable for reads); returns the
+  /// device's status byte or nullopt on transport failure.
+  std::optional<u8> submit(HostThread& thread, virtio::blk::RequestType type,
+                           u64 sector, HostAddr data_addr, u32 data_len,
+                           bool data_device_writable);
+
+  VirtioPciTransport transport_;
+  InterruptController* irq_ = nullptr;
+  u32 request_vector_ = 0;
+  u64 capacity_sectors_ = 0;
+  bool use_indirect_ = false;
+
+  HostAddr header_addr_ = 0;
+  HostAddr status_addr_ = 0;
+  HostAddr bounce_addr_ = 0;  ///< pinned-page stand-in for request data
+  u32 bounce_capacity_ = 256 * 1024;
+  u64 requests_completed_ = 0;
+};
+
+}  // namespace vfpga::hostos

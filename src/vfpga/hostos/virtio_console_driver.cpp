@@ -1,0 +1,120 @@
+#include "vfpga/hostos/virtio_console_driver.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::hostos {
+
+using virtio::console::ConsoleConfigLayout;
+
+bool VirtioConsoleDriver::probe(const BindContext& ctx, HostThread& thread) {
+  virtio::FeatureSet wanted;
+  wanted.set(virtio::feature::console::kSize);
+  if (!transport_.begin_probe(ctx, virtio::DeviceType::Console, wanted,
+                              thread)) {
+    return false;
+  }
+  irq_ = ctx.irq;
+
+  transport_.setup_vector(0, thread);
+  transport_.set_config_vector(0, thread);
+  rx_vector_ = transport_.setup_vector(1, thread);
+  tx_vector_ = transport_.setup_vector(2, thread);
+
+  auto& rx = transport_.setup_queue(virtio::console::kRxQueue, 1, thread);
+  auto& tx = transport_.setup_queue(virtio::console::kTxQueue, 2, thread);
+
+  auto& memory = transport_.memory();
+  rx_buffers_.resize(rx.size());
+  for (u16 i = 0; i < rx.size(); ++i) {
+    rx_buffers_[i].addr = memory.allocate(buffer_bytes_, 64);
+    rx_buffers_[i].len = buffer_bytes_;
+    const virtio::ChainBuffer buf{rx_buffers_[i].addr, buffer_bytes_, true};
+    VFPGA_ASSERT(rx.add_chain(std::span{&buf, 1}, i).has_value());
+  }
+  rx.publish();
+  tx_buffer_ = memory.allocate(buffer_bytes_, 64);
+
+  transport_.finish_probe(thread);
+  rx.enable_interrupts();
+  tx.disable_interrupts();
+
+  if (transport_.negotiated().has(virtio::feature::console::kSize)) {
+    cols_ = transport_.device_config_read16(ConsoleConfigLayout::kColsOffset,
+                                            thread);
+    rows_ = transport_.device_config_read16(ConsoleConfigLayout::kRowsOffset,
+                                            thread);
+  }
+  return true;
+}
+
+bool VirtioConsoleDriver::write(HostThread& thread, ConstByteSpan data) {
+  VFPGA_EXPECTS(bound());
+  VFPGA_EXPECTS(data.size() <= buffer_bytes_);
+  thread.exec(thread.costs().syscall_entry);
+  thread.copy(data.size());
+  thread.exec(thread.costs().virtio_xmit);
+
+  transport_.memory().write(tx_buffer_, data);
+  auto& tx = transport_.queue(virtio::console::kTxQueue);
+  const virtio::ChainBuffer buf{tx_buffer_, static_cast<u32>(data.size()),
+                                false};
+  if (!tx.add_chain(std::span{&buf, 1}, 0).has_value()) {
+    thread.exec(thread.costs().syscall_exit);
+    return false;
+  }
+  tx.publish();
+  if (tx.should_kick()) {
+    transport_.notify(virtio::console::kTxQueue, thread);
+  }
+  // Recycle the TX slot immediately (the device consumed it during the
+  // notify; completions are suppressed).
+  while (tx.harvest().has_value()) {
+  }
+  bytes_written_ += data.size();
+  thread.exec(thread.costs().syscall_exit);
+  return true;
+}
+
+void VirtioConsoleDriver::service_rx(HostThread& thread,
+                                     sim::SimTime irq_time) {
+  thread.block_until(irq_time);
+  thread.exec(thread.costs().irq_entry);
+  thread.exec(thread.costs().virtio_rx_napi);
+  auto& rx = transport_.queue(virtio::console::kRxQueue);
+  auto& memory = transport_.memory();
+  while (const auto completion = rx.harvest()) {
+    const RxBuffer& buf = rx_buffers_[completion->token];
+    const Bytes data = memory.read_bytes(buf.addr, completion->written);
+    rx_bytes_.insert(rx_bytes_.end(), data.begin(), data.end());
+    const virtio::ChainBuffer chain{buf.addr, buf.len, true};
+    VFPGA_ASSERT(rx.add_chain(std::span{&chain, 1}, completion->token)
+                     .has_value());
+  }
+  rx.publish();
+  rx.enable_interrupts();
+  thread.exec(thread.costs().wakeup);
+}
+
+std::optional<u64> VirtioConsoleDriver::read(HostThread& thread,
+                                             ByteSpan out) {
+  VFPGA_EXPECTS(bound());
+  thread.exec(thread.costs().syscall_entry);
+  if (rx_bytes_.empty()) {
+    if (!irq_->pending(rx_vector_)) {
+      thread.exec(thread.costs().syscall_exit);
+      return std::nullopt;
+    }
+    service_rx(thread, irq_->consume(rx_vector_));
+  }
+  const u64 count = std::min<u64>(out.size(), rx_bytes_.size());
+  for (u64 i = 0; i < count; ++i) {
+    out[i] = rx_bytes_.front();
+    rx_bytes_.pop_front();
+  }
+  bytes_read_ += count;
+  thread.copy(count);
+  thread.exec(thread.costs().syscall_exit);
+  return count;
+}
+
+}  // namespace vfpga::hostos

@@ -1,0 +1,62 @@
+// Host-kernel virtio-console front-end driver model (hvc/virtio_console).
+//
+// The device type of the prior work this system extends ([14]): byte
+// streams over a receiveq/transmitq pair. write() pushes bytes to the
+// FPGA with one doorbell; read() blocks on the receive interrupt — the
+// same single-kick/single-interrupt structure as the net driver, with
+// tty semantics instead of packet semantics.
+#pragma once
+
+#include <deque>
+
+#include "vfpga/hostos/virtio_transport.hpp"
+#include "vfpga/virtio/console_defs.hpp"
+
+namespace vfpga::hostos {
+
+class VirtioConsoleDriver {
+ public:
+  using BindContext = VirtioPciTransport::BindContext;
+
+  bool probe(const BindContext& ctx, HostThread& thread);
+
+  [[nodiscard]] bool bound() const { return transport_.bound(); }
+  [[nodiscard]] u16 cols() const { return cols_; }
+  [[nodiscard]] u16 rows() const { return rows_; }
+  [[nodiscard]] u32 rx_vector() const { return rx_vector_; }
+
+  /// write(2) to the console: one buffer, one doorbell.
+  bool write(HostThread& thread, ConstByteSpan data);
+
+  /// Blocking read: sleep on the receive interrupt, harvest, return up
+  /// to `out.size()` bytes (fewer if the device sent less). Returns the
+  /// byte count, or nullopt when nothing will arrive (timeout analogue).
+  std::optional<u64> read(HostThread& thread, ByteSpan out);
+
+  [[nodiscard]] u64 bytes_written() const { return bytes_written_; }
+  [[nodiscard]] u64 bytes_read() const { return bytes_read_; }
+
+ private:
+  void service_rx(HostThread& thread, sim::SimTime irq_time);
+
+  VirtioPciTransport transport_;
+  InterruptController* irq_ = nullptr;
+  u32 rx_vector_ = 0;
+  u32 tx_vector_ = 0;
+  u16 cols_ = 0;
+  u16 rows_ = 0;
+
+  struct RxBuffer {
+    HostAddr addr = 0;
+    u32 len = 0;
+  };
+  std::vector<RxBuffer> rx_buffers_;
+  HostAddr tx_buffer_ = 0;
+  u32 buffer_bytes_ = 512;
+
+  std::deque<u8> rx_bytes_;
+  u64 bytes_written_ = 0;
+  u64 bytes_read_ = 0;
+};
+
+}  // namespace vfpga::hostos

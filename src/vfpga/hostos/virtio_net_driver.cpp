@@ -1,0 +1,175 @@
+#include "vfpga/hostos/virtio_net_driver.hpp"
+
+#include <array>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/virtio/net_defs.hpp"
+
+namespace vfpga::hostos {
+
+using virtio::net::NetHeader;
+
+bool VirtioNetDriver::probe(const BindContext& ctx, HostThread& thread) {
+  // Device-class features the Linux virtio-net driver would accept.
+  virtio::FeatureSet wanted;
+  wanted.set(virtio::feature::net::kCsum);
+  wanted.set(virtio::feature::net::kGuestCsum);
+  wanted.set(virtio::feature::net::kMac);
+  wanted.set(virtio::feature::net::kMtu);
+  wanted.set(virtio::feature::net::kStatus);
+  if (!transport_.begin_probe(ctx, virtio::DeviceType::Net, wanted, thread)) {
+    return false;
+  }
+
+  // MSI-X: entry 0 = config changes, 1 = RX queue, 2 = TX queue.
+  const u32 config_vec = transport_.setup_vector(0, thread);
+  (void)config_vec;
+  transport_.set_config_vector(0, thread);
+  rx_vector_ = transport_.setup_vector(1, thread);
+  tx_vector_ = transport_.setup_vector(2, thread);
+
+  auto& rx = transport_.setup_queue(virtio::net::kRxQueue, 1, thread);
+  auto& tx = transport_.setup_queue(virtio::net::kTxQueue, 2, thread);
+
+  // Pre-allocate TX buffers, one per ring slot: virtio_net_hdr headroom
+  // immediately followed by the frame area (single-buffer transmission).
+  auto& memory = transport_.memory();
+  tx_buffers_.resize(tx.size());
+  for (u16 i = 0; i < tx.size(); ++i) {
+    const HostAddr base = memory.allocate(NetHeader::kSize + 1526, 64);
+    tx_buffers_[i].hdr_addr = base;
+    tx_buffers_[i].frame_addr = base + NetHeader::kSize;
+    tx_free_.push_back(i);
+  }
+
+  transport_.finish_probe(thread);
+
+  // Device config: MAC + MTU.
+  for (u32 i = 0; i < 6; ++i) {
+    mac_.octets[i] = transport_.device_config_read8(
+        virtio::net::NetConfigLayout::kMacOffset + i, thread);
+  }
+  if (transport_.negotiated().has(virtio::feature::net::kMtu)) {
+    mtu_ = transport_.device_config_read16(
+        virtio::net::NetConfigLayout::kMtuOffset, thread);
+  }
+
+  post_initial_rx_buffers();
+  rx.enable_interrupts();  // interrupt on the first used entry
+  // Suppress TX-completion interrupts; they are harvested by NAPI.
+  tx.disable_interrupts();
+  return true;
+}
+
+void VirtioNetDriver::post_initial_rx_buffers() {
+  auto& rx = transport_.queue(virtio::net::kRxQueue);
+  auto& memory = transport_.memory();
+  const u16 size = rx.size();
+  rx_buffers_.resize(size);
+  for (u16 i = 0; i < size; ++i) {
+    rx_buffers_[i].addr = memory.allocate(rx_buffer_bytes_, 64);
+    rx_buffers_[i].len = rx_buffer_bytes_;
+    const virtio::ChainBuffer buf{rx_buffers_[i].addr, rx_buffer_bytes_,
+                                  /*device_writable=*/true};
+    const auto handle = rx.add_chain(std::span{&buf, 1}, i);
+    VFPGA_ASSERT(handle.has_value());
+  }
+  rx.publish();
+}
+
+bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
+                                 bool needs_csum, u16 csum_start,
+                                 u16 csum_offset) {
+  VFPGA_EXPECTS(bound());
+  VFPGA_EXPECTS(frame.size() <= 1526);
+  thread.exec(thread.costs().virtio_xmit);
+
+  auto& tx = transport_.queue(virtio::net::kTxQueue);
+  if (tx_free_.empty()) {
+    // Ring full: free completed skbs inline, as virtio-net's start_xmit
+    // does before netif_stop_queue.
+    while (const auto completion = tx.harvest()) {
+      tx_free_.push_back(static_cast<u32>(completion->token));
+    }
+  }
+  VFPGA_ASSERT(!tx_free_.empty());  // the device has consumed past sends
+  const u32 slot = tx_free_.front();
+  tx_free_.pop_front();
+
+  NetHeader hdr;
+  if (needs_csum &&
+      transport_.negotiated().has(virtio::feature::net::kCsum)) {
+    hdr.flags = NetHeader::kNeedsCsum;
+    hdr.csum_start = csum_start;
+    hdr.csum_offset = csum_offset;
+  }
+  std::array<u8, NetHeader::kSize> hdr_bytes{};
+  hdr.encode(hdr_bytes);
+  auto& memory = transport_.memory();
+  memory.write(tx_buffers_[slot].hdr_addr, hdr_bytes);
+  memory.write(tx_buffers_[slot].frame_addr, frame);
+
+  const virtio::ChainBuffer chain{
+      tx_buffers_[slot].hdr_addr,
+      static_cast<u32>(NetHeader::kSize + frame.size()), false};
+  const auto handle = tx.add_chain(std::span{&chain, 1}, slot);
+  VFPGA_ASSERT(handle.has_value());
+  tx.publish();
+  ++tx_packets_;
+
+  if (!tx.should_kick()) {
+    return false;
+  }
+  // The doorbell: one posted write. The FPGA takes it from here.
+  transport_.notify(virtio::net::kTxQueue, thread);
+  ++tx_kicks_;
+  return true;
+}
+
+u32 VirtioNetDriver::napi_poll(HostThread& thread) {
+  VFPGA_EXPECTS(bound());
+  thread.exec(thread.costs().virtio_rx_napi);
+
+  auto& rx = transport_.queue(virtio::net::kRxQueue);
+  auto& memory = transport_.memory();
+  u32 harvested = 0;
+  while (const auto completion = rx.harvest()) {
+    const RxBuffer& buf = rx_buffers_[completion->token];
+    VFPGA_ASSERT(completion->written >= NetHeader::kSize);
+    Bytes data = memory.read_bytes(buf.addr, completion->written);
+    rx_backlog_.emplace_back(data.begin() + NetHeader::kSize, data.end());
+    ++rx_packets_;
+    ++harvested;
+
+    // Recycle the buffer straight back into the avail ring.
+    const virtio::ChainBuffer chain{buf.addr, buf.len, true};
+    const auto handle = rx.add_chain(std::span{&chain, 1}, completion->token);
+    VFPGA_ASSERT(handle.has_value());
+  }
+  if (harvested > 0) {
+    rx.publish();
+    thread.exec(thread.costs().virtio_rx_refill);
+    // Re-enable RX interrupts: ask for one when the next entry lands.
+    rx.enable_interrupts();
+  }
+
+  // TX completions: recycle buffers, keep interrupts suppressed.
+  auto& tx = transport_.queue(virtio::net::kTxQueue);
+  while (const auto completion = tx.harvest()) {
+    tx_free_.push_back(static_cast<u32>(completion->token));
+  }
+  tx.disable_interrupts();
+
+  return harvested;
+}
+
+std::optional<Bytes> VirtioNetDriver::pop_rx_frame() {
+  if (rx_backlog_.empty()) {
+    return std::nullopt;
+  }
+  Bytes frame = std::move(rx_backlog_.front());
+  rx_backlog_.pop_front();
+  return frame;
+}
+
+}  // namespace vfpga::hostos

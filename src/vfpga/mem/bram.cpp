@@ -1,0 +1,44 @@
+#include "vfpga/mem/bram.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::mem {
+
+Bram::Bram(u64 size_bytes, u32 width_bytes)
+    : storage_(size_bytes, 0), width_bytes_(width_bytes) {
+  VFPGA_EXPECTS(width_bytes > 0);
+  VFPGA_EXPECTS(size_bytes % width_bytes == 0);
+}
+
+void Bram::read(FpgaAddr addr, ByteSpan out) const {
+  VFPGA_EXPECTS(addr + out.size() <= storage_.size());
+  std::memcpy(out.data(), storage_.data() + addr, out.size());
+}
+
+void Bram::write(FpgaAddr addr, ConstByteSpan data) {
+  VFPGA_EXPECTS(addr + data.size() <= storage_.size());
+  std::memcpy(storage_.data() + addr, data.data(), data.size());
+}
+
+u8 Bram::read_u8(FpgaAddr addr) const {
+  VFPGA_EXPECTS(addr < storage_.size());
+  return storage_[addr];
+}
+
+u32 Bram::read_le32(FpgaAddr addr) const {
+  std::array<u8, 4> buf{};
+  read(addr, buf);
+  return load_le32(buf);
+}
+
+void Bram::write_le32(FpgaAddr addr, u32 v) {
+  std::array<u8, 4> buf{};
+  store_le32(buf, 0, v);
+  write(addr, buf);
+}
+
+}  // namespace vfpga::mem

@@ -1,0 +1,77 @@
+// Simulated host physical memory.
+//
+// This is the memory the device DMAs into and the drivers place their
+// descriptor rings, virtqueues, and packet buffers in. It is sparse
+// (4 KiB pages allocated on first touch) so a realistic 64-bit physical
+// address map costs only what is used. All multi-byte accesses go through
+// the explicit little-endian accessors; nothing in the library ever
+// reinterpret_casts into this memory.
+//
+// A bump allocator hands out DMA-able regions the way a kernel's
+// dma_alloc_coherent would — alignment-respecting, never freeing (the
+// experiments tear the whole address space down at once).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "vfpga/common/endian.hpp"
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::mem {
+
+class HostMemory {
+ public:
+  static constexpr u64 kPageSize = 4096;
+
+  /// `alloc_base` is where the bump allocator starts handing out space;
+  /// kept away from 0 so that a null/zero address is always a bug.
+  explicit HostMemory(HostAddr alloc_base = 0x1'0000'0000ull);
+
+  HostMemory(const HostMemory&) = delete;
+  HostMemory& operator=(const HostMemory&) = delete;
+
+  // ---- raw access (functional data path) ----------------------------------
+
+  void read(HostAddr addr, ByteSpan out) const;
+  void write(HostAddr addr, ConstByteSpan data);
+  void fill(HostAddr addr, u8 value, u64 length);
+
+  [[nodiscard]] u8 read_u8(HostAddr addr) const;
+  [[nodiscard]] u16 read_le16(HostAddr addr) const;
+  [[nodiscard]] u32 read_le32(HostAddr addr) const;
+  [[nodiscard]] u64 read_le64(HostAddr addr) const;
+  void write_u8(HostAddr addr, u8 v);
+  void write_le16(HostAddr addr, u16 v);
+  void write_le32(HostAddr addr, u32 v);
+  void write_le64(HostAddr addr, u64 v);
+
+  [[nodiscard]] Bytes read_bytes(HostAddr addr, u64 length) const;
+
+  // ---- allocation ----------------------------------------------------------
+
+  /// Allocate `length` bytes aligned to `alignment` (power of two).
+  /// The region is zero-initialized on first touch like fresh pages.
+  [[nodiscard]] HostAddr allocate(u64 length, u64 alignment = 64);
+
+  /// Bytes currently backed by allocated pages (diagnostics).
+  [[nodiscard]] u64 resident_bytes() const {
+    return static_cast<u64>(pages_.size()) * kPageSize;
+  }
+
+  /// Total bytes handed out by the allocator.
+  [[nodiscard]] u64 allocated_bytes() const { return bump_ - alloc_base_; }
+
+ private:
+  using Page = std::unique_ptr<u8[]>;
+
+  [[nodiscard]] const u8* page_for_read(u64 page_index) const;
+  [[nodiscard]] u8* page_for_write(u64 page_index);
+
+  std::unordered_map<u64, Page> pages_;
+  HostAddr alloc_base_;
+  HostAddr bump_;
+  mutable const u8* zero_page_ = nullptr;
+};
+
+}  // namespace vfpga::mem

@@ -1,0 +1,59 @@
+// Network address types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <string>
+
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::net {
+
+struct MacAddr {
+  std::array<u8, 6> octets{};
+
+  friend constexpr auto operator<=>(const MacAddr&, const MacAddr&) = default;
+
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    for (u8 o : octets) {
+      if (o != 0xff) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+inline constexpr MacAddr kBroadcastMac{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+
+struct Ipv4Addr {
+  u32 value = 0;  ///< host byte order internally
+
+  static constexpr Ipv4Addr from_octets(u8 a, u8 b, u8 c, u8 d) {
+    return Ipv4Addr{static_cast<u32>(a) << 24 | static_cast<u32>(b) << 16 |
+                    static_cast<u32>(c) << 8 | static_cast<u32>(d)};
+  }
+
+  friend constexpr auto operator<=>(const Ipv4Addr&,
+                                    const Ipv4Addr&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] inline std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+[[nodiscard]] inline std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+}  // namespace vfpga::net

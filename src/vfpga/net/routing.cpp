@@ -1,0 +1,38 @@
+#include "vfpga/net/routing.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::net {
+
+void RoutingTable::add(const Route& route) {
+  VFPGA_EXPECTS(route.prefix_length <= 32);
+  routes_.push_back(route);
+}
+
+bool RoutingTable::prefix_matches(const Route& route, Ipv4Addr dst) {
+  if (route.prefix_length == 0) {
+    return true;  // default route
+  }
+  const u32 mask = route.prefix_length == 32
+                       ? 0xffffffffu
+                       : ~(0xffffffffu >> route.prefix_length);
+  return (dst.value & mask) == (route.prefix.value & mask);
+}
+
+std::optional<NextHop> RoutingTable::lookup(Ipv4Addr dst) const {
+  const Route* best = nullptr;
+  for (const Route& route : routes_) {
+    if (!prefix_matches(route, dst)) {
+      continue;
+    }
+    if (best == nullptr || route.prefix_length > best->prefix_length) {
+      best = &route;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  return NextHop{best->gateway.value_or(dst), best->interface_id};
+}
+
+}  // namespace vfpga::net

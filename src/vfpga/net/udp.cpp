@@ -1,0 +1,76 @@
+#include "vfpga/net/udp.hpp"
+
+#include <algorithm>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/common/endian.hpp"
+#include "vfpga/net/checksum.hpp"
+#include "vfpga/net/ipv4.hpp"
+
+namespace vfpga::net {
+namespace {
+
+u16 udp_checksum(ConstByteSpan datagram, Ipv4Addr src, Ipv4Addr dst) {
+  ChecksumAccumulator acc;
+  acc.add_u32(src.value);
+  acc.add_u32(dst.value);
+  acc.add_u16(static_cast<u16>(IpProtocol::Udp));
+  acc.add_u16(static_cast<u16>(datagram.size()));
+  acc.add(datagram);
+  const u16 csum = acc.fold();
+  // RFC 768: an all-zero checksum means "none"; transmit 0xffff instead.
+  return csum == 0 ? 0xffff : csum;
+}
+
+}  // namespace
+
+Bytes build_udp_datagram(const UdpHeader& header, Ipv4Addr src, Ipv4Addr dst,
+                         ConstByteSpan payload) {
+  const u64 total = UdpHeader::kSize + payload.size();
+  VFPGA_EXPECTS(total <= 0xffff);
+  Bytes datagram(total, 0);
+  ByteSpan s{datagram};
+  store_be16(s, 0, header.src_port);
+  store_be16(s, 2, header.dst_port);
+  store_be16(s, 4, static_cast<u16>(total));
+  store_be16(s, 6, 0);  // checksum placeholder
+  std::copy(payload.begin(), payload.end(),
+            datagram.begin() + UdpHeader::kSize);
+  store_be16(s, 6, udp_checksum(datagram, src, dst));
+  return datagram;
+}
+
+std::optional<ParsedUdp> parse_udp_datagram(ConstByteSpan data, Ipv4Addr src,
+                                            Ipv4Addr dst) {
+  if (data.size() < UdpHeader::kSize) {
+    return std::nullopt;
+  }
+  const u16 length = load_be16(data, 4);
+  if (length < UdpHeader::kSize || length > data.size()) {
+    return std::nullopt;
+  }
+  ParsedUdp out;
+  out.header.src_port = load_be16(data, 0);
+  out.header.dst_port = load_be16(data, 2);
+  out.payload_offset = UdpHeader::kSize;
+  out.payload_length = static_cast<u64>(length) - UdpHeader::kSize;
+
+  const u16 wire_csum = load_be16(data, 6);
+  if (wire_csum == 0) {
+    out.checksum_ok = true;  // checksum not used by sender
+  } else {
+    // Recompute over the datagram with the checksum bytes zeroed.
+    Bytes copy(data.begin(), data.begin() + length);
+    store_be16(ByteSpan{copy}, 6, 0);
+    out.checksum_ok = (udp_checksum(copy, src, dst) == wire_csum);
+  }
+  return out;
+}
+
+void finalize_udp_checksum(ByteSpan datagram, Ipv4Addr src, Ipv4Addr dst) {
+  VFPGA_EXPECTS(datagram.size() >= UdpHeader::kSize);
+  store_be16(datagram, 6, 0);
+  store_be16(datagram, 6, udp_checksum(datagram, src, dst));
+}
+
+}  // namespace vfpga::net

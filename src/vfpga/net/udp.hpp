@@ -1,0 +1,40 @@
+// UDP datagram construction/parsing with full pseudo-header checksums
+// (RFC 768).
+#pragma once
+
+#include <optional>
+
+#include "vfpga/net/addr.hpp"
+
+namespace vfpga::net {
+
+struct UdpHeader {
+  u16 src_port = 0;
+  u16 dst_port = 0;
+
+  static constexpr u64 kSize = 8;
+};
+
+/// Build header + payload with the pseudo-header checksum computed over
+/// (src, dst, protocol, length) as the receiving stack will verify it.
+[[nodiscard]] Bytes build_udp_datagram(const UdpHeader& header, Ipv4Addr src,
+                                       Ipv4Addr dst, ConstByteSpan payload);
+
+struct ParsedUdp {
+  UdpHeader header;
+  u64 payload_offset = 0;
+  u64 payload_length = 0;
+  bool checksum_ok = false;
+};
+
+/// Parse a datagram; the pseudo-header addresses must come from the
+/// enclosing IPv4 header.
+[[nodiscard]] std::optional<ParsedUdp> parse_udp_datagram(ConstByteSpan data,
+                                                          Ipv4Addr src,
+                                                          Ipv4Addr dst);
+
+/// Recompute the checksum field in place (what checksum-offload hardware
+/// does when VIRTIO_NET_F_CSUM hands it a partially-checksummed frame).
+void finalize_udp_checksum(ByteSpan datagram, Ipv4Addr src, Ipv4Addr dst);
+
+}  // namespace vfpga::net

@@ -1,0 +1,39 @@
+// PCIe endpoint function interface.
+//
+// A Function is one (bus, device, function) endpoint: it owns a
+// configuration space and reacts to BAR accesses. Timing is handled by
+// the RootComplex; a Function's bar_read/bar_write see the time at which
+// the TLP *arrives at device logic* and may perform device work (e.g. a
+// VirtIO notify triggers queue processing) synchronously, scheduling
+// completions/interrupts at computed future times.
+#pragma once
+
+#include "vfpga/pcie/config_space.hpp"
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::pcie {
+
+class Function {
+ public:
+  Function() = default;
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+  virtual ~Function() = default;
+
+  [[nodiscard]] ConfigSpace& config() { return config_; }
+  [[nodiscard]] const ConfigSpace& config() const { return config_; }
+
+  /// Handle a memory read of `size` bytes (1/2/4/8) at `offset` into BAR
+  /// `bar`, arriving at device logic at time `at`. Returns the value.
+  virtual u64 bar_read(u32 bar, BarOffset offset, u32 size,
+                       sim::SimTime at) = 0;
+
+  /// Handle a memory write arriving at device logic at time `at`.
+  virtual void bar_write(u32 bar, BarOffset offset, u64 value, u32 size,
+                         sim::SimTime at) = 0;
+
+ private:
+  ConfigSpace config_;
+};
+
+}  // namespace vfpga::pcie

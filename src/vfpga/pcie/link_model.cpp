@@ -1,0 +1,77 @@
+#include "vfpga/pcie/link_model.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::pcie {
+
+sim::Duration LinkModel::tlp_wire_time(u64 payload) const {
+  const double ns =
+      static_cast<double>(payload + kTlpOverheadBytes) / config_.bytes_per_ns;
+  return sim::from_nanos(ns);
+}
+
+sim::Duration LinkModel::one_way_latency() const {
+  return config_.endpoint_pipeline + config_.phy_flight +
+         config_.root_pipeline;
+}
+
+LinkModel::PostedTiming LinkModel::dma_write_time(u64 bytes) const {
+  const u64 tlps = tlp_count(bytes, config_.limits.max_payload_size);
+  sim::Duration wire{};
+  u64 remaining = bytes;
+  for (u64 i = 0; i < tlps; ++i) {
+    const u64 chunk =
+        remaining < config_.limits.max_payload_size
+            ? remaining
+            : config_.limits.max_payload_size;
+    wire += tlp_wire_time(chunk);
+    remaining -= chunk;
+  }
+  // The issuing engine streams the burst out of its FIFO: it is busy for
+  // the serialization time; delivery adds the pipeline flight once.
+  return PostedTiming{wire, wire + one_way_latency()};
+}
+
+sim::Duration LinkModel::dma_read_time(u64 bytes) const {
+  VFPGA_EXPECTS(bytes > 0);
+  // Request TLPs: reads are split at MRRS by the requester.
+  const u64 requests = tlp_count(bytes, config_.limits.max_read_request);
+  sim::Duration total = tlp_wire_time(0) * static_cast<i64>(requests);
+  total += one_way_latency();        // request flight
+  total += config_.host_memory_read; // completer fetches data
+  // Completions are split at MPS.
+  const u64 completions = tlp_count(bytes, config_.limits.max_payload_size);
+  u64 remaining = bytes;
+  for (u64 i = 0; i < completions; ++i) {
+    const u64 chunk =
+        remaining < config_.limits.max_payload_size
+            ? remaining
+            : config_.limits.max_payload_size;
+    total += tlp_wire_time(chunk) + config_.completion_overhead;
+    remaining -= chunk;
+  }
+  total += one_way_latency();  // completion flight
+  return total;
+}
+
+LinkModel::PostedTiming LinkModel::mmio_write_time(u64 bytes) const {
+  // The CPU hands the write to the write-combining buffer / root port and
+  // continues; a store to UC MMIO space still costs a pipeline drain.
+  const sim::Duration cpu_cost = sim::nanoseconds(110);
+  const sim::Duration delivered =
+      cpu_cost + tlp_wire_time(bytes) + one_way_latency();
+  return PostedTiming{cpu_cost, delivered};
+}
+
+sim::Duration LinkModel::mmio_read_time(u64 bytes) const {
+  // Non-posted: request out, device register file access, completion back.
+  return tlp_wire_time(0) + one_way_latency() + sim::nanoseconds(250) +
+         tlp_wire_time(bytes) + one_way_latency();
+}
+
+sim::Duration LinkModel::config_access_time() const {
+  // Config transactions crawl (low-priority path through the hard block).
+  return mmio_read_time(4) + sim::nanoseconds(400);
+}
+
+}  // namespace vfpga::pcie

@@ -1,0 +1,88 @@
+// PCIe link timing model.
+//
+// Models the Gen2 x2 link of the Alinx AX7A200 board: 5 GT/s per lane,
+// 8b/10b encoding => 8 Gb/s of usable bandwidth = 1 byte/ns. On top of
+// raw serialization the model charges fixed pipeline latencies for the
+// endpoint's PCIe hard block + XDMA bridge (several hundred ns on
+// 7-series parts) and the root complex, plus host DRAM access time for
+// DMA reads. Both FPGA designs in the paper use the same XDMA IP, so one
+// shared LinkModel instance serves the VirtIO and the vendor testbeds —
+// mirroring the paper's experimental control (§III-B.3).
+//
+// Timing composition rules:
+//  * posted writes: the issuer is released after local posting; delivery
+//    completes one_way_latency + serialization later.
+//  * non-posted reads: the issuer blocks for the full round trip:
+//    request serialization + EP/RC pipelines + memory access +
+//    completion serialization (split at MPS) + pipelines back.
+//  * multi-TLP bursts pipeline on the wire: total serialization is the
+//    sum over TLPs, but pipeline latency is charged once.
+#pragma once
+
+#include "vfpga/pcie/tlp.hpp"
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::pcie {
+
+struct LinkConfig {
+  /// Usable link bandwidth after encoding, bytes per nanosecond.
+  double bytes_per_ns = 1.0;
+  TlpLimits limits{};
+
+  /// Endpoint-internal latency (PCIe hard block + AXI bridge), one way.
+  sim::Duration endpoint_pipeline = sim::nanoseconds(360);
+  /// Root-complex-internal latency, one way.
+  sim::Duration root_pipeline = sim::nanoseconds(170);
+  /// Wire/PHY propagation + framing, one way.
+  sim::Duration phy_flight = sim::nanoseconds(120);
+  /// Host memory access latency for a DMA read completion.
+  sim::Duration host_memory_read = sim::nanoseconds(220);
+  /// Extra scheduling delay inside the completer per completion TLP
+  /// (credit/tag handling) — small but measurable on 7-series.
+  sim::Duration completion_overhead = sim::nanoseconds(40);
+};
+
+class LinkModel {
+ public:
+  LinkModel() = default;
+  explicit LinkModel(LinkConfig config) : config_(config) {}
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+  /// Serialization time of one TLP with `payload` data bytes.
+  [[nodiscard]] sim::Duration tlp_wire_time(u64 payload) const;
+
+  /// One-way latency excluding serialization (EP + wire + RC).
+  [[nodiscard]] sim::Duration one_way_latency() const;
+
+  /// Device-initiated posted write of `bytes` into host memory:
+  /// returns {issuer_busy, delivery_complete} — the issuer can continue
+  /// after issuer_busy; data is globally visible after delivery_complete.
+  struct PostedTiming {
+    sim::Duration issuer_busy;
+    sim::Duration delivered;
+  };
+  [[nodiscard]] PostedTiming dma_write_time(u64 bytes) const;
+
+  /// Device-initiated read of `bytes` from host memory (descriptor or
+  /// payload fetch): full round-trip duration until the last completion
+  /// lands in the device.
+  [[nodiscard]] sim::Duration dma_read_time(u64 bytes) const;
+
+  /// CPU MMIO posted write (doorbell/kick): CPU-visible cost and time
+  /// until the write reaches device logic.
+  [[nodiscard]] PostedTiming mmio_write_time(u64 bytes = 4) const;
+
+  /// CPU MMIO read (status register): CPU stalls the full round trip.
+  /// 7-series endpoints answer register reads in ~1 µs — this is what
+  /// makes per-transfer status reads expensive for the vendor driver.
+  [[nodiscard]] sim::Duration mmio_read_time(u64 bytes = 4) const;
+
+  /// Configuration-space access (enumeration-time only; non-posted).
+  [[nodiscard]] sim::Duration config_access_time() const;
+
+ private:
+  LinkConfig config_{};
+};
+
+}  // namespace vfpga::pcie

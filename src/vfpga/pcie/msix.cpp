@@ -1,0 +1,97 @@
+#include "vfpga/pcie/msix.hpp"
+
+#include <array>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/common/endian.hpp"
+
+namespace vfpga::pcie {
+
+MsixTable::MsixTable(u32 vector_count) : entries_(vector_count) {
+  VFPGA_EXPECTS(vector_count >= 1 && vector_count <= 2048);
+}
+
+u32 MsixTable::aperture_read(BarOffset offset) const {
+  const u64 index = offset / kMsixEntryBytes;
+  const u64 field = offset % kMsixEntryBytes;
+  VFPGA_EXPECTS(index < entries_.size());
+  const Entry& e = entries_[index];
+  switch (field) {
+    case kMsixEntryAddrLo:
+      return static_cast<u32>(e.address & 0xffffffffu);
+    case kMsixEntryAddrHi:
+      return static_cast<u32>(e.address >> 32);
+    case kMsixEntryData:
+      return e.data;
+    case kMsixEntryControl:
+      return e.masked ? kMsixControlMasked : 0;
+    default:
+      VFPGA_UNREACHABLE("misaligned MSI-X table access");
+  }
+}
+
+void MsixTable::aperture_write(BarOffset offset, u32 value, sim::SimTime at,
+                               const DmaPort& port) {
+  const u64 index = offset / kMsixEntryBytes;
+  const u64 field = offset % kMsixEntryBytes;
+  VFPGA_EXPECTS(index < entries_.size());
+  Entry& e = entries_[index];
+  switch (field) {
+    case kMsixEntryAddrLo:
+      e.address = (e.address & ~0xffffffffull) | value;
+      break;
+    case kMsixEntryAddrHi:
+      e.address = (e.address & 0xffffffffull) | (static_cast<u64>(value) << 32);
+      break;
+    case kMsixEntryData:
+      e.data = value;
+      break;
+    case kMsixEntryControl: {
+      const bool was_masked = e.masked;
+      e.masked = (value & kMsixControlMasked) != 0;
+      if (was_masked && !e.masked && e.pending) {
+        e.pending = false;
+        fire(static_cast<u32>(index), at, port);
+      }
+      break;
+    }
+    default:
+      VFPGA_UNREACHABLE("misaligned MSI-X table access");
+  }
+}
+
+sim::SimTime MsixTable::fire(u32 index, sim::SimTime at, const DmaPort& port) {
+  VFPGA_EXPECTS(index < entries_.size());
+  Entry& e = entries_[index];
+  if (e.masked) {
+    e.pending = true;
+    return at;
+  }
+  std::array<u8, 4> message{};
+  store_le32(message, 0, e.data);
+  return port.write(at, e.address, message).delivered;
+}
+
+bool MsixTable::pending(u32 index) const {
+  VFPGA_EXPECTS(index < entries_.size());
+  return entries_[index].pending;
+}
+
+bool MsixTable::masked(u32 index) const {
+  VFPGA_EXPECTS(index < entries_.size());
+  return entries_[index].masked;
+}
+
+Bytes make_msix_capability_body(u16 table_size, u8 table_bar, u32 table_offset,
+                                u8 pba_bar, u32 pba_offset) {
+  VFPGA_EXPECTS(table_size >= 1);
+  VFPGA_EXPECTS((table_offset & 0x7) == 0 && (pba_offset & 0x7) == 0);
+  Bytes body(10, 0);
+  ByteSpan s{body};
+  store_le16(s, 0, static_cast<u16>((table_size - 1) & 0x7ff));
+  store_le32(s, 2, table_offset | table_bar);
+  store_le32(s, 6, pba_offset | pba_bar);
+  return body;
+}
+
+}  // namespace vfpga::pcie

@@ -1,0 +1,70 @@
+// MSI-X table model.
+//
+// The endpoint carries an MSI-X capability whose table lives in one of
+// its BARs. The host "OS" programs each vector with an address in the
+// MSI doorbell window and a message value; the device fires a vector by
+// issuing a posted DMA write of the message to that address, which the
+// root complex turns into an interrupt delivery. Masked vectors set the
+// pending bit instead, and deliver when unmasked — the same semantics
+// the Linux irqchip relies on.
+#pragma once
+
+#include <vector>
+
+#include "vfpga/pcie/root_complex.hpp"
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::pcie {
+
+/// Layout constants for one MSI-X table entry (PCIe spec 7.7.2).
+inline constexpr u32 kMsixEntryBytes = 16;
+inline constexpr u32 kMsixEntryAddrLo = 0;
+inline constexpr u32 kMsixEntryAddrHi = 4;
+inline constexpr u32 kMsixEntryData = 8;
+inline constexpr u32 kMsixEntryControl = 12;
+inline constexpr u32 kMsixControlMasked = 1u << 0;
+
+class MsixTable {
+ public:
+  explicit MsixTable(u32 vector_count);
+
+  [[nodiscard]] u32 size() const {
+    return static_cast<u32>(entries_.size());
+  }
+
+  /// Table-aperture accesses (routed from the owning function's BAR).
+  [[nodiscard]] u32 aperture_read(BarOffset offset) const;
+  void aperture_write(BarOffset offset, u32 value, sim::SimTime at,
+                      const DmaPort& port);
+
+  /// Device-side: fire vector `index` at time `at`; a posted write goes
+  /// out through `port`. Returns the time the message was delivered (or
+  /// `at` when the vector is masked and only the pending bit was set).
+  sim::SimTime fire(u32 index, sim::SimTime at, const DmaPort& port);
+
+  [[nodiscard]] bool pending(u32 index) const;
+  [[nodiscard]] bool masked(u32 index) const;
+
+  /// Aperture size in bytes (for BAR layout).
+  [[nodiscard]] u64 aperture_bytes() const {
+    return static_cast<u64>(entries_.size()) * kMsixEntryBytes;
+  }
+
+ private:
+  struct Entry {
+    u64 address = 0;
+    u32 data = 0;
+    bool masked = true;  // spec: vectors come up masked
+    bool pending = false;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+/// Body of the MSI-X capability (after the 2-byte header):
+/// message control (table size - 1), table offset/BIR, PBA offset/BIR.
+[[nodiscard]] Bytes make_msix_capability_body(u16 table_size, u8 table_bar,
+                                              u32 table_offset, u8 pba_bar,
+                                              u32 pba_offset);
+
+}  // namespace vfpga::pcie

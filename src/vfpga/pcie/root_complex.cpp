@@ -1,0 +1,96 @@
+#include "vfpga/pcie/root_complex.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::pcie {
+
+sim::SimTime DmaPort::read(sim::SimTime start, HostAddr addr,
+                           ByteSpan out) const {
+  return rc_->endpoint_read(*owner_, start, addr, out);
+}
+
+DmaPort::WriteTiming DmaPort::write(sim::SimTime start, HostAddr addr,
+                                    ConstByteSpan data) const {
+  return rc_->endpoint_write(*owner_, start, addr, data);
+}
+
+u32 RootComplex::attach(Function& fn) {
+  functions_.push_back(&fn);
+  return static_cast<u32>(functions_.size() - 1);
+}
+
+Function& RootComplex::function(u32 index) const {
+  VFPGA_EXPECTS(index < functions_.size());
+  return *functions_[index];
+}
+
+RootComplex::MmioReadResult RootComplex::cpu_mmio_read(Function& fn, u32 bar,
+                                                       BarOffset offset,
+                                                       u32 size,
+                                                       sim::SimTime at) {
+  VFPGA_EXPECTS(fn.config().memory_enabled());
+  VFPGA_EXPECTS(fn.config().bar_address(bar) != 0);
+  VFPGA_EXPECTS(offset + size <= fn.config().bar_definition(bar).size);
+  const sim::Duration stall = link_.mmio_read_time(size);
+  // The device register file is sampled when the request arrives — one
+  // way into the round trip.
+  const sim::SimTime arrival =
+      at + link_.tlp_wire_time(0) + link_.one_way_latency();
+  const u64 value = fn.bar_read(bar, offset, size, arrival);
+  return MmioReadResult{value, stall};
+}
+
+RootComplex::MmioWriteResult RootComplex::cpu_mmio_write(Function& fn, u32 bar,
+                                                         BarOffset offset,
+                                                         u64 value, u32 size,
+                                                         sim::SimTime at) {
+  VFPGA_EXPECTS(fn.config().memory_enabled());
+  VFPGA_EXPECTS(fn.config().bar_address(bar) != 0);
+  VFPGA_EXPECTS(offset + size <= fn.config().bar_definition(bar).size);
+  const LinkModel::PostedTiming timing = link_.mmio_write_time(size);
+  const sim::SimTime delivered = at + timing.delivered;
+  fn.bar_write(bar, offset, value, size, delivered);
+  return MmioWriteResult{timing.issuer_busy, delivered};
+}
+
+RootComplex::ConfigResult RootComplex::config_read(Function& fn, u16 offset) {
+  return ConfigResult{fn.config().read32(offset), link_.config_access_time()};
+}
+
+sim::Duration RootComplex::config_write(Function& fn, u16 offset, u32 value) {
+  fn.config().write32(offset, value);
+  return link_.config_access_time();
+}
+
+sim::SimTime RootComplex::endpoint_read(const Function& fn, sim::SimTime start,
+                                        HostAddr addr, ByteSpan out) {
+  VFPGA_EXPECTS(fn.config().bus_master_enabled());
+  memory_->read(addr, out);
+  sim::SimTime done = start + link_.dma_read_time(out.size());
+  if (dma_read_jitter_) {
+    done += dma_read_jitter_();
+  }
+  return done;
+}
+
+DmaPort::WriteTiming RootComplex::endpoint_write(const Function& fn,
+                                                 sim::SimTime start,
+                                                 HostAddr addr,
+                                                 ConstByteSpan data) {
+  VFPGA_EXPECTS(fn.config().bus_master_enabled());
+  const LinkModel::PostedTiming timing = link_.dma_write_time(data.size());
+  const sim::SimTime delivered = start + timing.delivered;
+  if (addr >= kMsiWindowBase && addr < kMsiWindowBase + kMsiWindowSize) {
+    // Message-signalled interrupt: do not touch memory; deliver to the
+    // interrupt sink at arrival time.
+    VFPGA_EXPECTS(data.size() == 4);
+    if (irq_sink_) {
+      irq_sink_(load_le32(data), delivered);
+    }
+  } else {
+    memory_->write(addr, data);
+  }
+  return DmaPort::WriteTiming{start + timing.issuer_busy, delivered};
+}
+
+}  // namespace vfpga::pcie

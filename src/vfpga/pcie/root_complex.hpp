@@ -1,0 +1,127 @@
+// Root complex: the host side of the PCIe hierarchy.
+//
+// Routes CPU MMIO to endpoint BARs with link timing, gives endpoints a
+// timed DMA port into simulated host memory, and intercepts writes to the
+// message-signalled-interrupt address window (0xFEE0'0000 region, as on
+// x86) to deliver interrupts to a registered sink. Bus-mastering and
+// memory-space enables in the endpoint's command register are enforced —
+// a device whose driver forgot to enable bus mastering cannot DMA, which
+// is exactly the failure mode a real kernel would see.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "vfpga/mem/host_memory.hpp"
+#include "vfpga/pcie/function.hpp"
+#include "vfpga/pcie/link_model.hpp"
+
+namespace vfpga::pcie {
+
+/// x86 MSI doorbell window.
+inline constexpr HostAddr kMsiWindowBase = 0xfee0'0000ull;
+inline constexpr HostAddr kMsiWindowSize = 0x10'0000ull;
+
+/// Callback invoked when an MSI/MSI-X write lands: (message data,
+/// delivery time).
+using IrqSink = std::function<void(u32 message_data, sim::SimTime at)>;
+
+class RootComplex;
+
+/// Device-side handle for bus mastering. Every DMA the device performs
+/// flows through here so that (a) bytes actually move through
+/// HostMemory, (b) wire time is charged, and (c) the command-register
+/// bus-master enable is honored.
+class DmaPort {
+ public:
+  DmaPort(RootComplex& rc, const Function& owner) : rc_(&rc), owner_(&owner) {}
+
+  /// Timed DMA read: fills `out` from host memory; returns the time the
+  /// last completion beat lands in the device.
+  sim::SimTime read(sim::SimTime start, HostAddr addr, ByteSpan out) const;
+
+  struct WriteTiming {
+    sim::SimTime issuer_free;  ///< engine can issue its next transaction
+    sim::SimTime delivered;    ///< data globally visible in host memory
+  };
+  /// Timed posted DMA write (also the path MSI-X messages take).
+  WriteTiming write(sim::SimTime start, HostAddr addr,
+                    ConstByteSpan data) const;
+
+ private:
+  RootComplex* rc_;
+  const Function* owner_;
+};
+
+class RootComplex {
+ public:
+  RootComplex(mem::HostMemory& memory, LinkModel link)
+      : memory_(&memory), link_(link) {}
+
+  [[nodiscard]] mem::HostMemory& memory() { return *memory_; }
+  [[nodiscard]] const LinkModel& link() const { return link_; }
+
+  /// Attach an endpoint function; returns its device index.
+  u32 attach(Function& fn);
+  [[nodiscard]] std::size_t function_count() const { return functions_.size(); }
+  [[nodiscard]] Function& function(u32 index) const;
+
+  /// Register the host interrupt controller's delivery callback.
+  void set_irq_sink(IrqSink sink) { irq_sink_ = std::move(sink); }
+
+  /// Optional per-DMA-read jitter source (host memory-controller
+  /// contention: bank conflicts, refresh, IOMMU TLB misses). Sampled
+  /// once per endpoint-initiated read; keeps hardware-side variance
+  /// small but nonzero, as the paper's counters show.
+  void set_dma_read_jitter(std::function<sim::Duration()> jitter) {
+    dma_read_jitter_ = std::move(jitter);
+  }
+
+  /// Create a DMA port for an endpoint.
+  [[nodiscard]] DmaPort dma_port(const Function& fn) {
+    return DmaPort{*this, fn};
+  }
+
+  // ---- CPU-initiated accesses (timed) ---------------------------------------
+
+  struct MmioReadResult {
+    u64 value = 0;
+    sim::Duration cpu_stall{};  ///< full non-posted round trip
+  };
+  /// CPU read from a BAR region. The BAR must be assigned + enabled.
+  MmioReadResult cpu_mmio_read(Function& fn, u32 bar, BarOffset offset,
+                               u32 size, sim::SimTime at);
+
+  struct MmioWriteResult {
+    sim::Duration cpu_cost{};   ///< posted: CPU continues after this
+    sim::SimTime delivered{};   ///< write reaches device logic
+  };
+  /// CPU posted write to a BAR region; the device's bar_write runs at the
+  /// delivery timestamp.
+  MmioWriteResult cpu_mmio_write(Function& fn, u32 bar, BarOffset offset,
+                                 u64 value, u32 size, sim::SimTime at);
+
+  /// Configuration accesses (enumeration); timed like config TLPs.
+  struct ConfigResult {
+    u32 value = 0;
+    sim::Duration cpu_stall{};
+  };
+  ConfigResult config_read(Function& fn, u16 offset);
+  sim::Duration config_write(Function& fn, u16 offset, u32 value);
+
+  // ---- endpoint-initiated accesses (used by DmaPort) -------------------------
+
+  sim::SimTime endpoint_read(const Function& fn, sim::SimTime start,
+                             HostAddr addr, ByteSpan out);
+  DmaPort::WriteTiming endpoint_write(const Function& fn, sim::SimTime start,
+                                      HostAddr addr, ConstByteSpan data);
+
+ private:
+  mem::HostMemory* memory_;
+  LinkModel link_;
+  std::vector<Function*> functions_;
+  IrqSink irq_sink_;
+  std::function<sim::Duration()> dma_read_jitter_;
+};
+
+}  // namespace vfpga::pcie

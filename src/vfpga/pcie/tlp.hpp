@@ -1,0 +1,51 @@
+// PCIe transaction-layer packet (TLP) vocabulary.
+//
+// The simulator is transaction-level: we do not serialize TLP bit images,
+// but every host<->device interaction is classified as a TLP exchange so
+// the link model can charge the right wire time (header + payload at the
+// effective line rate, MPS/MRRS splitting, posted vs non-posted
+// semantics). The classification below matches PCIe Base Spec r3.0 ch. 2.
+#pragma once
+
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::pcie {
+
+/// Transaction kinds the models exchange.
+enum class TlpKind {
+  MemoryRead,       ///< MRd — non-posted; completer returns CplD
+  MemoryWrite,      ///< MWr — posted
+  CompletionData,   ///< CplD — carries read data back
+  ConfigRead,       ///< CfgRd0 — non-posted
+  ConfigWrite,      ///< CfgWr0 — non-posted (completion without data)
+  Message,          ///< Msg — e.g. interrupt emulation; posted
+};
+
+[[nodiscard]] constexpr bool is_posted(TlpKind kind) {
+  return kind == TlpKind::MemoryWrite || kind == TlpKind::Message;
+}
+
+/// Wire overhead of one TLP at the physical layer, bytes:
+/// STP(1) + sequence(2) + header(12 or 16) + ECRC(0) + LCRC(4) + END(1).
+/// We use the 64-bit-address 4DW header uniformly (20 B) => 28 B total,
+/// rounded to 28; config/completions use 3DW (24 B). The 4 B difference
+/// is far below the noise floor, so a single constant is used.
+inline constexpr u64 kTlpOverheadBytes = 26;
+
+/// Maximum payload/read-request sizes negotiated at link training.
+/// Artix-7 XDMA Gen2 x2 endpoints advertise MPS=256 B; hosts commonly
+/// program MRRS=512 B.
+struct TlpLimits {
+  u32 max_payload_size = 256;
+  u32 max_read_request = 512;
+};
+
+/// Number of TLPs needed to move `bytes` of payload given a per-TLP cap.
+[[nodiscard]] constexpr u64 tlp_count(u64 bytes, u32 per_tlp_cap) {
+  if (bytes == 0) {
+    return 1;  // zero-length read/write still needs one TLP
+  }
+  return (bytes + per_tlp_cap - 1) / per_tlp_cap;
+}
+
+}  // namespace vfpga::pcie

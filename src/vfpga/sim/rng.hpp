@@ -1,0 +1,59 @@
+// Deterministic random number generation for the simulator.
+//
+// xoshiro256++ (Blackman & Vigna): fast, high-quality, and — unlike
+// std::mt19937 — guaranteed to produce identical streams on every
+// platform and standard library, which we need for reproducible
+// experiment output. SplitMix64 seeds it and derives independent child
+// streams so each (driver, payload) experiment cell gets its own RNG and
+// parallel sweeps stay deterministic regardless of thread scheduling.
+#pragma once
+
+#include <array>
+
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::sim {
+
+/// SplitMix64: seed expander / stream splitter.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// xoshiro256++ engine. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  /// Seed via SplitMix64 per the reference implementation's guidance.
+  explicit Xoshiro256(u64 seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  u64 uniform_below(u64 bound) noexcept;
+
+  /// Derive an independent child stream (for per-experiment RNGs).
+  [[nodiscard]] Xoshiro256 split() noexcept;
+
+ private:
+  std::array<u64, 4> s_{};
+};
+
+}  // namespace vfpga::sim

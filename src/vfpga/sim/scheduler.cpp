@@ -1,0 +1,60 @@
+#include "vfpga/sim/scheduler.hpp"
+
+#include <utility>
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::sim {
+
+void Scheduler::schedule_at(SimTime when, Action action) {
+  VFPGA_EXPECTS(when >= now_);
+  queue_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+void Scheduler::schedule_after(Duration delay, Action action) {
+  VFPGA_EXPECTS(delay >= Duration{});
+  schedule_at(now_ + delay, std::move(action));
+}
+
+std::size_t Scheduler::run_until_idle() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the action must be moved out before
+    // pop, so copy the entry (Action is a small function object here).
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.action();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  VFPGA_EXPECTS(deadline >= now_);
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.action();
+    ++executed;
+  }
+  now_ = deadline;
+  return executed;
+}
+
+std::size_t Scheduler::run_until_stopped() {
+  stop_requested_ = false;
+  std::size_t executed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace vfpga::sim

@@ -1,0 +1,75 @@
+// Discrete-event scheduler.
+//
+// The round-trip experiments are transaction-level-modelled (each
+// hardware call takes a start time and returns a completion time), but
+// genuinely concurrent activity — the driver-bypass DMA port with
+// multiple outstanding transfers, or both XDMA channels active at once —
+// is sequenced through this scheduler. Events at equal timestamps fire
+// in FIFO order (a monotone sequence number breaks ties), so simulation
+// is deterministic.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::sim {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Schedule `action` at absolute time `when` (must not be in the past).
+  void schedule_at(SimTime when, Action action);
+
+  /// Schedule `action` `delay` after the current time.
+  void schedule_after(Duration delay, Action action);
+
+  /// Run events until the queue is empty. Returns the number of events
+  /// executed.
+  std::size_t run_until_idle();
+
+  /// Run events with timestamp <= `deadline`; time advances to `deadline`
+  /// even if the queue drains early. Returns events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Run events until `stop()` is called from inside an action or the
+  /// queue drains. Returns events executed.
+  std::size_t run_until_stopped();
+
+  /// Request that the innermost run_until_stopped() loop exits after the
+  /// current action returns.
+  void stop() { stop_requested_ = true; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    u64 seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_{};
+  u64 next_seq_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace vfpga::sim

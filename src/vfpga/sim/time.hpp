@@ -1,0 +1,113 @@
+// Simulated time.
+//
+// All simulation timestamps and durations are integer picoseconds. A
+// signed 64-bit picosecond counter covers ~106 days of simulated time,
+// far beyond any experiment here, while representing both the 8 ns
+// FPGA cycle (8000 ps) and PCIe serialization (1 byte/ns at Gen2 x2
+// effective rate) without rounding.
+//
+// `SimTime` (a point) and `Duration` (a length) are distinct strong types
+// so that `point + point` does not compile (P.1: express ideas in code).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::sim {
+
+/// Length of simulated time, in picoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(i64 picos) : picos_(picos) {}
+
+  [[nodiscard]] constexpr i64 picos() const { return picos_; }
+  [[nodiscard]] constexpr double nanos() const {
+    return static_cast<double>(picos_) / 1e3;
+  }
+  [[nodiscard]] constexpr double micros() const {
+    return static_cast<double>(picos_) / 1e6;
+  }
+
+  constexpr Duration& operator+=(Duration d) {
+    picos_ += d.picos_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) {
+    picos_ -= d.picos_;
+    return *this;
+  }
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.picos_ + b.picos_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.picos_ - b.picos_};
+  }
+  friend constexpr Duration operator*(Duration a, i64 k) {
+    return Duration{a.picos_ * k};
+  }
+  friend constexpr Duration operator*(i64 k, Duration a) { return a * k; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  i64 picos_ = 0;
+};
+
+constexpr Duration picoseconds(i64 n) { return Duration{n}; }
+constexpr Duration nanoseconds(i64 n) { return Duration{n * 1'000}; }
+constexpr Duration microseconds(i64 n) { return Duration{n * 1'000'000}; }
+constexpr Duration milliseconds(i64 n) { return Duration{n * 1'000'000'000}; }
+
+/// Duration from a (possibly fractional) nanosecond count, rounded to ps.
+constexpr Duration from_nanos(double ns) {
+  return Duration{static_cast<i64>(ns * 1e3 + (ns >= 0 ? 0.5 : -0.5))};
+}
+
+/// A point on the simulated timeline.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(i64 picos) : picos_(picos) {}
+
+  [[nodiscard]] constexpr i64 picos() const { return picos_; }
+  [[nodiscard]] constexpr double nanos() const {
+    return static_cast<double>(picos_) / 1e3;
+  }
+  [[nodiscard]] constexpr double micros() const {
+    return static_cast<double>(picos_) / 1e6;
+  }
+
+  constexpr SimTime& operator+=(Duration d) {
+    picos_ += d.picos();
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.picos_ + d.picos()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration{a.picos_ - b.picos_};
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  i64 picos_ = 0;
+};
+
+/// Quantize a duration to a clock-tick multiple, rounding up (the way a
+/// synchronous FSM consumes whole cycles).
+constexpr Duration round_up_to(Duration d, Duration tick) {
+  const i64 t = tick.picos();
+  const i64 q = (d.picos() + t - 1) / t;
+  return Duration{q * t};
+}
+
+/// Quantize a duration to a clock-tick multiple, rounding down (the way a
+/// free-running hardware counter samples an interval).
+constexpr Duration round_down_to(Duration d, Duration tick) {
+  const i64 t = tick.picos();
+  return Duration{(d.picos() / t) * t};
+}
+
+}  // namespace vfpga::sim

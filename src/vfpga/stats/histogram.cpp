@@ -1,0 +1,57 @@
+#include "vfpga/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::stats {
+
+Histogram::Histogram(double lo_us, double hi_us, double bin_width_us)
+    : lo_us_(lo_us), width_us_(bin_width_us) {
+  VFPGA_EXPECTS(hi_us > lo_us && bin_width_us > 0);
+  const auto bins =
+      static_cast<std::size_t>((hi_us - lo_us) / bin_width_us + 0.5);
+  counts_.assign(std::max<std::size_t>(bins, 1), 0);
+}
+
+void Histogram::add(double value_us) {
+  double idx_f = (value_us - lo_us_) / width_us_;
+  idx_f = std::max(idx_f, 0.0);
+  auto idx = static_cast<std::size_t>(idx_f);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+  ++total_;
+}
+
+void Histogram::add_all(const SampleSet& samples) {
+  for (double v : samples.values_us()) {
+    add(v);
+  }
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  u64 peak = 1;
+  for (u64 c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_bar_width));
+    std::snprintf(line, sizeof line, "  [%7.1f,%7.1f) %8llu ",
+                  bin_low_us(i), bin_low_us(i) + width_us_,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(std::max<std::size_t>(bar, counts_[i] > 0 ? 1 : 0), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vfpga::stats

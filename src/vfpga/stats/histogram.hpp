@@ -1,0 +1,38 @@
+// Fixed-bin latency histogram for distribution plots (Fig. 3's
+// latency-distribution view, rendered as ASCII in the benches).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vfpga/stats/summary.hpp"
+
+namespace vfpga::stats {
+
+class Histogram {
+ public:
+  /// Bins of `bin_width_us` covering [lo_us, hi_us); values outside are
+  /// clamped into the first/last bin.
+  Histogram(double lo_us, double hi_us, double bin_width_us);
+
+  void add(double value_us);
+  void add_all(const SampleSet& samples);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] u64 bin(std::size_t index) const { return counts_[index]; }
+  [[nodiscard]] double bin_low_us(std::size_t index) const {
+    return lo_us_ + static_cast<double>(index) * width_us_;
+  }
+  [[nodiscard]] u64 total() const { return total_; }
+
+  /// Render as rows of "[lo..hi) count bar" (for bench output).
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_us_;
+  double width_us_;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+};
+
+}  // namespace vfpga::stats

@@ -1,0 +1,85 @@
+#include "vfpga/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::stats {
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    sorted_values_ = values_us_;
+    std::sort(sorted_values_.begin(), sorted_values_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  VFPGA_EXPECTS(!empty());
+  double sum = 0;
+  for (double v : values_us_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_us_.size());
+}
+
+double SampleSet::stddev() const {
+  VFPGA_EXPECTS(!empty());
+  if (values_us_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_us_) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values_us_.size() - 1));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  VFPGA_EXPECTS(!empty());
+  return sorted_values_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  VFPGA_EXPECTS(!empty());
+  return sorted_values_.back();
+}
+
+double SampleSet::percentile(double q) const {
+  VFPGA_EXPECTS(!empty());
+  VFPGA_EXPECTS(q >= 0.0 && q <= 100.0);
+  ensure_sorted();
+  if (q == 0.0) {
+    return sorted_values_.front();
+  }
+  // Nearest-rank: ceil(q/100 * N), 1-indexed.
+  const auto n = static_cast<double>(sorted_values_.size());
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(q / 100.0 * n - 1e-9));
+  return sorted_values_[std::min(rank, sorted_values_.size()) - 1];
+}
+
+void SampleSet::merge(const SampleSet& other) {
+  values_us_.insert(values_us_.end(), other.values_us_.begin(),
+                    other.values_us_.end());
+  sorted_ = false;
+}
+
+LatencySummary LatencySummary::from(const SampleSet& samples) {
+  LatencySummary s;
+  s.mean_us = samples.mean();
+  s.stddev_us = samples.stddev();
+  s.min_us = samples.min();
+  s.median_us = samples.median();
+  s.p95_us = samples.percentile(95.0);
+  s.p99_us = samples.percentile(99.0);
+  s.p999_us = samples.percentile(99.9);
+  s.max_us = samples.max();
+  return s;
+}
+
+}  // namespace vfpga::stats

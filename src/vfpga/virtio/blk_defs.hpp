@@ -1,0 +1,62 @@
+// virtio-blk structures (VirtIO 1.2 §5.2).
+//
+// A second "more VirtIO device types" personality (paper contribution
+// bullet 1): a block device backed by FPGA BRAM. Requests carry a
+// 16-byte header (type, reserved, sector), the data buffers, and a
+// trailing 1-byte status the device writes.
+#pragma once
+
+#include "vfpga/common/endian.hpp"
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::virtio::blk {
+
+/// virtio_blk_config field offsets.
+struct BlkConfigLayout {
+  static constexpr u32 kCapacityOffset = 0;  // le64, in 512-byte sectors
+  static constexpr u32 kSizeMaxOffset = 8;   // le32
+  static constexpr u32 kSegMaxOffset = 12;   // le32
+  static constexpr u32 kBlkSizeOffset = 20;  // le32
+  static constexpr u32 kSize = 24;
+};
+
+/// Request types (§5.2.6).
+enum class RequestType : u32 {
+  In = 0,      ///< read from device
+  Out = 1,     ///< write to device
+  Flush = 4,
+  GetId = 8,
+};
+
+/// Status byte the device writes into the last descriptor.
+inline constexpr u8 kStatusOk = 0;
+inline constexpr u8 kStatusIoErr = 1;
+inline constexpr u8 kStatusUnsupported = 2;
+
+inline constexpr u64 kSectorBytes = 512;
+inline constexpr u64 kRequestHeaderBytes = 16;
+
+/// Decode the request header from the first descriptor's bytes.
+struct RequestHeader {
+  RequestType type = RequestType::In;
+  u64 sector = 0;
+
+  static RequestHeader decode(ConstByteSpan raw) {
+    VFPGA_EXPECTS(raw.size() >= kRequestHeaderBytes);
+    RequestHeader h;
+    h.type = static_cast<RequestType>(load_le32(raw, 0));
+    h.sector = load_le64(raw, 8);
+    return h;
+  }
+  void encode(ByteSpan out) const {
+    VFPGA_EXPECTS(out.size() >= kRequestHeaderBytes);
+    store_le32(out, 0, static_cast<u32>(type));
+    store_le32(out, 4, 0);
+    store_le64(out, 8, sector);
+  }
+};
+
+/// The single queue of a minimal block device.
+inline constexpr u16 kRequestQueue = 0;
+
+}  // namespace vfpga::virtio::blk

@@ -1,0 +1,27 @@
+// virtio-console structures (VirtIO 1.2 §5.3).
+//
+// The console device is the type implemented by the prior work the
+// paper extends ([14], H2RC'22); the controller keeps supporting it to
+// demonstrate that changing device personality only swaps the
+// device-specific configuration structure and queue count (§IV-B: "the
+// fundamentals of the VirtIO interface on the FPGA do not change based
+// on the type of device implemented").
+#pragma once
+
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::virtio::console {
+
+/// virtio_console_config.
+struct ConsoleConfigLayout {
+  static constexpr u32 kColsOffset = 0;      // le16
+  static constexpr u32 kRowsOffset = 2;      // le16
+  static constexpr u32 kMaxPortsOffset = 4;  // le32
+  static constexpr u32 kSize = 8;
+};
+
+/// Queue numbering for a single-port console: 0=receiveq, 1=transmitq.
+inline constexpr u16 kRxQueue = 0;
+inline constexpr u16 kTxQueue = 1;
+
+}  // namespace vfpga::virtio::console

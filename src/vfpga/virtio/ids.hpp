@@ -1,0 +1,65 @@
+// VirtIO identity and status constants (VirtIO 1.2, OASIS csd01).
+//
+// Requirement (i) of §II-C in the paper: the FPGA must announce the
+// correct vendor/device IDs at enumeration so the in-kernel virtio-pci
+// driver binds to it. Modern (non-transitional) devices use vendor
+// 0x1af4 and device ID 0x1040 + device-type.
+#pragma once
+
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::virtio {
+
+inline constexpr u16 kVirtioPciVendorId = 0x1af4;
+inline constexpr u16 kVirtioPciModernDeviceBase = 0x1040;
+/// Modern devices must present revision >= 1 (virtio-pci rejects rev 0
+/// for device IDs >= 0x1040).
+inline constexpr u8 kVirtioPciModernRevision = 0x01;
+
+/// Device types (VirtIO 1.2 §5).
+enum class DeviceType : u16 {
+  Reserved = 0,
+  Net = 1,
+  Block = 2,
+  Console = 3,
+  Entropy = 4,
+  Balloon = 5,
+  Scsi = 8,
+  Gpu = 16,
+  Input = 18,
+  Crypto = 20,
+};
+
+[[nodiscard]] constexpr u16 modern_pci_device_id(DeviceType type) {
+  return static_cast<u16>(kVirtioPciModernDeviceBase +
+                          static_cast<u16>(type));
+}
+
+/// Device status bits (§2.1).
+namespace status {
+inline constexpr u8 kAcknowledge = 1;
+inline constexpr u8 kDriver = 2;
+inline constexpr u8 kDriverOk = 4;
+inline constexpr u8 kFeaturesOk = 8;
+inline constexpr u8 kDeviceNeedsReset = 64;
+inline constexpr u8 kFailed = 128;
+}  // namespace status
+
+/// Split-ring descriptor flags (§2.7.5).
+namespace descflags {
+inline constexpr u16 kNext = 1;      ///< chain continues in `next`
+inline constexpr u16 kWrite = 2;     ///< device writes into this buffer
+inline constexpr u16 kIndirect = 4;  ///< buffer holds an indirect table
+}  // namespace descflags
+
+/// Avail/used ring flags (§2.7.6/§2.7.8) — only meaningful when
+/// VIRTIO_F_EVENT_IDX is *not* negotiated.
+namespace ringflags {
+inline constexpr u16 kAvailNoInterrupt = 1;  ///< driver: don't interrupt me
+inline constexpr u16 kUsedNoNotify = 1;      ///< device: don't kick me
+}  // namespace ringflags
+
+/// "No MSI-X vector assigned" sentinel for common-config vector fields.
+inline constexpr u16 kNoVector = 0xffff;
+
+}  // namespace vfpga::virtio

@@ -1,0 +1,130 @@
+#include "vfpga/virtio/packed_device.hpp"
+
+#include <array>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/common/endian.hpp"
+#include "vfpga/virtio/ids.hpp"
+
+namespace vfpga::virtio {
+
+namespace pk = packed;
+
+namespace {
+
+pk::PackedDescriptor decode(ConstByteSpan raw) {
+  VFPGA_EXPECTS(raw.size() >= pk::kDescSize);
+  pk::PackedDescriptor d;
+  d.addr = load_le64(raw, pk::kDescAddrOffset);
+  d.len = load_le32(raw, pk::kDescLenOffset);
+  d.id = load_le16(raw, pk::kDescIdOffset);
+  d.desc_flags = load_le16(raw, pk::kDescFlagsOffset);
+  return d;
+}
+
+}  // namespace
+
+void PackedVirtqueueDevice::configure(const RingAddresses& addrs,
+                                      u16 queue_size, FeatureSet negotiated) {
+  VFPGA_EXPECTS(queue_size != 0);
+  VFPGA_EXPECTS(negotiated.has(feature::kRingPacked));
+  addrs_ = addrs;
+  queue_size_ = queue_size;
+  avail_cursor_ = 0;
+  avail_wrap_ = true;
+  used_cursor_ = 0;
+  used_wrap_ = true;
+  cached_head_.reset();
+}
+
+virtio::Timed<bool> PackedVirtqueueDevice::peek_available(sim::SimTime start) {
+  VFPGA_EXPECTS(configured());
+  std::array<u8, pk::kDescSize> raw{};
+  const sim::SimTime done = port_.read(
+      start, addrs_.desc + pk::desc_offset(avail_cursor_), raw);
+  const pk::PackedDescriptor desc = decode(raw);
+  const bool available = pk::is_available(desc.desc_flags, avail_wrap_);
+  if (available) {
+    cached_head_ = desc;
+  } else {
+    cached_head_.reset();
+  }
+  return virtio::Timed<bool>{available, done};
+}
+
+virtio::Timed<PackedVirtqueueDevice::Chain>
+PackedVirtqueueDevice::consume_chain(sim::SimTime start) {
+  VFPGA_EXPECTS(cached_head_.has_value());
+  Chain chain;
+  sim::SimTime t = start;
+  pk::PackedDescriptor current = *cached_head_;
+  cached_head_.reset();
+
+  for (u16 guard = 0; guard < queue_size_; ++guard) {
+    Descriptor view;
+    view.addr = current.addr;
+    view.len = current.len;
+    view.flags = (current.desc_flags & pk::flags::kWrite) != 0
+                     ? descflags::kWrite
+                     : u16{0};
+    chain.descriptors.push_back(view);
+    chain.id = current.id;  // the last descriptor's id is authoritative
+    ++chain.descriptor_count;
+    ++avail_cursor_;
+    if (avail_cursor_ == queue_size_) {
+      avail_cursor_ = 0;
+      avail_wrap_ = !avail_wrap_;
+    }
+    if ((current.desc_flags & pk::flags::kNext) == 0) {
+      return virtio::Timed<Chain>{std::move(chain), t};
+    }
+    // Chains occupy consecutive slots: fetch the continuation.
+    std::array<u8, pk::kDescSize> raw{};
+    t = port_.read(t, addrs_.desc + pk::desc_offset(avail_cursor_), raw);
+    current = decode(raw);
+  }
+  VFPGA_UNREACHABLE("packed chain longer than queue size");
+}
+
+pcie::DmaPort::WriteTiming PackedVirtqueueDevice::push_used(
+    const Chain& chain, u32 written, sim::SimTime start) {
+  VFPGA_EXPECTS(configured());
+  VFPGA_EXPECTS(chain.descriptor_count > 0);
+  std::array<u8, pk::kDescSize> raw{};
+  store_le64(raw, pk::kDescAddrOffset, 0);
+  store_le32(ByteSpan{raw}, pk::kDescLenOffset, written);
+  store_le16(ByteSpan{raw}, pk::kDescIdOffset, chain.id);
+  store_le16(ByteSpan{raw}, pk::kDescFlagsOffset,
+             pk::used_flags(used_wrap_));
+  const auto timing = port_.write(
+      start, addrs_.desc + pk::desc_offset(used_cursor_), raw);
+
+  // §2.8.7: one used descriptor per chain; skip ahead by its length.
+  for (u16 i = 0; i < chain.descriptor_count; ++i) {
+    ++used_cursor_;
+    if (used_cursor_ == queue_size_) {
+      used_cursor_ = 0;
+      used_wrap_ = !used_wrap_;
+    }
+  }
+  return timing;
+}
+
+virtio::Timed<u16> PackedVirtqueueDevice::read_driver_event_flags(
+    sim::SimTime start) const {
+  VFPGA_EXPECTS(configured());
+  std::array<u8, 2> raw{};
+  const sim::SimTime done =
+      port_.read(start, addrs_.avail + pk::event::kFlagsOffset, raw);
+  return virtio::Timed<u16>{load_le16(raw), done};
+}
+
+pcie::DmaPort::WriteTiming PackedVirtqueueDevice::write_device_event_flags(
+    u16 value, sim::SimTime start) {
+  VFPGA_EXPECTS(configured());
+  std::array<u8, 2> raw{};
+  store_le16(raw, 0, value);
+  return port_.write(start, addrs_.used + pk::event::kFlagsOffset, raw);
+}
+
+}  // namespace vfpga::virtio

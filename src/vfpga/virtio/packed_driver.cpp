@@ -1,0 +1,133 @@
+#include "vfpga/virtio/packed_driver.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::virtio {
+
+namespace pk = packed;
+
+PackedVirtqueueDriver::PackedVirtqueueDriver(mem::HostMemory& memory,
+                                             u16 queue_size,
+                                             FeatureSet negotiated)
+    : memory_(&memory),
+      queue_size_(queue_size),
+      id_desc_count_(queue_size, 0),
+      id_token_(queue_size, 0),
+      num_free_(queue_size) {
+  VFPGA_EXPECTS(queue_size != 0);
+  VFPGA_EXPECTS(negotiated.has(feature::kRingPacked));
+  addrs_.desc = memory.allocate(pk::ring_bytes(queue_size), 16);
+  addrs_.avail = memory.allocate(pk::event::kSize, 4);  // driver event
+  addrs_.used = memory.allocate(pk::event::kSize, 4);   // device event
+  memory.fill(addrs_.desc, 0, pk::ring_bytes(queue_size));
+  memory.fill(addrs_.avail, 0, pk::event::kSize);
+  memory.fill(addrs_.used, 0, pk::event::kSize);
+  for (u16 i = 0; i < queue_size; ++i) {
+    free_ids_.push_back(i);
+  }
+}
+
+std::optional<u16> PackedVirtqueueDriver::add_chain(
+    std::span<const ChainBuffer> buffers, u64 token) {
+  VFPGA_EXPECTS(!buffers.empty());
+  if (buffers.size() > num_free_ || free_ids_.empty()) {
+    return std::nullopt;
+  }
+  const u16 id = free_ids_.front();
+  free_ids_.pop_front();
+  id_desc_count_[id] = static_cast<u16>(buffers.size());
+  id_token_[id] = token;
+
+  u16 slot = next_avail_slot_;
+  bool wrap = avail_wrap_;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const ChainBuffer& b = buffers[i];
+    const HostAddr entry = addrs_.desc + pk::desc_offset(slot);
+    memory_->write_le64(entry + pk::kDescAddrOffset, b.addr);
+    memory_->write_le32(entry + pk::kDescLenOffset, b.len);
+    // §2.8.6: the buffer ID is required only in the last descriptor of
+    // the chain; writing it everywhere is permitted and simpler.
+    memory_->write_le16(entry + pk::kDescIdOffset, id);
+    u16 desc_flags = pk::avail_flags(wrap);
+    if (b.device_writable) {
+      desc_flags |= pk::flags::kWrite;
+    }
+    if (i + 1 < buffers.size()) {
+      desc_flags |= pk::flags::kNext;
+    }
+    // In a real implementation the head descriptor's flags are written
+    // last with a release barrier; the functional simulation's publish
+    // point is this store sequence as a whole.
+    memory_->write_le16(entry + pk::kDescFlagsOffset, desc_flags);
+
+    ++slot;
+    if (slot == queue_size_) {
+      slot = 0;
+      wrap = !wrap;
+    }
+  }
+  next_avail_slot_ = slot;
+  avail_wrap_ = wrap;
+  num_free_ = static_cast<u16>(num_free_ - buffers.size());
+  ++pending_publish_;
+  return id;
+}
+
+u16 PackedVirtqueueDriver::publish() {
+  // Packed rings have no avail.idx: descriptors became visible when
+  // their flags were stored. publish() only reports the batch size.
+  const u16 published = pending_publish_;
+  pending_publish_ = 0;
+  return published;
+}
+
+bool PackedVirtqueueDriver::should_kick() const {
+  // Flags-only suppression: read the device event structure.
+  const u16 device_flags =
+      memory_->read_le16(addrs_.used + pk::event::kFlagsOffset);
+  return device_flags != pk::event::kDisable;
+}
+
+bool PackedVirtqueueDriver::used_pending() const {
+  const u16 desc_flags = memory_->read_le16(
+      addrs_.desc + pk::desc_offset(next_used_slot_) + pk::kDescFlagsOffset);
+  return pk::is_used(desc_flags, used_wrap_);
+}
+
+std::optional<DriverRing::Completion> PackedVirtqueueDriver::harvest() {
+  if (!used_pending()) {
+    return std::nullopt;
+  }
+  const HostAddr entry = addrs_.desc + pk::desc_offset(next_used_slot_);
+  const u16 id = memory_->read_le16(entry + pk::kDescIdOffset);
+  const u32 written = memory_->read_le32(entry + pk::kDescLenOffset);
+  VFPGA_ASSERT(id < queue_size_);
+  const u16 count = id_desc_count_[id];
+  VFPGA_ASSERT(count > 0);
+
+  // The device wrote one used descriptor for the chain and skipped ahead
+  // by the chain length (§2.8.7).
+  for (u16 i = 0; i < count; ++i) {
+    ++next_used_slot_;
+    if (next_used_slot_ == queue_size_) {
+      next_used_slot_ = 0;
+      used_wrap_ = !used_wrap_;
+    }
+  }
+  num_free_ = static_cast<u16>(num_free_ + count);
+  id_desc_count_[id] = 0;
+  free_ids_.push_back(id);
+  return Completion{id_token_[id], written, id};
+}
+
+void PackedVirtqueueDriver::enable_interrupts() {
+  memory_->write_le16(addrs_.avail + pk::event::kFlagsOffset,
+                      pk::event::kEnable);
+}
+
+void PackedVirtqueueDriver::disable_interrupts() {
+  memory_->write_le16(addrs_.avail + pk::event::kFlagsOffset,
+                      pk::event::kDisable);
+}
+
+}  // namespace vfpga::virtio

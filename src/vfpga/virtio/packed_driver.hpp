@@ -1,0 +1,71 @@
+// Driver-side packed virtqueue (VirtIO 1.2 §2.8).
+//
+// The front-end half of a packed ring: descriptors are written into the
+// single descriptor ring in slot order with ownership encoded in the
+// AVAIL/USED flag bits against a 1-bit wrap counter; completions come
+// back in the same ring as device-written descriptors. Notification
+// suppression uses the two 4-byte event structures in their flags-only
+// mode (ENABLE/DISABLE).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "vfpga/mem/host_memory.hpp"
+#include "vfpga/virtio/driver_ring.hpp"
+#include "vfpga/virtio/features.hpp"
+#include "vfpga/virtio/packed_layout.hpp"
+
+namespace vfpga::virtio {
+
+class PackedVirtqueueDriver final : public DriverRing {
+ public:
+  /// Allocates the descriptor ring + both event structures in `memory`.
+  /// `negotiated` must include VIRTIO_F_RING_PACKED.
+  PackedVirtqueueDriver(mem::HostMemory& memory, u16 queue_size,
+                        FeatureSet negotiated);
+
+  // ---- DriverRing ---------------------------------------------------------------
+  [[nodiscard]] u16 size() const override { return queue_size_; }
+  [[nodiscard]] u16 free_descriptors() const override { return num_free_; }
+  std::optional<u16> add_chain(std::span<const ChainBuffer> buffers,
+                               u64 token) override;
+  u16 publish() override;
+  [[nodiscard]] bool should_kick() const override;
+  std::optional<Completion> harvest() override;
+  [[nodiscard]] bool used_pending() const override;
+  void enable_interrupts() override;
+  void disable_interrupts() override;
+  [[nodiscard]] RingAddresses ring_addresses() const override {
+    return addrs_;
+  }
+
+  // ---- packed-specific observability ---------------------------------------------
+  [[nodiscard]] bool avail_wrap_counter() const { return avail_wrap_; }
+  [[nodiscard]] bool used_wrap_counter() const { return used_wrap_; }
+  [[nodiscard]] u16 next_avail_slot() const { return next_avail_slot_; }
+
+ private:
+  struct PendingId {
+    u16 id = 0;
+    u16 descriptor_count = 0;
+    u64 token = 0;
+  };
+
+  mem::HostMemory* memory_;
+  u16 queue_size_;
+  RingAddresses addrs_;  ///< desc = ring, avail = driver evt, used = device evt
+
+  std::deque<u16> free_ids_;
+  std::vector<u16> id_desc_count_;
+  std::vector<u64> id_token_;
+  u16 num_free_;  ///< free descriptor slots
+
+  u16 next_avail_slot_ = 0;
+  bool avail_wrap_ = true;
+  u16 next_used_slot_ = 0;
+  bool used_wrap_ = true;
+  u16 pending_publish_ = 0;
+};
+
+}  // namespace vfpga::virtio

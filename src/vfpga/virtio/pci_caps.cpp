@@ -1,0 +1,95 @@
+#include "vfpga/virtio/pci_caps.hpp"
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/common/endian.hpp"
+
+namespace vfpga::virtio {
+namespace {
+
+// Body layout after the generic 2-byte capability header:
+//   +0 cap_len  +1 cfg_type  +2 bar  +3 id  +4..5 padding
+//   +6 offset(le32)  +10 length(le32)
+// (so the full capability is 16 bytes; Notify appends a 4-byte
+// notify_off_multiplier for a total of 20.)
+constexpr std::size_t kBodyLen = 14;
+constexpr std::size_t kNotifyBodyLen = 18;
+
+Bytes make_cap_body(CfgType type, const StructureLocation& loc,
+                    std::optional<u32> notify_multiplier) {
+  const bool is_notify = notify_multiplier.has_value();
+  Bytes body(is_notify ? kNotifyBodyLen : kBodyLen, 0);
+  ByteSpan s{body};
+  body[0] = static_cast<u8>(2 + body.size());  // cap_len counts the header
+  body[1] = static_cast<u8>(type);
+  body[2] = loc.bar;
+  body[3] = 0;  // id: only one structure of each type
+  store_le32(s, 6, loc.offset);
+  store_le32(s, 10, loc.length);
+  if (is_notify) {
+    store_le32(s, 14, *notify_multiplier);
+  }
+  return body;
+}
+
+}  // namespace
+
+void add_virtio_capabilities(pcie::ConfigSpace& config,
+                             const VirtioPciLayout& layout) {
+  VFPGA_EXPECTS(layout.complete());
+  config.add_capability(pcie::CapabilityId::VendorSpecific,
+                        make_cap_body(CfgType::Common, layout.common, {}));
+  config.add_capability(
+      pcie::CapabilityId::VendorSpecific,
+      make_cap_body(CfgType::Notify, layout.notify,
+                    layout.notify_off_multiplier));
+  config.add_capability(pcie::CapabilityId::VendorSpecific,
+                        make_cap_body(CfgType::Isr, layout.isr, {}));
+  if (layout.device_specific.length != 0) {
+    config.add_capability(
+        pcie::CapabilityId::VendorSpecific,
+        make_cap_body(CfgType::Device, layout.device_specific, {}));
+  }
+}
+
+std::optional<VirtioPciLayout> parse_virtio_capabilities(
+    const pcie::ConfigSpace& config) {
+  VirtioPciLayout layout;
+  u16 cap = 0;
+  while (true) {
+    cap = config.find_capability(pcie::CapabilityId::VendorSpecific, cap);
+    if (cap == 0) {
+      break;
+    }
+    const u8 cfg_type = config.read8(static_cast<u16>(cap + 3));
+    StructureLocation loc;
+    loc.bar = config.read8(static_cast<u16>(cap + 4));
+    loc.offset = config.read32(static_cast<u16>(cap + 8));
+    loc.length = config.read32(static_cast<u16>(cap + 12));
+    switch (static_cast<CfgType>(cfg_type)) {
+      case CfgType::Common:
+        layout.common = loc;
+        break;
+      case CfgType::Notify:
+        layout.notify = loc;
+        layout.notify_off_multiplier =
+            config.read32(static_cast<u16>(cap + 16));
+        break;
+      case CfgType::Isr:
+        layout.isr = loc;
+        break;
+      case CfgType::Device:
+        layout.device_specific = loc;
+        break;
+      case CfgType::Pci:
+        break;  // alternative access window: not used by the models
+      default:
+        break;  // unknown cfg_type: spec says skip
+    }
+  }
+  if (!layout.complete()) {
+    return std::nullopt;
+  }
+  return layout;
+}
+
+}  // namespace vfpga::virtio

@@ -1,0 +1,86 @@
+// VirtIO-over-PCI capability structures (VirtIO 1.2 §4.1.4).
+//
+// Requirement (ii)+(iii) of the paper's §II-C: the FPGA must implement
+// the VirtIO configuration structures in a BAR and advertise their
+// locations through vendor-specific PCI capabilities. This header
+// defines the capability wire format, a builder the FPGA-side device
+// uses to populate its config space, and the parser the host-side
+// virtio-pci driver model uses to locate the structures — the same walk
+// Linux's vp_modern_probe performs.
+#pragma once
+
+#include <optional>
+
+#include "vfpga/pcie/config_space.hpp"
+
+namespace vfpga::virtio {
+
+/// virtio_pci_cap.cfg_type values.
+enum class CfgType : u8 {
+  Common = 1,
+  Notify = 2,
+  Isr = 3,
+  Device = 4,
+  Pci = 5,
+};
+
+/// Location of one configuration structure inside a BAR.
+struct StructureLocation {
+  u8 bar = 0;
+  u32 offset = 0;
+  u32 length = 0;
+};
+
+/// Where the device placed all of its VirtIO structures.
+struct VirtioPciLayout {
+  StructureLocation common;
+  StructureLocation notify;
+  u32 notify_off_multiplier = 0;
+  StructureLocation isr;
+  StructureLocation device_specific;
+
+  [[nodiscard]] bool complete() const {
+    return common.length != 0 && notify.length != 0 && isr.length != 0;
+  }
+};
+
+/// Add the four VirtIO vendor-specific capabilities describing `layout`
+/// to `config`.
+void add_virtio_capabilities(pcie::ConfigSpace& config,
+                             const VirtioPciLayout& layout);
+
+/// Walk the capability chain and reconstruct the layout; nullopt when
+/// the device is not VirtIO-modern-capable.
+std::optional<VirtioPciLayout> parse_virtio_capabilities(
+    const pcie::ConfigSpace& config);
+
+/// Register offsets inside the common configuration structure
+/// (virtio_pci_common_cfg, §4.1.4.3).
+namespace commoncfg {
+inline constexpr u32 kDeviceFeatureSelect = 0x00;
+inline constexpr u32 kDeviceFeature = 0x04;
+inline constexpr u32 kDriverFeatureSelect = 0x08;
+inline constexpr u32 kDriverFeature = 0x0c;
+inline constexpr u32 kMsixConfig = 0x10;
+inline constexpr u32 kNumQueues = 0x12;
+inline constexpr u32 kDeviceStatus = 0x14;
+inline constexpr u32 kConfigGeneration = 0x15;
+inline constexpr u32 kQueueSelect = 0x16;
+inline constexpr u32 kQueueSize = 0x18;
+inline constexpr u32 kQueueMsixVector = 0x1a;
+inline constexpr u32 kQueueEnable = 0x1c;
+inline constexpr u32 kQueueNotifyOff = 0x1e;
+inline constexpr u32 kQueueDesc = 0x20;
+inline constexpr u32 kQueueDriver = 0x28;
+inline constexpr u32 kQueueDevice = 0x30;
+inline constexpr u32 kSize = 0x38;
+}  // namespace commoncfg
+
+/// ISR status bits (§4.1.4.5) — used with INTx/polling; with MSI-X per
+/// the spec the ISR field is unused but must still exist.
+namespace isr {
+inline constexpr u8 kQueueInterrupt = 1;
+inline constexpr u8 kConfigInterrupt = 2;
+}  // namespace isr
+
+}  // namespace vfpga::virtio

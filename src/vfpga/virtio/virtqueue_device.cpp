@@ -1,0 +1,201 @@
+#include "vfpga/virtio/virtqueue_device.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/common/endian.hpp"
+#include "vfpga/virtio/ids.hpp"
+
+namespace vfpga::virtio {
+namespace {
+
+Descriptor decode_descriptor(ConstByteSpan raw) {
+  VFPGA_EXPECTS(raw.size() >= kDescSize);
+  Descriptor d;
+  d.addr = load_le64(raw, kDescAddrOffset);
+  d.len = load_le32(raw, kDescLenOffset);
+  d.flags = load_le16(raw, kDescFlagsOffset);
+  d.next = load_le16(raw, kDescNextOffset);
+  return d;
+}
+
+}  // namespace
+
+void VirtqueueDevice::configure(const RingAddresses& addrs, u16 queue_size,
+                                FeatureSet negotiated) {
+  VFPGA_EXPECTS(queue_size != 0 && (queue_size & (queue_size - 1)) == 0);
+  VFPGA_EXPECTS(addrs.desc % kDescAlign == 0);
+  VFPGA_EXPECTS(addrs.used % kUsedAlign == 0);
+  addrs_ = addrs;
+  queue_size_ = queue_size;
+  negotiated_ = negotiated;
+  avail_cursor_ = 0;
+  used_idx_ = 0;
+}
+
+Timed<u16> VirtqueueDevice::fetch_avail_idx(sim::SimTime start) const {
+  VFPGA_EXPECTS(configured());
+  std::array<u8, 2> raw{};
+  const sim::SimTime done =
+      port_.read(start, addrs_.avail + kAvailIdxOffset, raw);
+  return Timed<u16>{load_le16(raw), done};
+}
+
+Timed<u16> VirtqueueDevice::fetch_avail_entry(u16 avail_position,
+                                              sim::SimTime start) const {
+  VFPGA_EXPECTS(configured());
+  const u16 slot = static_cast<u16>(avail_position % queue_size_);
+  std::array<u8, 2> raw{};
+  const sim::SimTime done =
+      port_.read(start, addrs_.avail + avail_entry_offset(slot), raw);
+  const u16 head = load_le16(raw);
+  VFPGA_ENSURES(head < queue_size_);
+  return Timed<u16>{head, done};
+}
+
+Timed<Descriptor> VirtqueueDevice::fetch_descriptor(u16 index,
+                                                    sim::SimTime start) const {
+  VFPGA_EXPECTS(configured());
+  VFPGA_EXPECTS(index < queue_size_);
+  std::array<u8, kDescSize> raw{};
+  const sim::SimTime done =
+      port_.read(start, addrs_.desc + desc_offset(index), raw);
+  return Timed<Descriptor>{decode_descriptor(raw), done};
+}
+
+Timed<std::vector<Descriptor>> VirtqueueDevice::fetch_descriptors(
+    u16 first, u16 count, sim::SimTime start) const {
+  VFPGA_EXPECTS(configured());
+  VFPGA_EXPECTS(count >= 1);
+  VFPGA_EXPECTS(first + count <= queue_size_);
+  Bytes raw(kDescSize * count);
+  const sim::SimTime done =
+      port_.read(start, addrs_.desc + desc_offset(first), raw);
+  std::vector<Descriptor> out;
+  out.reserve(count);
+  for (u16 i = 0; i < count; ++i) {
+    out.push_back(decode_descriptor(
+        ConstByteSpan{raw}.subspan(static_cast<std::size_t>(i) * kDescSize)));
+  }
+  return Timed<std::vector<Descriptor>>{std::move(out), done};
+}
+
+Timed<std::vector<Descriptor>> VirtqueueDevice::fetch_chain(
+    u16 head, sim::SimTime start) const {
+  std::vector<Descriptor> chain;
+  sim::SimTime t = start;
+  u16 index = head;
+  // A conformant driver never builds a chain longer than the queue.
+  for (u16 guard = 0; guard < queue_size_; ++guard) {
+    const Timed<Descriptor> fetched = fetch_descriptor(index, t);
+    t = fetched.done;
+    if ((fetched.value.flags & descflags::kIndirect) != 0) {
+      // §2.7.5.3: the descriptor points at a table of descriptors; the
+      // whole table arrives in one DMA read. An indirect descriptor is
+      // never chained and the table entries use table-relative `next`
+      // indices, which for our drivers are laid out sequentially.
+      VFPGA_EXPECTS(chain.empty());
+      VFPGA_EXPECTS(fetched.value.len % kDescSize == 0);
+      const u16 count = static_cast<u16>(fetched.value.len / kDescSize);
+      Bytes raw(fetched.value.len);
+      t = port_.read(t, fetched.value.addr, raw);
+      for (u16 i = 0; i < count; ++i) {
+        chain.push_back(decode_descriptor(ConstByteSpan{raw}.subspan(
+            static_cast<std::size_t>(i) * kDescSize)));
+      }
+      return Timed<std::vector<Descriptor>>{std::move(chain), t};
+    }
+    chain.push_back(fetched.value);
+    if ((fetched.value.flags & descflags::kNext) == 0) {
+      return Timed<std::vector<Descriptor>>{std::move(chain), t};
+    }
+    index = fetched.value.next;
+  }
+  VFPGA_UNREACHABLE("descriptor chain longer than queue size");
+}
+
+sim::SimTime VirtqueueDevice::gather_payload(std::span<const Descriptor> chain,
+                                             Bytes& out,
+                                             sim::SimTime start) const {
+  sim::SimTime t = start;
+  for (const Descriptor& d : chain) {
+    if ((d.flags & descflags::kWrite) != 0) {
+      continue;  // device-writable: not ours to read
+    }
+    const std::size_t old_size = out.size();
+    out.resize(old_size + d.len);
+    t = port_.read(t, d.addr, ByteSpan{out}.subspan(old_size));
+  }
+  return t;
+}
+
+pcie::DmaPort::WriteTiming VirtqueueDevice::scatter_payload(
+    std::span<const Descriptor> chain, ConstByteSpan data, sim::SimTime start,
+    u32& written_out) const {
+  sim::SimTime issuer = start;
+  sim::SimTime delivered = start;
+  std::size_t offset = 0;
+  for (const Descriptor& d : chain) {
+    if ((d.flags & descflags::kWrite) == 0) {
+      continue;  // device-readable: skip
+    }
+    if (offset >= data.size()) {
+      break;
+    }
+    const std::size_t chunk =
+        std::min<std::size_t>(d.len, data.size() - offset);
+    const auto timing =
+        port_.write(issuer, d.addr, data.subspan(offset, chunk));
+    issuer = timing.issuer_free;
+    delivered = std::max(delivered, timing.delivered);
+    offset += chunk;
+  }
+  VFPGA_ENSURES(offset == data.size());  // chain must be large enough
+  written_out = static_cast<u32>(offset);
+  return pcie::DmaPort::WriteTiming{issuer, delivered};
+}
+
+pcie::DmaPort::WriteTiming VirtqueueDevice::push_used(u16 head, u32 written,
+                                                      sim::SimTime start) {
+  VFPGA_EXPECTS(configured());
+  VFPGA_EXPECTS(head < queue_size_);
+  const u16 slot = static_cast<u16>(used_idx_ % queue_size_);
+
+  std::array<u8, kUsedElemSize> elem{};
+  store_le32(elem, 0, head);
+  store_le32(ByteSpan{elem}, 4, written);
+  const auto elem_timing =
+      port_.write(start, addrs_.used + used_entry_offset(slot), elem);
+
+  ++used_idx_;
+  std::array<u8, 2> idx{};
+  store_le16(idx, 0, used_idx_);
+  // The idx write must not pass the element write: issue it after the
+  // element has left the engine (PCIe posted-write ordering then
+  // guarantees visibility order at the host).
+  const auto idx_timing = port_.write(elem_timing.issuer_free,
+                                      addrs_.used + kUsedIdxOffset, idx);
+  return pcie::DmaPort::WriteTiming{
+      idx_timing.issuer_free,
+      std::max(elem_timing.delivered, idx_timing.delivered)};
+}
+
+Timed<u16> VirtqueueDevice::read_used_event(sim::SimTime start) const {
+  VFPGA_EXPECTS(configured());
+  std::array<u8, 2> raw{};
+  const sim::SimTime done =
+      port_.read(start, addrs_.avail + used_event_offset(queue_size_), raw);
+  return Timed<u16>{load_le16(raw), done};
+}
+
+pcie::DmaPort::WriteTiming VirtqueueDevice::write_avail_event(
+    u16 value, sim::SimTime start) const {
+  VFPGA_EXPECTS(configured());
+  std::array<u8, 2> raw{};
+  store_le16(raw, 0, value);
+  return port_.write(start, addrs_.used + avail_event_offset(queue_size_),
+                     raw);
+}
+
+}  // namespace vfpga::virtio

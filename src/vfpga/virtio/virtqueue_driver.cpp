@@ -1,0 +1,223 @@
+#include "vfpga/virtio/virtqueue_driver.hpp"
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/virtio/ids.hpp"
+
+namespace vfpga::virtio {
+namespace {
+
+bool is_pow2(u16 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+VirtqueueDriver::VirtqueueDriver(mem::HostMemory& memory, u16 queue_size,
+                                 FeatureSet negotiated)
+    : memory_(&memory),
+      queue_size_(queue_size),
+      negotiated_(negotiated),
+      tokens_(queue_size, 0),
+      chain_len_(queue_size, 0) {
+  VFPGA_EXPECTS(is_pow2(queue_size));
+
+  addrs_.desc = memory.allocate(desc_table_bytes(queue_size), kDescAlign);
+  addrs_.avail = memory.allocate(avail_ring_bytes(queue_size), kAvailAlign);
+  addrs_.used = memory.allocate(used_ring_bytes(queue_size), kUsedAlign);
+  memory.fill(addrs_.desc, 0, desc_table_bytes(queue_size));
+  memory.fill(addrs_.avail, 0, avail_ring_bytes(queue_size));
+  memory.fill(addrs_.used, 0, used_ring_bytes(queue_size));
+
+  // Free list threads every descriptor through its `next` field.
+  for (u16 i = 0; i < queue_size; ++i) {
+    Descriptor d;
+    d.next = static_cast<u16>((i + 1) % queue_size);
+    write_descriptor(i, d);
+  }
+  free_head_ = 0;
+  num_free_ = queue_size;
+}
+
+void VirtqueueDriver::write_descriptor(u16 index, const Descriptor& desc) {
+  VFPGA_EXPECTS(index < queue_size_);
+  const HostAddr base = addrs_.desc + desc_offset(index);
+  memory_->write_le64(base + kDescAddrOffset, desc.addr);
+  memory_->write_le32(base + kDescLenOffset, desc.len);
+  memory_->write_le16(base + kDescFlagsOffset, desc.flags);
+  memory_->write_le16(base + kDescNextOffset, desc.next);
+}
+
+Descriptor VirtqueueDriver::read_descriptor(u16 index) const {
+  VFPGA_EXPECTS(index < queue_size_);
+  const HostAddr base = addrs_.desc + desc_offset(index);
+  Descriptor d;
+  d.addr = memory_->read_le64(base + kDescAddrOffset);
+  d.len = memory_->read_le32(base + kDescLenOffset);
+  d.flags = memory_->read_le16(base + kDescFlagsOffset);
+  d.next = memory_->read_le16(base + kDescNextOffset);
+  return d;
+}
+
+std::optional<u16> VirtqueueDriver::add_chain(
+    std::span<const ChainBuffer> buffers, u64 token) {
+  VFPGA_EXPECTS(!buffers.empty());
+  if (buffers.size() > num_free_) {
+    return std::nullopt;
+  }
+  // VirtIO requires device-readable buffers before device-writable ones.
+  bool seen_writable = false;
+  for (const ChainBuffer& b : buffers) {
+    if (b.device_writable) {
+      seen_writable = true;
+    } else {
+      VFPGA_EXPECTS(!seen_writable);
+    }
+  }
+
+  const u16 head = free_head_;
+  u16 index = head;
+  u16 last = head;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const ChainBuffer& b = buffers[i];
+    Descriptor d = read_descriptor(index);
+    const u16 next_free = d.next;
+    d.addr = b.addr;
+    d.len = b.len;
+    d.flags = b.device_writable ? descflags::kWrite : u16{0};
+    if (i + 1 < buffers.size()) {
+      d.flags |= descflags::kNext;
+      d.next = next_free;
+    } else {
+      d.next = 0;
+    }
+    write_descriptor(index, d);
+    last = index;
+    index = next_free;
+  }
+  (void)last;
+  free_head_ = index;
+  num_free_ = static_cast<u16>(num_free_ - buffers.size());
+
+  tokens_[head] = token;
+  chain_len_[head] = static_cast<u16>(buffers.size());
+
+  // Place the head into the next avail-ring slot (not yet visible: the
+  // idx write in publish() is the release point).
+  const u16 slot = static_cast<u16>(
+      (avail_idx_shadow_ + pending_publish_) % queue_size_);
+  memory_->write_le16(addrs_.avail + avail_entry_offset(slot), head);
+  ++pending_publish_;
+  return head;
+}
+
+std::optional<u16> VirtqueueDriver::add_chain_indirect(
+    std::span<const ChainBuffer> buffers, u64 token) {
+  VFPGA_EXPECTS(!buffers.empty());
+  VFPGA_EXPECTS(negotiated_.has(feature::kRingIndirectDesc));
+  if (num_free_ == 0) {
+    return std::nullopt;
+  }
+  // Build the one-shot table. A real driver recycles these from a slab;
+  // the bump allocator stands in for that (tables are tiny).
+  const HostAddr table =
+      memory_->allocate(kDescSize * buffers.size(), kDescAlign);
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const ChainBuffer& b = buffers[i];
+    const HostAddr entry = table + kDescSize * i;
+    memory_->write_le64(entry + kDescAddrOffset, b.addr);
+    memory_->write_le32(entry + kDescLenOffset, b.len);
+    u16 flags = b.device_writable ? descflags::kWrite : u16{0};
+    u16 next = 0;
+    if (i + 1 < buffers.size()) {
+      flags |= descflags::kNext;
+      next = static_cast<u16>(i + 1);  // table-relative indices
+    }
+    memory_->write_le16(entry + kDescFlagsOffset, flags);
+    memory_->write_le16(entry + kDescNextOffset, next);
+  }
+
+  // One ring descriptor points at the table.
+  const u16 head = free_head_;
+  Descriptor d = read_descriptor(head);
+  const u16 next_free = d.next;
+  d.addr = table;
+  d.len = static_cast<u32>(kDescSize * buffers.size());
+  d.flags = descflags::kIndirect;
+  d.next = 0;
+  write_descriptor(head, d);
+  free_head_ = next_free;
+  --num_free_;
+
+  tokens_[head] = token;
+  chain_len_[head] = 1;  // only the indirect descriptor occupies the ring
+
+  const u16 slot = static_cast<u16>(
+      (avail_idx_shadow_ + pending_publish_) % queue_size_);
+  memory_->write_le16(addrs_.avail + avail_entry_offset(slot), head);
+  ++pending_publish_;
+  return head;
+}
+
+u16 VirtqueueDriver::publish() {
+  if (pending_publish_ == 0) {
+    return 0;
+  }
+  const u16 published = pending_publish_;
+  kick_threshold_idx_ = avail_idx_shadow_;
+  avail_idx_shadow_ = static_cast<u16>(avail_idx_shadow_ + pending_publish_);
+  pending_publish_ = 0;
+  memory_->write_le16(addrs_.avail + kAvailIdxOffset, avail_idx_shadow_);
+  return published;
+}
+
+bool VirtqueueDriver::should_kick() const {
+  if (negotiated_.has(feature::kRingEventIdx)) {
+    // Notify iff the device's avail_event has been passed by this
+    // publish window (§2.7.10 wrap-safe comparison).
+    const u16 event =
+        memory_->read_le16(addrs_.used + avail_event_offset(queue_size_));
+    const u16 new_idx = avail_idx_shadow_;
+    const u16 old_idx = kick_threshold_idx_;
+    return static_cast<u16>(new_idx - event - 1) <
+           static_cast<u16>(new_idx - old_idx);
+  }
+  const u16 flags = memory_->read_le16(addrs_.used + kUsedFlagsOffset);
+  return (flags & ringflags::kUsedNoNotify) == 0;
+}
+
+bool VirtqueueDriver::used_pending() const {
+  return memory_->read_le16(addrs_.used + kUsedIdxOffset) != last_used_idx_;
+}
+
+std::optional<VirtqueueDriver::Completion> VirtqueueDriver::harvest_used() {
+  if (!used_pending()) {
+    return std::nullopt;
+  }
+  const u16 slot = static_cast<u16>(last_used_idx_ % queue_size_);
+  const HostAddr entry = addrs_.used + used_entry_offset(slot);
+  const u32 id = memory_->read_le32(entry);
+  const u32 written = memory_->read_le32(entry + 4);
+  VFPGA_ASSERT(id < queue_size_);
+  ++last_used_idx_;
+
+  // Recycle the chain onto the free list.
+  const u16 head = static_cast<u16>(id);
+  const u16 count = chain_len_[head];
+  VFPGA_ASSERT(count > 0);
+  u16 tail = head;
+  for (u16 i = 1; i < count; ++i) {
+    tail = read_descriptor(tail).next;
+  }
+  Descriptor tail_desc = read_descriptor(tail);
+  tail_desc.next = free_head_;
+  write_descriptor(tail, tail_desc);
+  free_head_ = head;
+  num_free_ = static_cast<u16>(num_free_ + count);
+  chain_len_[head] = 0;
+
+  return Completion{tokens_[head], written, head};
+}
+
+void VirtqueueDriver::set_used_event(u16 value) {
+  memory_->write_le16(addrs_.avail + used_event_offset(queue_size_), value);
+}
+
+}  // namespace vfpga::virtio

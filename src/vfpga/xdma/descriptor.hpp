@@ -1,0 +1,74 @@
+// XDMA scatter-gather descriptor (PG195 "DMA/Bridge Subsystem for PCIe",
+// Descriptor Format table).
+//
+// 32 bytes, little-endian:
+//   +0  control: magic 0xad4b in [31:16], nxt_adj [13:8], flags [7:0]
+//   +4  length  [27:0]
+//   +8  src address (le64)   — host addr for H2C, card addr for C2H
+//   +16 dst address (le64)   — card addr for H2C, host addr for C2H
+//   +24 next descriptor address (le64)
+//
+// The vendor driver writes these into host memory per transfer and the
+// engine fetches them over PCIe — the per-transfer descriptor exchange
+// the paper contrasts with VirtIO's share-rings-once design (§IV-A).
+#pragma once
+
+#include "vfpga/common/endian.hpp"
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::xdma {
+
+inline constexpr u16 kDescriptorMagic = 0xad4b;
+inline constexpr u64 kDescriptorBytes = 32;
+inline constexpr u32 kMaxDescriptorLen = (1u << 28) - 1;
+
+namespace descctl {
+inline constexpr u8 kStop = 1u << 0;       ///< last descriptor: stop engine
+inline constexpr u8 kCompleted = 1u << 1;  ///< request per-desc writeback
+inline constexpr u8 kEop = 1u << 4;        ///< end of packet (streaming)
+}  // namespace descctl
+
+struct XdmaDescriptor {
+  u8 control_flags = 0;
+  u8 next_adjacent = 0;  ///< contiguous descriptors after this one
+  u32 length = 0;
+  u64 src_addr = 0;
+  u64 dst_addr = 0;
+  u64 next_addr = 0;
+
+  void encode(ByteSpan out) const {
+    VFPGA_EXPECTS(out.size() >= kDescriptorBytes);
+    VFPGA_EXPECTS(length <= kMaxDescriptorLen);
+    const u32 control = static_cast<u32>(kDescriptorMagic) << 16 |
+                        static_cast<u32>(next_adjacent & 0x3f) << 8 |
+                        control_flags;
+    store_le32(out, 0, control);
+    store_le32(out, 4, length & 0x0fffffff);
+    store_le64(out, 8, src_addr);
+    store_le64(out, 16, dst_addr);
+    store_le64(out, 24, next_addr);
+  }
+
+  /// Decode; returns false (and leaves *this untouched on garbage) when
+  /// the magic does not match — the engine raises a descriptor error.
+  static bool decode(ConstByteSpan raw, XdmaDescriptor& out) {
+    VFPGA_EXPECTS(raw.size() >= kDescriptorBytes);
+    const u32 control = load_le32(raw, 0);
+    if ((control >> 16) != kDescriptorMagic) {
+      return false;
+    }
+    out.control_flags = static_cast<u8>(control & 0xff);
+    out.next_adjacent = static_cast<u8>((control >> 8) & 0x3f);
+    out.length = load_le32(raw, 4) & 0x0fffffff;
+    out.src_addr = load_le64(raw, 8);
+    out.dst_addr = load_le64(raw, 16);
+    out.next_addr = load_le64(raw, 24);
+    return true;
+  }
+
+  [[nodiscard]] bool stop() const {
+    return (control_flags & descctl::kStop) != 0;
+  }
+};
+
+}  // namespace vfpga::xdma

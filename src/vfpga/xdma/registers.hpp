@@ -1,0 +1,60 @@
+// XDMA register map (PG195 ch. 2, "Register Space") — the subset the
+// reference driver actually touches for one H2C + one C2H channel.
+//
+// Target addressing inside BAR1 (the DMA/bypass BAR): each block is
+// identified by target [15:12] and channel [11:8]:
+//   0x0000 H2C channel 0      0x1000 C2H channel 0
+//   0x2000 IRQ block          0x3000 config block
+//   0x4000 H2C SGDMA 0        0x5000 C2H SGDMA 0
+#pragma once
+
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::xdma::regs {
+
+inline constexpr BarOffset kH2cChannelBase = 0x0000;
+inline constexpr BarOffset kC2hChannelBase = 0x1000;
+inline constexpr BarOffset kIrqBlockBase = 0x2000;
+inline constexpr BarOffset kConfigBlockBase = 0x3000;
+inline constexpr BarOffset kH2cSgdmaBase = 0x4000;
+inline constexpr BarOffset kC2hSgdmaBase = 0x5000;
+inline constexpr u64 kRegisterSpaceBytes = 0x10000;
+
+// ---- channel block offsets (relative to channel base) ----------------------
+inline constexpr BarOffset kChIdentifier = 0x00;
+inline constexpr BarOffset kChControl = 0x04;
+inline constexpr BarOffset kChControlW1S = 0x08;  ///< write-1-to-set
+inline constexpr BarOffset kChControlW1C = 0x0c;  ///< write-1-to-clear
+inline constexpr BarOffset kChStatus = 0x40;
+inline constexpr BarOffset kChStatusRC = 0x44;    ///< read-to-clear view
+inline constexpr BarOffset kChCompletedDescCount = 0x48;
+inline constexpr BarOffset kChInterruptEnable = 0x90;
+
+/// Channel control bits.
+inline constexpr u32 kControlRun = 1u << 0;
+inline constexpr u32 kControlIeDescStopped = 1u << 1;
+inline constexpr u32 kControlIeDescCompleted = 1u << 2;
+
+/// Channel status bits.
+inline constexpr u32 kStatusBusy = 1u << 0;
+inline constexpr u32 kStatusDescStopped = 1u << 1;
+inline constexpr u32 kStatusDescCompleted = 1u << 2;
+inline constexpr u32 kStatusMagicStopped = 1u << 4;  ///< bad descriptor magic
+
+/// Identifier register layout: 0x1fc followed by target/channel nibbles.
+[[nodiscard]] constexpr u32 channel_identifier(bool is_c2h, u8 channel) {
+  return 0x1fc00000u | (is_c2h ? 0x00010000u : 0u) |
+         (static_cast<u32>(channel) << 8) | 0x06;  // version nibble
+}
+
+// ---- SGDMA block offsets ----------------------------------------------------
+inline constexpr BarOffset kSgDescLo = 0x80;
+inline constexpr BarOffset kSgDescHi = 0x84;
+inline constexpr BarOffset kSgDescAdjacent = 0x88;
+inline constexpr BarOffset kSgDescCredits = 0x8c;
+
+// ---- IRQ block ---------------------------------------------------------------
+inline constexpr BarOffset kIrqChannelEnableMask = 0x10;
+inline constexpr BarOffset kIrqChannelRequest = 0x44;
+
+}  // namespace vfpga::xdma::regs

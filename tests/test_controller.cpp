@@ -1,0 +1,288 @@
+// VirtIO controller (the paper's contribution) protocol-level tests,
+// driven through the real MMIO surface with a minimal test driver.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "support/test_driver.hpp"
+#include "vfpga/core/console_device.hpp"
+#include "vfpga/core/net_device.hpp"
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/pcie/enumeration.hpp"
+#include "vfpga/virtio/net_defs.hpp"
+
+namespace vfpga::core {
+namespace {
+
+using testing_support::TestDriver;
+
+struct ControllerFixture : ::testing::Test {
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  ConsoleDeviceLogic console;
+  ControllerConfig config;
+  std::optional<VirtioDeviceFunction> device;
+  hostos::InterruptController irq;
+  std::optional<TestDriver> driver;
+
+  void SetUp() override {
+    device.emplace(console, config);
+    rc.set_irq_sink([&](u32 data, sim::SimTime at) { irq.deliver(data, at); });
+    rc.attach(*device);
+    device->connect(rc);
+    auto devices = pcie::enumerate_bus(rc);
+    ASSERT_EQ(devices.size(), 1u);
+    driver.emplace(rc, *device, irq);
+  }
+};
+
+TEST_F(ControllerFixture, IdentityMatchesPersonality) {
+  EXPECT_EQ(device->config().vendor_id(), virtio::kVirtioPciVendorId);
+  EXPECT_EQ(device->config().device_id(),
+            virtio::modern_pci_device_id(virtio::DeviceType::Console));
+  EXPECT_EQ(device->config().revision(), virtio::kVirtioPciModernRevision);
+  const auto layout = virtio::parse_virtio_capabilities(device->config());
+  ASSERT_TRUE(layout.has_value());
+  EXPECT_EQ(layout->device_specific.length,
+            virtio::console::ConsoleConfigLayout::kSize);
+}
+
+TEST_F(ControllerFixture, InitializationNegotiatesAndEnablesQueues) {
+  driver->initialize(2);
+  EXPECT_TRUE(device->device_status() & virtio::status::kDriverOk);
+  EXPECT_TRUE(device->negotiated_features().has(virtio::feature::kVersion1));
+  EXPECT_TRUE(device->queue_state(0).enabled);
+  EXPECT_TRUE(device->queue_state(1).enabled);
+  EXPECT_EQ(device->queue_state(0).rings.desc,
+            driver->vq(0).addresses().desc);
+}
+
+TEST_F(ControllerFixture, QueueSizeNegotiationShrinks) {
+  driver->wr16(virtio::commoncfg::kQueueSelect, 0);
+  EXPECT_EQ(driver->rd16(virtio::commoncfg::kQueueSize), 256);
+  driver->wr16(virtio::commoncfg::kQueueSize, 32);
+  EXPECT_EQ(driver->rd16(virtio::commoncfg::kQueueSize), 32);
+}
+
+TEST_F(ControllerFixture, NumQueuesReflectsPersonality) {
+  EXPECT_EQ(driver->rd16(virtio::commoncfg::kNumQueues), 2);
+}
+
+TEST_F(ControllerFixture, NotifyBeforeDriverOkIsIgnored) {
+  driver->notify(0);
+  EXPECT_EQ(device->frames_processed(), 0u);
+}
+
+TEST_F(ControllerFixture, ResetClearsEverything) {
+  driver->initialize(2);
+  driver->wr32(virtio::commoncfg::kDeviceStatus, 0);
+  EXPECT_EQ(device->device_status(), 0);
+  EXPECT_FALSE(device->queue_state(0).enabled);
+  EXPECT_EQ(device->negotiated_features().bits(), 0u);
+}
+
+TEST_F(ControllerFixture, EchoThroughQueuesWithInterrupt) {
+  driver->initialize(2);
+  // Post an RX buffer, then send a TX payload.
+  const HostAddr rx_buf = memory.allocate(64);
+  const virtio::ChainBuffer rx{rx_buf, 64, true};
+  ASSERT_TRUE(driver->vq(virtio::console::kRxQueue)
+                  .add_chain(std::span{&rx, 1}, 1)
+                  .has_value());
+  driver->vq(virtio::console::kRxQueue).publish();
+
+  const HostAddr tx_buf = memory.allocate(16);
+  const Bytes message{'f', 'p', 'g', 'a'};
+  memory.write(tx_buf, message);
+  const virtio::ChainBuffer tx{tx_buf, 4, false};
+  ASSERT_TRUE(driver->vq(virtio::console::kTxQueue)
+                  .add_chain(std::span{&tx, 1}, 2)
+                  .has_value());
+  driver->vq(virtio::console::kTxQueue).publish();
+  driver->notify(virtio::console::kTxQueue);
+
+  // RX interrupt delivered, used entry present, bytes echoed.
+  ASSERT_TRUE(irq.pending(driver->queue_vector(virtio::console::kRxQueue)));
+  const auto completion =
+      driver->vq(virtio::console::kRxQueue).harvest_used();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_EQ(completion->written, 4u);
+  EXPECT_EQ(memory.read_bytes(rx_buf, 4), message);
+  EXPECT_EQ(console.bytes_echoed(), 4u);
+}
+
+TEST_F(ControllerFixture, ResponseDroppedWithoutRxBuffers) {
+  driver->initialize(2);
+  const HostAddr tx_buf = memory.allocate(16);
+  memory.fill(tx_buf, 1, 8);
+  const virtio::ChainBuffer tx{tx_buf, 8, false};
+  driver->vq(virtio::console::kTxQueue).add_chain(std::span{&tx, 1}, 1);
+  driver->vq(virtio::console::kTxQueue).publish();
+  driver->notify(virtio::console::kTxQueue);
+  // No RX interrupt (nothing posted), but the TX chain was consumed.
+  EXPECT_FALSE(irq.pending(driver->queue_vector(virtio::console::kRxQueue)));
+  EXPECT_EQ(device->frames_processed(), 1u);
+}
+
+TEST_F(ControllerFixture, MultipleChainsPerNotifyAllProcessed) {
+  driver->initialize(2);
+  // Post plenty of RX buffers.
+  std::vector<HostAddr> rx_bufs;
+  for (u64 i = 0; i < 4; ++i) {
+    rx_bufs.push_back(memory.allocate(64));
+    const virtio::ChainBuffer rx{rx_bufs.back(), 64, true};
+    driver->vq(virtio::console::kRxQueue).add_chain(std::span{&rx, 1}, i);
+  }
+  driver->vq(virtio::console::kRxQueue).publish();
+
+  // Publish 3 TX chains, then a single notify.
+  for (u64 i = 0; i < 3; ++i) {
+    const HostAddr buf = memory.allocate(8);
+    memory.fill(buf, static_cast<u8>(i + 1), 8);
+    const virtio::ChainBuffer tx{buf, 8, false};
+    driver->vq(virtio::console::kTxQueue).add_chain(std::span{&tx, 1}, i);
+  }
+  driver->vq(virtio::console::kTxQueue).publish();
+  driver->notify(virtio::console::kTxQueue);
+
+  EXPECT_EQ(device->frames_processed(), 3u);
+  int completions = 0;
+  while (driver->vq(virtio::console::kRxQueue).harvest_used().has_value()) {
+    ++completions;
+  }
+  EXPECT_EQ(completions, 3);
+}
+
+TEST_F(ControllerFixture, IsrIsReadToClear) {
+  driver->initialize(2);
+  const HostAddr rx_buf = memory.allocate(64);
+  const virtio::ChainBuffer rx{rx_buf, 64, true};
+  driver->vq(virtio::console::kRxQueue).add_chain(std::span{&rx, 1}, 1);
+  driver->vq(virtio::console::kRxQueue).publish();
+  const HostAddr tx_buf = memory.allocate(8);
+  const virtio::ChainBuffer tx{tx_buf, 8, false};
+  driver->vq(virtio::console::kTxQueue).add_chain(std::span{&tx, 1}, 2);
+  driver->vq(virtio::console::kTxQueue).publish();
+  driver->notify(virtio::console::kTxQueue);
+
+  EXPECT_EQ(driver->read_isr() & virtio::isr::kQueueInterrupt, 1);
+  EXPECT_EQ(driver->read_isr(), 0);  // cleared by the read
+}
+
+TEST_F(ControllerFixture, DeviceConfigExposesConsoleGeometry) {
+  using virtio::console::ConsoleConfigLayout;
+  EXPECT_EQ(driver->device_cfg16(ConsoleConfigLayout::kColsOffset), 80);
+  EXPECT_EQ(driver->device_cfg16(ConsoleConfigLayout::kRowsOffset), 25);
+}
+
+TEST_F(ControllerFixture, PerfCountersRecordNotifyAndIrq) {
+  driver->initialize(2);
+  const HostAddr rx_buf = memory.allocate(64);
+  const virtio::ChainBuffer rx{rx_buf, 64, true};
+  driver->vq(virtio::console::kRxQueue).add_chain(std::span{&rx, 1}, 1);
+  driver->vq(virtio::console::kRxQueue).publish();
+  const HostAddr tx_buf = memory.allocate(8);
+  const virtio::ChainBuffer tx{tx_buf, 8, false};
+  driver->vq(virtio::console::kTxQueue).add_chain(std::span{&tx, 1}, 2);
+  driver->vq(virtio::console::kTxQueue).publish();
+  driver->notify(virtio::console::kTxQueue);
+
+  const auto interval = device->counters().interval("notify", "irq_sent");
+  EXPECT_GT(interval.micros(), 3.0);   // several DMA round trips
+  EXPECT_LT(interval.micros(), 60.0);
+  EXPECT_EQ(interval.picos() % 8000, 0);  // 8 ns counter resolution
+}
+
+TEST_F(ControllerFixture, BypassDmaMovesDataBothWays) {
+  driver->initialize(2);
+  const HostAddr host_buf = memory.allocate(4096);
+  Bytes pattern(4096);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<u8>(i * 3);
+  }
+  const sim::SimTime sent =
+      device->bypass_to_host(sim::SimTime{}, host_buf, pattern);
+  EXPECT_EQ(memory.read_bytes(host_buf, pattern.size()), pattern);
+  EXPECT_GT(sent.micros(), 3.0);  // 4 KiB at ~1 B/ns + overheads
+
+  Bytes readback(4096);
+  device->bypass_from_host(sent, host_buf, readback);
+  EXPECT_EQ(readback, pattern);
+}
+
+// ---- policy ablation behaviours --------------------------------------------------
+
+struct PolicyFixture : ::testing::Test {
+  sim::Duration echo_latency(ControllerPolicy policy) {
+    TestbedOptions options;
+    options.noise.enabled = false;
+    options.controller.policy = policy;
+    VirtioNetTestbed bed{options};
+    const Bytes payload(256, 5);
+    sim::Duration total{};
+    for (int i = 0; i < 10; ++i) {
+      const auto rt = bed.udp_round_trip(payload);
+      EXPECT_TRUE(rt.ok);
+      total += rt.hardware;
+    }
+    return total;
+  }
+};
+
+TEST_F(PolicyFixture, BatchedChainFetchWinsOnMultiDescriptorChains) {
+  // Batching pays off when chains span adjacent descriptors: one burst
+  // read replaces two. (On the single-descriptor chains the virtio-net
+  // driver posts, batching costs a few wire-nanoseconds instead — so
+  // this is measured at the QueueEngine level with a 2-buffer chain.)
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  NetDeviceLogic logic;
+  VirtioDeviceFunction endpoint{logic};
+  rc.attach(endpoint);
+  endpoint.connect(rc);
+  ASSERT_EQ(pcie::enumerate_bus(rc).size(), 1u);
+
+  const virtio::FeatureSet features{1ull << virtio::feature::kVersion1};
+  virtio::VirtqueueDriver drv{memory, 16, features};
+  const std::array<virtio::ChainBuffer, 2> chain{
+      virtio::ChainBuffer{memory.allocate(16), 16, false},
+      virtio::ChainBuffer{memory.allocate(16), 16, true},
+  };
+  ASSERT_TRUE(drv.add_chain(chain, 1).has_value());
+  drv.publish();
+
+  const auto consume_time = [&](bool batch) {
+    virtio::VirtqueueDevice vq{rc.dma_port(endpoint)};
+    vq.configure(drv.addresses(), drv.size(), features);
+    ControllerPolicy policy;
+    policy.batched_chain_fetch = batch;
+    QueueEngine engine{std::move(vq), QueueTiming{}, policy};
+    const auto fetched = engine.consume_chain(sim::SimTime{});
+    EXPECT_EQ(fetched.value.descriptors.size(), 2u);
+    return fetched.done;
+  };
+  EXPECT_LT(consume_time(true), consume_time(false));
+}
+
+TEST_F(PolicyFixture, TrustingCachedCreditsReducesHardwareTime) {
+  ControllerPolicy trusting;
+  trusting.trust_cached_credits = true;
+  ControllerPolicy conservative;
+  EXPECT_LT(echo_latency(trusting), echo_latency(conservative));
+}
+
+TEST_F(PolicyFixture, EventIdxOffStillWorks) {
+  TestbedOptions options;
+  options.noise.enabled = false;
+  options.controller.policy.use_event_idx = false;
+  VirtioNetTestbed bed{options};
+  EXPECT_FALSE(
+      bed.driver().negotiated().has(virtio::feature::kRingEventIdx));
+  const Bytes payload(128, 3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(bed.udp_round_trip(payload).ok) << i;
+  }
+}
+
+}  // namespace
+}  // namespace vfpga::core

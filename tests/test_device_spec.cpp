@@ -1,0 +1,111 @@
+// DeviceSpec parsing + building tests: the DISL-style declarative front
+// door (paper §VI).
+#include <gtest/gtest.h>
+
+#include "vfpga/core/device_spec.hpp"
+#include "vfpga/pcie/enumeration.hpp"
+
+namespace vfpga::core {
+namespace {
+
+TEST(DeviceSpec, ParsesFullNetSpec) {
+  std::string error;
+  const auto spec = DeviceSpec::parse(R"(
+# SmartNIC personality for the edge deployment
+device        = net
+queue_size    = 128
+event_idx     = on
+packed_ring   = off
+indirect      = on
+batched_fetch = on
+bram_kib      = 256
+mac           = 02:ab:cd:00:11:22
+ip            = 192.168.7.2
+mtu           = 1500
+csum_offload  = on
+)",
+                                      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->type, virtio::DeviceType::Net);
+  EXPECT_EQ(spec->controller.max_queue_size, 128);
+  EXPECT_TRUE(spec->controller.policy.use_event_idx);
+  EXPECT_FALSE(spec->controller.policy.offer_packed);
+  EXPECT_TRUE(spec->controller.policy.batched_chain_fetch);
+  EXPECT_EQ(spec->controller.bram_bytes, 256u * 1024);
+  EXPECT_EQ(spec->net.mac.to_string(), "02:ab:cd:00:11:22");
+  EXPECT_EQ(spec->net.ip.to_string(), "192.168.7.2");
+  EXPECT_EQ(spec->net.mtu, 1500);
+  EXPECT_TRUE(spec->net.offer_csum);
+}
+
+TEST(DeviceSpec, ParsesBlkAndConsole) {
+  std::string error;
+  const auto blk = DeviceSpec::parse(
+      "device = blk\ncapacity_sectors = 8192\n", &error);
+  ASSERT_TRUE(blk.has_value()) << error;
+  EXPECT_EQ(blk->type, virtio::DeviceType::Block);
+  EXPECT_EQ(blk->blk.capacity_sectors, 8192u);
+
+  const auto console =
+      DeviceSpec::parse("device = console\ncols = 132\nrows = 43\n", &error);
+  ASSERT_TRUE(console.has_value()) << error;
+  EXPECT_EQ(console->console.cols, 132);
+  EXPECT_EQ(console->console.rows, 43);
+}
+
+TEST(DeviceSpec, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(DeviceSpec::parse("queue_size = 64\n", &error).has_value());
+  EXPECT_NE(error.find("device"), std::string::npos);
+
+  EXPECT_FALSE(DeviceSpec::parse("device = gpu\n", &error).has_value());
+  EXPECT_NE(error.find("unknown device type"), std::string::npos);
+
+  EXPECT_FALSE(
+      DeviceSpec::parse("device = net\nqueue_size = 100\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("power of two"), std::string::npos);
+
+  EXPECT_FALSE(
+      DeviceSpec::parse("device = net\nmac = zz:00:00:00:00:00\n", &error)
+          .has_value());
+  EXPECT_FALSE(
+      DeviceSpec::parse("device = net\nip = 10.0.0\n", &error).has_value());
+  EXPECT_FALSE(DeviceSpec::parse("device = net\nnonsense\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(DeviceSpec::parse("device = net\nwidgets = 7\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+}
+
+TEST(DeviceSpec, BuiltDeviceEnumeratesWithSpecIdentity) {
+  std::string error;
+  const auto spec = DeviceSpec::parse(
+      "device = blk\ncapacity_sectors = 100\nqueue_size = 32\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+
+  BuiltDevice built = build_device(*spec);
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  rc.attach(*built.function);
+  built.function->connect(rc);
+  const auto devices = pcie::enumerate_bus(rc);
+  ASSERT_EQ(devices.size(), 1u);
+  EXPECT_EQ(devices.front().device_id,
+            virtio::modern_pci_device_id(virtio::DeviceType::Block));
+  EXPECT_EQ(built.logic->queue_count(), 1);
+  EXPECT_EQ(built.function->queue_state(0).size, 32);
+}
+
+TEST(DeviceSpec, CommentsAndWhitespaceTolerated) {
+  std::string error;
+  const auto spec = DeviceSpec::parse(
+      "  device=net  # inline comment\n\n#full comment\n\tmtu = 9000 \n",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->net.mtu, 9000);
+}
+
+}  // namespace
+}  // namespace vfpga::core

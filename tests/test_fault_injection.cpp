@@ -1,0 +1,253 @@
+// Failure-injection tests: corrupted descriptors, protocol violations,
+// resource exhaustion, masked interrupts — the error paths a robust
+// driver/device pair must survive.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "support/test_driver.hpp"
+#include "vfpga/core/console_device.hpp"
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/hostos/virtio_console_driver.hpp"
+#include "vfpga/pcie/enumeration.hpp"
+#include "vfpga/xdma/host_driver.hpp"
+
+namespace vfpga {
+namespace {
+
+// ---- XDMA: corrupted descriptor ring ---------------------------------------------
+
+TEST(FaultXdma, CorruptDescriptorStopsEngineAndDriverRecovers) {
+  core::TestbedOptions options;
+  options.noise.enabled = false;
+  core::XdmaTestbed bed{options};
+
+  // A good transfer first.
+  ASSERT_TRUE(bed.write_read_round_trip(512).ok);
+
+  // Sabotage: engine pointed at garbage (magic mismatch).
+  const HostAddr garbage = bed.root_complex().memory().allocate(64, 32);
+  bed.root_complex().memory().fill(garbage, 0xff, 64);
+  bed.device().h2c().set_descriptor_address(garbage);
+  const auto result = bed.device().h2c().run(sim::SimTime{});
+  EXPECT_TRUE(result.error);
+  EXPECT_NE(bed.device().h2c().status() & xdma::regs::kStatusMagicStopped,
+            0u);
+
+  // The driver reprograms a proper descriptor; traffic resumes.
+  bed.device().h2c().clear_status();
+  EXPECT_TRUE(bed.write_read_round_trip(512).ok);
+}
+
+// ---- VirtIO: negotiation violations ------------------------------------------------
+
+struct ConsoleRig {
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  core::ConsoleDeviceLogic logic;
+  core::VirtioDeviceFunction device{logic};
+  hostos::InterruptController irq;
+  std::optional<testing_support::TestDriver> driver;
+
+  ConsoleRig() {
+    rc.set_irq_sink([&](u32 d, sim::SimTime at) { irq.deliver(d, at); });
+    rc.attach(device);
+    device.connect(rc);
+    [&] { ASSERT_EQ(pcie::enumerate_bus(rc).size(), 1u); }();
+    driver.emplace(rc, device, irq);
+  }
+};
+
+TEST(FaultVirtio, SelectingUnofferedFeatureRefusesFeaturesOk) {
+  ConsoleRig rig;
+  using namespace virtio;
+  auto& d = *rig.driver;
+  d.wr32(commoncfg::kDeviceStatus, 0);
+  d.wr32(commoncfg::kDeviceStatus, status::kAcknowledge | status::kDriver);
+  // Select VERSION_1 plus a bit the console device never offered
+  // (bit 15 = MRG_RXBUF, a net-only feature).
+  d.wr32(commoncfg::kDriverFeatureSelect, 0);
+  d.wr32(commoncfg::kDriverFeature, 1u << feature::net::kMrgRxbuf);
+  d.wr32(commoncfg::kDriverFeatureSelect, 1);
+  d.wr32(commoncfg::kDriverFeature, 1u);  // VERSION_1 (bit 32)
+  d.wr32(commoncfg::kDeviceStatus,
+         status::kAcknowledge | status::kDriver | status::kFeaturesOk);
+  EXPECT_EQ(rig.device.device_status() & status::kFeaturesOk, 0);
+}
+
+TEST(FaultVirtio, LegacyDriverWithoutVersion1Refused) {
+  ConsoleRig rig;
+  using namespace virtio;
+  auto& d = *rig.driver;
+  d.wr32(commoncfg::kDeviceStatus, 0);
+  d.wr32(commoncfg::kDeviceStatus, status::kAcknowledge | status::kDriver);
+  d.wr32(commoncfg::kDriverFeatureSelect, 0);
+  d.wr32(commoncfg::kDriverFeature, 0);
+  d.wr32(commoncfg::kDriverFeatureSelect, 1);
+  d.wr32(commoncfg::kDriverFeature, 0);  // no VERSION_1
+  d.wr32(commoncfg::kDeviceStatus,
+         status::kAcknowledge | status::kDriver | status::kFeaturesOk);
+  EXPECT_EQ(rig.device.device_status() & status::kFeaturesOk, 0);
+}
+
+TEST(FaultVirtio, NotifyOnDisabledQueueIsIgnored) {
+  ConsoleRig rig;
+  rig.driver->initialize(2);
+  // Queue index past the personality's count would hit the MSI-X window;
+  // a *disabled* valid queue is the interesting case: reset, then notify.
+  rig.driver->wr32(virtio::commoncfg::kDeviceStatus, 0);
+  rig.driver->notify(0);
+  EXPECT_EQ(rig.device.frames_processed(), 0u);
+}
+
+// ---- RX exhaustion under burst ------------------------------------------------------
+
+TEST(FaultVirtio, RxExhaustionDropsThenRecovers) {
+  core::TestbedOptions options;
+  options.noise.enabled = false;
+  options.controller.max_queue_size = 4;  // tiny RX ring
+  core::VirtioNetTestbed bed{options};
+
+  // Burst 7 sends without receiving: only 4 RX buffers exist, so some
+  // responses are dropped at the device ("no RX buffer available").
+  const Bytes payload(64, 1);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(bed.socket().sendto(bed.thread(), bed.fpga_ip(),
+                                    bed.options().fpga_udp_port, payload));
+  }
+  int received = 0;
+  while (bed.socket().recvfrom_nonblock(bed.thread()).has_value()) {
+    ++received;
+  }
+  EXPECT_EQ(received, 4);  // ring depth
+  EXPECT_EQ(bed.net_logic().udp_echoes(), 7u);  // device echoed all...
+  // ...but 3 echoes had nowhere to land. The stack recovered buffers, so
+  // a fresh request-response works.
+  const auto rt = bed.udp_round_trip(payload);
+  EXPECT_TRUE(rt.ok);
+}
+
+// ---- MSI-X masking across the full device --------------------------------------------
+
+TEST(FaultVirtio, MaskedVectorDefersInterruptUntilUnmask) {
+  ConsoleRig rig;
+  rig.driver->initialize(2);
+  const u32 rx_vector =
+      rig.driver->queue_vector(virtio::console::kRxQueue);
+
+  // Mask the RX vector (table entry 1), then generate traffic.
+  const BarOffset entry1 =
+      core::kMsixTableOffset + 1 * pcie::kMsixEntryBytes;
+  rig.device.bar_write(0, entry1 + pcie::kMsixEntryControl,
+                       pcie::kMsixControlMasked, 4, sim::SimTime{});
+
+  const HostAddr rx_buf = rig.memory.allocate(64);
+  const virtio::ChainBuffer rx{rx_buf, 64, true};
+  rig.driver->vq(virtio::console::kRxQueue).add_chain(std::span{&rx, 1}, 1);
+  rig.driver->vq(virtio::console::kRxQueue).publish();
+  const HostAddr tx_buf = rig.memory.allocate(8);
+  rig.memory.fill(tx_buf, 0x42, 8);
+  const virtio::ChainBuffer tx{tx_buf, 8, false};
+  rig.driver->vq(virtio::console::kTxQueue).add_chain(std::span{&tx, 1}, 2);
+  rig.driver->vq(virtio::console::kTxQueue).publish();
+  rig.driver->notify(virtio::console::kTxQueue);
+
+  // Data landed but the interrupt is pending in the device, not
+  // delivered to the host.
+  EXPECT_TRUE(rig.driver->vq(virtio::console::kRxQueue).used_pending());
+  EXPECT_FALSE(rig.irq.pending(rx_vector));
+  EXPECT_TRUE(rig.device.msix().pending(1));
+
+  // Unmask: the pending interrupt flushes.
+  rig.device.bar_write(0, entry1 + pcie::kMsixEntryControl, 0, 4,
+                       sim::SimTime{} + sim::microseconds(500));
+  EXPECT_TRUE(rig.irq.pending(rx_vector));
+}
+
+// ---- console driver end-to-end (also covers the third personality's
+// host-side driver) ---------------------------------------------------------------------
+
+TEST(ConsoleDriver, EchoBytesThroughFullStack) {
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  core::ConsoleDeviceLogic logic;
+  core::VirtioDeviceFunction device{logic};
+  hostos::InterruptController irq;
+  rc.set_irq_sink([&](u32 d, sim::SimTime at) { irq.deliver(d, at); });
+  rc.attach(device);
+  device.connect(rc);
+  const auto enumerated = pcie::enumerate_bus(rc);
+  ASSERT_EQ(enumerated.size(), 1u);
+
+  sim::Xoshiro256 rng{9};
+  sim::NoiseModel noise{sim::NoiseConfig{.enabled = false}};
+  const auto costs = hostos::CostModelConfig::fedora_defaults();
+  hostos::HostThread thread{rng, costs, noise};
+
+  hostos::VirtioConsoleDriver driver;
+  hostos::VirtioPciTransport::BindContext ctx;
+  ctx.rc = &rc;
+  ctx.device = &device;
+  ctx.enumerated = &enumerated.front();
+  ctx.irq = &irq;
+  ASSERT_TRUE(driver.probe(ctx, thread));
+  EXPECT_EQ(driver.cols(), 80);
+  EXPECT_EQ(driver.rows(), 25);
+
+  const Bytes message{'D', 'I', 'S', 'L'};
+  ASSERT_TRUE(driver.write(thread, message));
+  Bytes out(16);
+  const auto count = driver.read(thread, out);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 4u);
+  EXPECT_TRUE(std::equal(message.begin(), message.end(), out.begin()));
+  EXPECT_EQ(logic.bytes_echoed(), 4u);
+
+  // Nothing more to read: timeout analogue.
+  EXPECT_FALSE(driver.read(thread, out).has_value());
+}
+
+TEST(ConsoleDriver, LongStreamSplitsAcrossRxBuffers) {
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  core::ConsoleDeviceLogic logic;
+  core::VirtioDeviceFunction device{logic};
+  hostos::InterruptController irq;
+  rc.set_irq_sink([&](u32 d, sim::SimTime at) { irq.deliver(d, at); });
+  rc.attach(device);
+  device.connect(rc);
+  const auto enumerated = pcie::enumerate_bus(rc);
+  ASSERT_EQ(enumerated.size(), 1u);
+  sim::Xoshiro256 rng{10};
+  sim::NoiseModel noise{sim::NoiseConfig{.enabled = false}};
+  const auto costs = hostos::CostModelConfig::fedora_defaults();
+  hostos::HostThread thread{rng, costs, noise};
+  hostos::VirtioConsoleDriver driver;
+  hostos::VirtioPciTransport::BindContext ctx;
+  ctx.rc = &rc;
+  ctx.device = &device;
+  ctx.enumerated = &enumerated.front();
+  ctx.irq = &irq;
+  ASSERT_TRUE(driver.probe(ctx, thread));
+
+  Bytes stream(2000);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<u8>(i);
+  }
+  // Write in chunks below the TX buffer limit.
+  for (std::size_t off = 0; off < stream.size(); off += 400) {
+    const auto chunk = ConstByteSpan{stream}.subspan(
+        off, std::min<std::size_t>(400, stream.size() - off));
+    ASSERT_TRUE(driver.write(thread, chunk));
+  }
+  Bytes received;
+  Bytes buffer(256);
+  while (const auto n = driver.read(thread, buffer)) {
+    received.insert(received.end(), buffer.begin(),
+                    buffer.begin() + static_cast<std::ptrdiff_t>(*n));
+  }
+  EXPECT_EQ(received, stream);
+}
+
+}  // namespace
+}  // namespace vfpga

@@ -1,0 +1,119 @@
+// Unit tests: simulated host memory and BRAM.
+#include <gtest/gtest.h>
+
+#include "vfpga/mem/bram.hpp"
+#include "vfpga/mem/host_memory.hpp"
+
+namespace vfpga::mem {
+namespace {
+
+TEST(HostMemory, ReadsZeroBeforeWrite) {
+  HostMemory memory;
+  EXPECT_EQ(memory.read_u8(0x1234), 0);
+  EXPECT_EQ(memory.read_le64(0xdead0000), 0u);
+  EXPECT_EQ(memory.resident_bytes(), 0u);  // reads never allocate
+}
+
+TEST(HostMemory, WriteReadRoundTrip) {
+  HostMemory memory;
+  const Bytes data{1, 2, 3, 4, 5};
+  memory.write(0x5000, data);
+  EXPECT_EQ(memory.read_bytes(0x5000, 5), data);
+  EXPECT_EQ(memory.read_u8(0x5002), 3);
+}
+
+TEST(HostMemory, CrossPageAccess) {
+  HostMemory memory;
+  Bytes data(HostMemory::kPageSize, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<u8>(i * 7);
+  }
+  // Straddle two page boundaries.
+  const HostAddr addr = 3 * HostMemory::kPageSize - 100;
+  memory.write(addr, data);
+  EXPECT_EQ(memory.read_bytes(addr, data.size()), data);
+  EXPECT_EQ(memory.resident_bytes(), 2 * HostMemory::kPageSize);
+}
+
+TEST(HostMemory, TypedAccessorsAreLittleEndian) {
+  HostMemory memory;
+  memory.write_le32(0x100, 0xdeadbeef);
+  EXPECT_EQ(memory.read_u8(0x100), 0xef);
+  EXPECT_EQ(memory.read_u8(0x103), 0xde);
+  EXPECT_EQ(memory.read_le32(0x100), 0xdeadbeefu);
+  memory.write_le16(0x200, 0x1234);
+  EXPECT_EQ(memory.read_le16(0x200), 0x1234);
+  memory.write_le64(0x300, 0x1122334455667788ull);
+  EXPECT_EQ(memory.read_le64(0x300), 0x1122334455667788ull);
+}
+
+TEST(HostMemory, FillWorksAcrossPages) {
+  HostMemory memory;
+  const HostAddr addr = HostMemory::kPageSize - 10;
+  memory.fill(addr, 0xaa, 20);
+  for (u64 i = 0; i < 20; ++i) {
+    EXPECT_EQ(memory.read_u8(addr + i), 0xaa);
+  }
+  EXPECT_EQ(memory.read_u8(addr - 1), 0);
+  EXPECT_EQ(memory.read_u8(addr + 20), 0);
+}
+
+TEST(HostMemory, AllocatorRespectsAlignment) {
+  HostMemory memory;
+  const HostAddr a = memory.allocate(100, 64);
+  EXPECT_EQ(a % 64, 0u);
+  const HostAddr b = memory.allocate(10, 4096);
+  EXPECT_EQ(b % 4096, 0u);
+  EXPECT_GE(b, a + 100);
+  const HostAddr c = memory.allocate(1, 16);
+  EXPECT_GE(c, b + 10);
+}
+
+TEST(HostMemory, AllocationsNeverOverlap) {
+  HostMemory memory;
+  std::vector<std::pair<HostAddr, u64>> regions;
+  u64 sizes[] = {1, 16, 64, 100, 4096, 12345};
+  for (u64 size : sizes) {
+    for (u64 align : {u64{1}, u64{64}, u64{4096}}) {
+      regions.emplace_back(memory.allocate(size, align), size);
+    }
+  }
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      const bool disjoint =
+          regions[i].first + regions[i].second <= regions[j].first ||
+          regions[j].first + regions[j].second <= regions[i].first;
+      EXPECT_TRUE(disjoint) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Bram, RoundTripAndBounds) {
+  Bram bram{1024, 8};
+  const Bytes data{9, 8, 7, 6};
+  bram.write(100, data);
+  Bytes out(4);
+  bram.read(100, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(bram.size(), 1024u);
+}
+
+TEST(Bram, Le32Accessors) {
+  Bram bram{256, 8};
+  bram.write_le32(16, 0xcafef00d);
+  EXPECT_EQ(bram.read_le32(16), 0xcafef00du);
+  EXPECT_EQ(bram.read_u8(16), 0x0d);
+}
+
+TEST(Bram, BeatsForBusWidth) {
+  Bram bram{1024, 8};
+  EXPECT_EQ(bram.beats_for(1), 1u);
+  EXPECT_EQ(bram.beats_for(8), 1u);
+  EXPECT_EQ(bram.beats_for(9), 2u);
+  EXPECT_EQ(bram.beats_for(64), 8u);
+  Bram wide{1024, 16};
+  EXPECT_EQ(wide.beats_for(64), 4u);
+}
+
+}  // namespace
+}  // namespace vfpga::mem

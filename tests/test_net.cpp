@@ -1,0 +1,332 @@
+// Unit + property tests: checksums, Ethernet/IPv4/UDP/ARP codecs,
+// routing table, ARP cache.
+#include <gtest/gtest.h>
+
+#include "vfpga/common/endian.hpp"
+#include "vfpga/net/arp.hpp"
+#include "vfpga/net/checksum.hpp"
+#include "vfpga/net/ethernet.hpp"
+#include "vfpga/net/icmp.hpp"
+#include "vfpga/net/ipv4.hpp"
+#include "vfpga/net/routing.hpp"
+#include "vfpga/net/udp.hpp"
+#include "vfpga/sim/rng.hpp"
+
+namespace vfpga::net {
+namespace {
+
+using vfpga::load_be16;
+using vfpga::store_be16;
+
+const Ipv4Addr kHostIp = Ipv4Addr::from_octets(10, 42, 0, 1);
+const Ipv4Addr kFpgaIp = Ipv4Addr::from_octets(10, 42, 0, 2);
+const MacAddr kHostMac{{0x02, 0, 0, 0, 0, 0x01}};
+const MacAddr kFpgaMac{{0x02, 0, 0, 0, 0, 0x02}};
+
+// ---- checksum -------------------------------------------------------------------
+
+TEST(Checksum, Rfc1071ReferenceVector) {
+  // Classic example: 0x0001 f203 f4f5 f6f7 -> checksum 0x220d.
+  const Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const Bytes even{0x12, 0x34, 0x56, 0x00};
+  const Bytes odd{0x12, 0x34, 0x56};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, SplitAddsEqualOneShot) {
+  const Bytes data{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    ChecksumAccumulator acc;
+    acc.add(ConstByteSpan{data}.first(split));
+    acc.add(ConstByteSpan{data}.subspan(split));
+    EXPECT_EQ(acc.fold(), internet_checksum(data)) << "split " << split;
+  }
+}
+
+TEST(Checksum, EmbeddedChecksumValidates) {
+  Bytes data{0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x40, 0x00,
+             0x40, 0x11, 0x00, 0x00, 0x0a, 0x2a, 0x00, 0x01,
+             0x0a, 0x2a, 0x00, 0x02};
+  const u16 csum = internet_checksum(data);
+  store_be16(data, 10, csum);
+  EXPECT_TRUE(checksum_valid(data));
+  data[3] ^= 1;
+  EXPECT_FALSE(checksum_valid(data));
+}
+
+// ---- ethernet --------------------------------------------------------------------
+
+TEST(Ethernet, BuildParsesBack) {
+  const Bytes payload(100, 0x42);
+  const Bytes frame = build_ethernet_frame(
+      EthernetHeader{kFpgaMac, kHostMac, EtherType::Ipv4}, payload);
+  const auto parsed = parse_ethernet_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.dst, kFpgaMac);
+  EXPECT_EQ(parsed->header.src, kHostMac);
+  EXPECT_EQ(parsed->header.type, EtherType::Ipv4);
+  EXPECT_EQ(parsed->payload_length, 100u);
+}
+
+TEST(Ethernet, PadsToMinimumSize) {
+  const Bytes tiny(10, 1);
+  const Bytes frame = build_ethernet_frame(
+      EthernetHeader{kFpgaMac, kHostMac, EtherType::Ipv4}, tiny);
+  EXPECT_EQ(frame.size(), EthernetHeader::kSize + kMinEthernetPayload);
+  // Padding is zeros.
+  EXPECT_EQ(frame.back(), 0);
+}
+
+TEST(Ethernet, RejectsRuntsAndUnknownEthertype) {
+  EXPECT_FALSE(parse_ethernet_frame(Bytes(10, 0)).has_value());
+  Bytes frame = build_ethernet_frame(
+      EthernetHeader{kFpgaMac, kHostMac, EtherType::Ipv4}, Bytes(46, 0));
+  store_be16(ByteSpan{frame}, 12, 0x86dd);  // IPv6: unsupported
+  EXPECT_FALSE(parse_ethernet_frame(frame).has_value());
+}
+
+// ---- ipv4 ------------------------------------------------------------------------
+
+TEST(Ipv4, BuildParsesBackWithValidChecksum) {
+  Ipv4Header header;
+  header.src = kHostIp;
+  header.dst = kFpgaIp;
+  header.protocol = IpProtocol::Udp;
+  header.identification = 99;
+  const Bytes payload(64, 0x5a);
+  const Bytes packet = build_ipv4_packet(header, payload);
+  const auto parsed = parse_ipv4_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksum_ok);
+  EXPECT_EQ(parsed->header.src, kHostIp);
+  EXPECT_EQ(parsed->header.dst, kFpgaIp);
+  EXPECT_EQ(parsed->header.identification, 99);
+  EXPECT_EQ(parsed->payload_length, 64u);
+}
+
+TEST(Ipv4, CorruptionFailsChecksum) {
+  Ipv4Header header;
+  header.src = kHostIp;
+  header.dst = kFpgaIp;
+  Bytes packet = build_ipv4_packet(header, Bytes(8, 0));
+  packet[8] ^= 0xff;  // flip TTL
+  const auto parsed = parse_ipv4_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->checksum_ok);
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  EXPECT_FALSE(parse_ipv4_packet(Bytes(10, 0)).has_value());
+  Bytes bad(20, 0);
+  bad[0] = 0x65;  // version 6
+  EXPECT_FALSE(parse_ipv4_packet(bad).has_value());
+  bad[0] = 0x43;  // IHL 3 < 5
+  EXPECT_FALSE(parse_ipv4_packet(bad).has_value());
+}
+
+TEST(Ipv4, TotalLengthBoundsPayload) {
+  Ipv4Header header;
+  header.src = kHostIp;
+  header.dst = kFpgaIp;
+  Bytes packet = build_ipv4_packet(header, Bytes(32, 1));
+  // Claim a longer total_length than the buffer: reject.
+  store_be16(ByteSpan{packet}, 2, static_cast<u16>(packet.size() + 8));
+  EXPECT_FALSE(parse_ipv4_packet(packet).has_value());
+}
+
+// ---- udp --------------------------------------------------------------------------
+
+TEST(Udp, BuildParsesBackWithPseudoHeaderChecksum) {
+  const Bytes payload{'h', 'e', 'l', 'l', 'o'};
+  const Bytes dgram =
+      build_udp_datagram(UdpHeader{4791, 9000}, kHostIp, kFpgaIp, payload);
+  const auto parsed = parse_udp_datagram(dgram, kHostIp, kFpgaIp);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksum_ok);
+  EXPECT_EQ(parsed->header.src_port, 4791);
+  EXPECT_EQ(parsed->header.dst_port, 9000);
+  EXPECT_EQ(parsed->payload_length, 5u);
+}
+
+TEST(Udp, ChecksumCoversPseudoHeader) {
+  const Bytes payload(16, 7);
+  const Bytes dgram =
+      build_udp_datagram(UdpHeader{1, 2}, kHostIp, kFpgaIp, payload);
+  // Same bytes, wrong address: checksum must fail. (Note: merely
+  // swapping src/dst would pass — ones'-complement addition commutes.)
+  const auto parsed = parse_udp_datagram(
+      dgram, kHostIp, Ipv4Addr::from_octets(10, 42, 0, 77));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->checksum_ok);
+}
+
+TEST(Udp, FinalizeRepairsZeroedChecksum) {
+  Bytes dgram =
+      build_udp_datagram(UdpHeader{5, 6}, kHostIp, kFpgaIp, Bytes(32, 3));
+  store_be16(ByteSpan{dgram}, 6, 0);  // offloaded: stack left it blank
+  finalize_udp_checksum(dgram, kHostIp, kFpgaIp);
+  const auto parsed = parse_udp_datagram(dgram, kHostIp, kFpgaIp);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksum_ok);
+  EXPECT_NE(load_be16(dgram, 6), 0);
+}
+
+// Property: random payloads of every size round-trip with valid sums.
+class UdpProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(UdpProperty, RandomPayloadRoundTrip) {
+  sim::Xoshiro256 rng{GetParam()};
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes payload(rng.uniform_below(1400) + 1);
+    for (auto& b : payload) {
+      b = static_cast<u8>(rng());
+    }
+    const u16 sport = static_cast<u16>(rng.uniform_below(65535) + 1);
+    const u16 dport = static_cast<u16>(rng.uniform_below(65535) + 1);
+    const Bytes dgram =
+        build_udp_datagram(UdpHeader{sport, dport}, kHostIp, kFpgaIp, payload);
+    const auto parsed = parse_udp_datagram(dgram, kHostIp, kFpgaIp);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->checksum_ok);
+    const auto got = ConstByteSpan{dgram}.subspan(parsed->payload_offset,
+                                                  parsed->payload_length);
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(), got.begin()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UdpProperty,
+                         ::testing::Values(1u, 22u, 333u, 4444u));
+
+// ---- icmp -------------------------------------------------------------------------
+
+TEST(Icmp, EchoRoundTripWithChecksum) {
+  const Bytes payload(56, 0x41);
+  const Bytes request = build_icmp_echo(
+      IcmpEcho{IcmpType::EchoRequest, 0xbeef, 7}, payload);
+  const auto parsed = parse_icmp_echo(request);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksum_ok);
+  EXPECT_EQ(parsed->header.type, IcmpType::EchoRequest);
+  EXPECT_EQ(parsed->header.identifier, 0xbeef);
+  EXPECT_EQ(parsed->header.sequence, 7);
+  EXPECT_EQ(parsed->payload_length, 56u);
+}
+
+TEST(Icmp, CorruptionFailsChecksum) {
+  Bytes message = build_icmp_echo(IcmpEcho{IcmpType::EchoReply, 1, 2},
+                                  Bytes(16, 3));
+  message[10] ^= 0x80;
+  const auto parsed = parse_icmp_echo(message);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->checksum_ok);
+}
+
+TEST(Icmp, RejectsNonEchoTypes) {
+  Bytes message = build_icmp_echo(IcmpEcho{IcmpType::EchoRequest, 1, 1},
+                                  Bytes(8, 0));
+  message[0] = 3;  // destination unreachable
+  EXPECT_FALSE(parse_icmp_echo(message).has_value());
+  EXPECT_FALSE(parse_icmp_echo(Bytes(4, 0)).has_value());
+}
+
+// ---- arp --------------------------------------------------------------------------
+
+TEST(Arp, MessageRoundTrip) {
+  ArpMessage msg;
+  msg.op = ArpOp::Request;
+  msg.sender_mac = kHostMac;
+  msg.sender_ip = kHostIp;
+  msg.target_ip = kFpgaIp;
+  const auto parsed = parse_arp_message(build_arp_message(msg));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->op, ArpOp::Request);
+  EXPECT_EQ(parsed->sender_mac, kHostMac);
+  EXPECT_EQ(parsed->sender_ip, kHostIp);
+  EXPECT_EQ(parsed->target_ip, kFpgaIp);
+}
+
+TEST(Arp, RejectsNonEthernetIpv4) {
+  Bytes raw = build_arp_message(ArpMessage{});
+  store_be16(ByteSpan{raw}, 0, 6);  // HTYPE: IEEE 802
+  EXPECT_FALSE(parse_arp_message(raw).has_value());
+}
+
+TEST(ArpCache, ObserveLearnsAndReplies) {
+  ArpCache cache;
+  ArpMessage request;
+  request.op = ArpOp::Request;
+  request.sender_mac = kHostMac;
+  request.sender_ip = kHostIp;
+  request.target_ip = kFpgaIp;
+  const auto reply = cache.observe(request, kFpgaIp, kFpgaMac);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->op, ArpOp::Reply);
+  EXPECT_EQ(reply->sender_mac, kFpgaMac);
+  EXPECT_EQ(reply->target_mac, kHostMac);
+  // Learned the requester.
+  EXPECT_EQ(cache.lookup(kHostIp), kHostMac);
+}
+
+TEST(ArpCache, NoReplyForOtherTargets) {
+  ArpCache cache;
+  ArpMessage request;
+  request.op = ArpOp::Request;
+  request.sender_ip = kHostIp;
+  request.target_ip = Ipv4Addr::from_octets(10, 42, 0, 99);
+  EXPECT_FALSE(cache.observe(request, kFpgaIp, kFpgaMac).has_value());
+}
+
+TEST(ArpCache, PermanentEntriesSurviveDynamicUpdates) {
+  ArpCache cache;
+  cache.insert(kFpgaIp, kFpgaMac, /*permanent=*/true);
+  ArpMessage spoof;
+  spoof.op = ArpOp::Reply;
+  spoof.sender_ip = kFpgaIp;
+  spoof.sender_mac = kHostMac;  // attacker claims the FPGA's IP
+  cache.observe(spoof, kHostIp, kHostMac);
+  EXPECT_EQ(cache.lookup(kFpgaIp), kFpgaMac);
+}
+
+// ---- routing -----------------------------------------------------------------------
+
+TEST(Routing, LongestPrefixWins) {
+  RoutingTable table;
+  table.add(Route{Ipv4Addr::from_octets(0, 0, 0, 0), 0, 1,
+                  Ipv4Addr::from_octets(192, 168, 1, 1)});
+  table.add(Route{Ipv4Addr::from_octets(10, 42, 0, 0), 24, 2, std::nullopt});
+  table.add(Route{kFpgaIp, 32, 3, std::nullopt});
+
+  const auto direct = table.lookup(kFpgaIp);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->interface_id, 3u);
+  EXPECT_EQ(direct->address, kFpgaIp);  // on-link
+
+  const auto subnet = table.lookup(Ipv4Addr::from_octets(10, 42, 0, 77));
+  ASSERT_TRUE(subnet.has_value());
+  EXPECT_EQ(subnet->interface_id, 2u);
+
+  const auto internet = table.lookup(Ipv4Addr::from_octets(8, 8, 8, 8));
+  ASSERT_TRUE(internet.has_value());
+  EXPECT_EQ(internet->interface_id, 1u);
+  EXPECT_EQ(internet->address, Ipv4Addr::from_octets(192, 168, 1, 1));
+}
+
+TEST(Routing, NoRouteIsUnreachable) {
+  RoutingTable table;
+  table.add(Route{kFpgaIp, 32, 2, std::nullopt});
+  EXPECT_FALSE(table.lookup(Ipv4Addr::from_octets(1, 2, 3, 4)).has_value());
+}
+
+TEST(Addr, ToStringFormats) {
+  EXPECT_EQ(kFpgaIp.to_string(), "10.42.0.2");
+  EXPECT_EQ(kHostMac.to_string(), "02:00:00:00:00:01");
+  EXPECT_TRUE(kBroadcastMac.is_broadcast());
+  EXPECT_FALSE(kHostMac.is_broadcast());
+}
+
+}  // namespace
+}  // namespace vfpga::net

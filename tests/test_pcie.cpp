@@ -1,0 +1,298 @@
+// Unit tests: link timing model, config space, capability chains,
+// enumeration, MSI-X, root complex routing.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "vfpga/pcie/capabilities.hpp"
+#include "vfpga/pcie/enumeration.hpp"
+#include "vfpga/pcie/link_model.hpp"
+#include "vfpga/pcie/msix.hpp"
+#include "vfpga/pcie/root_complex.hpp"
+
+namespace vfpga::pcie {
+namespace {
+
+// ---- link model -----------------------------------------------------------------
+
+TEST(LinkModel, SerializationScalesWithPayload) {
+  LinkModel link;
+  const auto t64 = link.tlp_wire_time(64);
+  const auto t128 = link.tlp_wire_time(128);
+  EXPECT_GT(t128, t64);
+  // 1 byte/ns effective: 64 extra bytes = 64 extra ns.
+  EXPECT_EQ((t128 - t64).nanos(), 64.0);
+}
+
+TEST(LinkModel, PostedWriteSplitsAtMps) {
+  LinkModel link;
+  const u32 mps = link.config().limits.max_payload_size;
+  const auto one = link.dma_write_time(mps);
+  const auto two = link.dma_write_time(mps + 1);
+  // Second TLP adds another header's worth of wire time.
+  EXPECT_GT(two.issuer_busy, one.issuer_busy);
+  EXPECT_GE((two.issuer_busy - one.issuer_busy).nanos(),
+            static_cast<double>(kTlpOverheadBytes));
+}
+
+TEST(LinkModel, ReadRoundTripExceedsOneWayLatency) {
+  LinkModel link;
+  const auto rt = link.dma_read_time(4);
+  EXPECT_GT(rt, link.one_way_latency() * 2);
+  // Small reads on this class of endpoint land in the ~1-2 us range.
+  EXPECT_GT(rt.micros(), 0.8);
+  EXPECT_LT(rt.micros(), 3.0);
+}
+
+TEST(LinkModel, ReadSplitsAtMrrsAndMps) {
+  LinkModel link;
+  const auto small = link.dma_read_time(256);
+  const auto large = link.dma_read_time(2048);
+  EXPECT_GT(large, small);
+  // 2048B = 4 read requests (MRRS 512) and 8 completions (MPS 256).
+  const double delta_ns = (large - small).nanos();
+  EXPECT_GT(delta_ns, 1792.0);  // at least the extra serialization
+}
+
+TEST(LinkModel, MmioReadIsExpensive) {
+  LinkModel link;
+  // Register reads over PCIe on 7-series endpoints: ~1-2 us.
+  EXPECT_GT(link.mmio_read_time(4).micros(), 1.0);
+  EXPECT_LT(link.mmio_read_time(4).micros(), 3.0);
+  // Posted writes release the CPU quickly.
+  EXPECT_LT(link.mmio_write_time(4).issuer_busy.nanos(), 300.0);
+}
+
+TEST(LinkModel, PostedIssuerFreedBeforeDelivery) {
+  LinkModel link;
+  const auto timing = link.dma_write_time(1024);
+  EXPECT_LT(timing.issuer_busy, timing.delivered);
+}
+
+// ---- config space ------------------------------------------------------------------
+
+TEST(ConfigSpace, IdsAndClassCode) {
+  ConfigSpace config;
+  config.set_ids(0x1af4, 0x1041, 0x1af4, 0x0001);
+  config.set_revision(0x01);
+  config.set_class_code(0x02, 0x00, 0x00);
+  EXPECT_EQ(config.vendor_id(), 0x1af4);
+  EXPECT_EQ(config.device_id(), 0x1041);
+  EXPECT_EQ(config.revision(), 0x01);
+  EXPECT_EQ(config.read16(cfg::kSubsystemId), 0x0001);
+  EXPECT_EQ(config.read8(cfg::kClassCode + 2), 0x02);
+}
+
+TEST(ConfigSpace, BarSizingProtocol) {
+  ConfigSpace config;
+  config.define_bar(0, BarDefinition{0x4000, false, false});
+  // Sizing: write all-ones, read back the mask.
+  config.write32(cfg::kBar0, 0xffffffffu);
+  const u32 mask = config.read32(cfg::kBar0);
+  EXPECT_EQ(mask & ~0xfu, ~u32{0x4000 - 1} & ~0xfu);
+  // Then program the address.
+  config.write32(cfg::kBar0, 0xe0000000u);
+  EXPECT_EQ(config.bar_address(0), 0xe0000000u);
+  EXPECT_EQ(config.read32(cfg::kBar0) & ~0xfu, 0xe0000000u);
+}
+
+TEST(ConfigSpace, SixtyFourBitBarUsesTwoRegisters) {
+  ConfigSpace config;
+  config.define_bar(2, BarDefinition{0x10000, true, false});
+  config.write32(cfg::kBar0 + 8, 0xffffffffu);
+  config.write32(cfg::kBar0 + 12, 0xffffffffu);
+  EXPECT_EQ(config.read32(cfg::kBar0 + 8) & 0x4u, 0x4u);  // 64-bit flag
+  config.write32(cfg::kBar0 + 8, 0x40000000u);
+  config.write32(cfg::kBar0 + 12, 0x1u);
+  EXPECT_EQ(config.bar_address(2), 0x1'4000'0000ull);
+}
+
+TEST(ConfigSpace, UnimplementedBarReadsZero) {
+  ConfigSpace config;
+  config.write32(cfg::kBar0 + 4, 0xffffffffu);
+  EXPECT_EQ(config.read32(cfg::kBar0 + 4), 0u);
+}
+
+TEST(ConfigSpace, CapabilityChainLinksInOrder) {
+  ConfigSpace config;
+  const Bytes body1(4, 0x11);
+  const Bytes body2(6, 0x22);
+  const u16 cap1 = config.add_capability(CapabilityId::PciExpress, body1);
+  const u16 cap2 = config.add_capability(CapabilityId::MsiX, body2);
+  EXPECT_EQ(config.read8(cfg::kCapabilityPointer), cap1);
+  EXPECT_EQ(config.read8(cap1 + 1), cap2);
+  EXPECT_EQ(config.read8(cap2 + 1), 0);  // end of chain
+  EXPECT_NE(config.read16(cfg::kStatus) & cfg::kStatusCapList, 0);
+  EXPECT_EQ(config.find_capability(CapabilityId::PciExpress), cap1);
+  EXPECT_EQ(config.find_capability(CapabilityId::MsiX), cap2);
+  EXPECT_EQ(config.find_capability(CapabilityId::Msi), 0);
+}
+
+TEST(ConfigSpace, FindCapabilityAfterSkipsEarlier) {
+  ConfigSpace config;
+  const u16 a =
+      config.add_capability(CapabilityId::VendorSpecific, Bytes(4, 1));
+  const u16 b =
+      config.add_capability(CapabilityId::VendorSpecific, Bytes(4, 2));
+  EXPECT_EQ(config.find_capability(CapabilityId::VendorSpecific), a);
+  EXPECT_EQ(config.find_capability(CapabilityId::VendorSpecific, a), b);
+  EXPECT_EQ(config.find_capability(CapabilityId::VendorSpecific, b), 0);
+}
+
+TEST(Capabilities, PciExpressEncodeDecode) {
+  PciExpressCapability cap;
+  cap.max_payload_encoding = 1;       // 256B
+  cap.max_read_request_encoding = 2;  // 512B
+  const Bytes body = cap.encode();
+  const PciExpressCapability decoded = PciExpressCapability::decode(body);
+  EXPECT_EQ(decoded.max_payload_bytes(), 256u);
+  EXPECT_EQ(decoded.max_read_request_bytes(), 512u);
+}
+
+TEST(Capabilities, MsixBodyRoundTrip) {
+  ConfigSpace config;
+  const u16 offset = config.add_capability(
+      CapabilityId::MsiX, make_msix_capability_body(8, 0, 0x2000, 0, 0x3000));
+  const MsixCapabilityInfo info = decode_msix_capability(config, offset);
+  EXPECT_EQ(info.table_size, 8);
+  EXPECT_EQ(info.table_bar, 0);
+  EXPECT_EQ(info.table_offset, 0x2000u);
+  EXPECT_EQ(info.pba_offset, 0x3000u);
+}
+
+// ---- root complex + enumeration ------------------------------------------------------
+
+/// Minimal endpoint for routing tests: one BAR, a register file.
+class ScratchFunction : public Function {
+ public:
+  ScratchFunction() {
+    config().set_ids(0x10ee, 0x7024, 0x10ee, 0x7);
+    config().define_bar(0, BarDefinition{4096, false, false});
+  }
+  u64 bar_read(u32 bar, BarOffset offset, u32 size, sim::SimTime) override {
+    reads.push_back(offset);
+    (void)bar;
+    (void)size;
+    return regs.count(offset) ? regs[offset] : 0xabcd;
+  }
+  void bar_write(u32 bar, BarOffset offset, u64 value, u32 size,
+                 sim::SimTime at) override {
+    (void)bar;
+    (void)size;
+    regs[offset] = value;
+    last_write_time = at;
+  }
+  std::map<BarOffset, u64> regs;
+  std::vector<BarOffset> reads;
+  sim::SimTime last_write_time{};
+};
+
+struct RcFixture : ::testing::Test {
+  mem::HostMemory memory;
+  RootComplex rc{memory, LinkModel{}};
+  ScratchFunction fn;
+
+  void SetUp() override {
+    rc.attach(fn);
+    auto devices = enumerate_bus(rc);
+    ASSERT_EQ(devices.size(), 1u);
+    device = devices.front();
+  }
+  EnumeratedDevice device;
+};
+
+TEST_F(RcFixture, EnumerationAssignsAndEnables) {
+  EXPECT_EQ(device.vendor_id, 0x10ee);
+  EXPECT_EQ(device.device_id, 0x7024);
+  ASSERT_TRUE(device.bar(0).has_value());
+  EXPECT_EQ(device.bar(0)->size, 4096u);
+  EXPECT_GE(device.bar(0)->address, 0xe000'0000ull);
+  EXPECT_TRUE(fn.config().memory_enabled());
+  EXPECT_TRUE(fn.config().bus_master_enabled());
+}
+
+TEST_F(RcFixture, MmioWriteDeliveredLater) {
+  const auto result = rc.cpu_mmio_write(fn, 0, 0x10, 42, 4, sim::SimTime{});
+  EXPECT_EQ(fn.regs[0x10], 42u);
+  EXPECT_GT(fn.last_write_time.nanos(), result.cpu_cost.nanos());
+}
+
+TEST_F(RcFixture, MmioReadStallsCpu) {
+  const auto result = rc.cpu_mmio_read(fn, 0, 0x20, 4, sim::SimTime{});
+  EXPECT_EQ(result.value, 0xabcdu);
+  EXPECT_GT(result.cpu_stall.micros(), 1.0);
+}
+
+TEST_F(RcFixture, DmaMovesRealBytes) {
+  DmaPort port = rc.dma_port(fn);
+  const Bytes data{0xde, 0xad, 0xbe, 0xef};
+  const auto timing = port.write(sim::SimTime{}, 0x9000, data);
+  EXPECT_EQ(memory.read_bytes(0x9000, 4), data);
+  EXPECT_GT(timing.delivered, timing.issuer_free);
+
+  Bytes readback(4);
+  const auto done = port.read(timing.delivered, 0x9000, readback);
+  EXPECT_EQ(readback, data);
+  EXPECT_GT(done, timing.delivered);
+}
+
+TEST_F(RcFixture, MsiWindowWriteDeliversInterrupt) {
+  u32 delivered_data = 0;
+  sim::SimTime delivered_at{};
+  rc.set_irq_sink([&](u32 data, sim::SimTime at) {
+    delivered_data = data;
+    delivered_at = at;
+  });
+  DmaPort port = rc.dma_port(fn);
+  std::array<u8, 4> message{};
+  store_le32(message, 0, 0x31);
+  port.write(sim::SimTime{}, kMsiWindowBase + 0x40, message);
+  EXPECT_EQ(delivered_data, 0x31u);
+  EXPECT_GT(delivered_at.nanos(), 0.0);
+  // MSI writes must not land in memory.
+  EXPECT_EQ(memory.read_le32(kMsiWindowBase + 0x40), 0u);
+}
+
+// ---- MSI-X table ----------------------------------------------------------------------
+
+TEST_F(RcFixture, MsixMaskedVectorSetsPendingThenDeliversOnUnmask) {
+  u32 count = 0;
+  rc.set_irq_sink([&](u32, sim::SimTime) { ++count; });
+  DmaPort port = rc.dma_port(fn);
+  MsixTable table{2};
+
+  // Program vector 0 but leave it masked (the reset state).
+  table.aperture_write(kMsixEntryAddrLo, static_cast<u32>(kMsiWindowBase),
+                       sim::SimTime{}, port);
+  table.aperture_write(kMsixEntryData, 7, sim::SimTime{}, port);
+  table.fire(0, sim::SimTime{}, port);
+  EXPECT_EQ(count, 0u);
+  EXPECT_TRUE(table.pending(0));
+
+  // Unmasking flushes the pending interrupt.
+  table.aperture_write(kMsixEntryControl, 0, sim::SimTime{}, port);
+  EXPECT_EQ(count, 1u);
+  EXPECT_FALSE(table.pending(0));
+}
+
+TEST_F(RcFixture, MsixUnmaskedVectorFiresImmediately) {
+  std::vector<u32> seen;
+  rc.set_irq_sink([&](u32 data, sim::SimTime) { seen.push_back(data); });
+  DmaPort port = rc.dma_port(fn);
+  MsixTable table{4};
+  for (u32 v = 0; v < 4; ++v) {
+    const BarOffset base = v * kMsixEntryBytes;
+    table.aperture_write(base + kMsixEntryAddrLo,
+                         static_cast<u32>(kMsiWindowBase), sim::SimTime{},
+                         port);
+    table.aperture_write(base + kMsixEntryData, 100 + v, sim::SimTime{}, port);
+    table.aperture_write(base + kMsixEntryControl, 0, sim::SimTime{}, port);
+  }
+  table.fire(2, sim::SimTime{}, port);
+  table.fire(0, sim::SimTime{}, port);
+  EXPECT_EQ(seen, (std::vector<u32>{102, 100}));
+}
+
+}  // namespace
+}  // namespace vfpga::pcie

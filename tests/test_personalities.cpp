@@ -1,0 +1,295 @@
+// Device-personality tests: the net echo logic's protocol handling and
+// the block device through the controller's same-chain response path —
+// §IV-B's claim that device types differ only in queue semantics and the
+// device-specific structure.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "support/test_driver.hpp"
+#include "vfpga/core/blk_device.hpp"
+#include "vfpga/core/net_device.hpp"
+#include "vfpga/net/arp.hpp"
+#include "vfpga/net/ethernet.hpp"
+#include "vfpga/net/ipv4.hpp"
+#include "vfpga/net/udp.hpp"
+#include "vfpga/pcie/enumeration.hpp"
+#include "vfpga/virtio/blk_defs.hpp"
+#include "vfpga/virtio/net_defs.hpp"
+
+namespace vfpga::core {
+namespace {
+
+using virtio::net::NetHeader;
+
+// ---- NetDeviceLogic in isolation ----------------------------------------------------
+
+struct NetLogicFixture : ::testing::Test {
+  NetDeviceLogic logic;
+  net::Ipv4Addr host_ip = net::Ipv4Addr::from_octets(10, 42, 0, 1);
+  net::MacAddr host_mac{{2, 0, 0, 0, 0, 1}};
+
+  Bytes make_udp_frame(ConstByteSpan payload, bool valid_udp_csum = true) {
+    const Bytes udp = net::build_udp_datagram(
+        net::UdpHeader{4791, 9000}, host_ip, logic.device_config().ip,
+        payload);
+    Bytes packet = net::build_ipv4_packet(
+        net::Ipv4Header{host_ip, logic.device_config().ip,
+                        net::IpProtocol::Udp},
+        udp);
+    if (!valid_udp_csum) {
+      packet[net::Ipv4Header::kSize + 6] ^= 0x55;
+    }
+    return net::build_ethernet_frame(
+        net::EthernetHeader{logic.device_config().mac, host_mac,
+                            net::EtherType::Ipv4},
+        packet);
+  }
+
+  Bytes with_net_header(ConstByteSpan frame, u8 flags = 0) {
+    Bytes payload(NetHeader::kSize + frame.size());
+    NetHeader hdr;
+    hdr.flags = flags;
+    hdr.csum_start = net::EthernetHeader::kSize + net::Ipv4Header::kSize;
+    hdr.csum_offset = 6;
+    hdr.encode(payload);
+    std::copy(frame.begin(), frame.end(),
+              payload.begin() + NetHeader::kSize);
+    return payload;
+  }
+};
+
+TEST_F(NetLogicFixture, UdpEchoSwapsEndpointsAndRevalidates) {
+  const Bytes payload(200, 0x3c);
+  const auto response = logic.process(
+      virtio::net::kTxQueue, with_net_header(make_udp_frame(payload)), 2048);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->target_queue, virtio::net::kRxQueue);
+  EXPECT_GT(response->processing_cycles, 0u);
+  EXPECT_EQ(logic.udp_echoes(), 1u);
+
+  // The response is a fully-valid frame in the reverse direction.
+  const auto frame =
+      ConstByteSpan{response->payload}.subspan(NetHeader::kSize);
+  const auto eth = net::parse_ethernet_frame(frame);
+  ASSERT_TRUE(eth.has_value());
+  EXPECT_EQ(eth->header.dst, host_mac);
+  EXPECT_EQ(eth->header.src, logic.device_config().mac);
+  const auto ip = net::parse_ipv4_packet(
+      frame.subspan(eth->payload_offset, eth->payload_length));
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(ip->checksum_ok);
+  EXPECT_EQ(ip->header.src, logic.device_config().ip);
+  EXPECT_EQ(ip->header.dst, host_ip);
+  const auto udp = net::parse_udp_datagram(
+      frame.subspan(eth->payload_offset + ip->payload_offset,
+                    ip->payload_length),
+      ip->header.src, ip->header.dst);
+  ASSERT_TRUE(udp.has_value());
+  EXPECT_TRUE(udp->checksum_ok);
+  EXPECT_EQ(udp->header.src_port, 9000);
+  EXPECT_EQ(udp->header.dst_port, 4791);
+  EXPECT_EQ(udp->payload_length, payload.size());
+}
+
+TEST_F(NetLogicFixture, CorruptUdpChecksumIsDropped) {
+  const auto response = logic.process(
+      virtio::net::kTxQueue,
+      with_net_header(make_udp_frame(Bytes(64, 1), false)), 2048);
+  EXPECT_FALSE(response.has_value());
+  EXPECT_EQ(logic.dropped(), 1u);
+}
+
+TEST_F(NetLogicFixture, OffloadedChecksumIsCompletedNotDropped) {
+  logic.on_driver_ready(virtio::FeatureSet{}
+                            .set(virtio::feature::kVersion1)
+                            .set(virtio::feature::net::kCsum)
+                            .set(virtio::feature::net::kGuestCsum));
+  // Blank checksum + NEEDS_CSUM: the device must fill it in.
+  Bytes frame = make_udp_frame(Bytes(64, 1));
+  store_be16(ByteSpan{frame},
+             net::EthernetHeader::kSize + net::Ipv4Header::kSize + 6, 0);
+  const auto response =
+      logic.process(virtio::net::kTxQueue,
+                    with_net_header(frame, NetHeader::kNeedsCsum), 2048);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(logic.checksums_offloaded(), 1u);
+  // Response carries DATA_VALID when GUEST_CSUM negotiated.
+  EXPECT_EQ(response->payload[0] & NetHeader::kDataValid,
+            NetHeader::kDataValid);
+}
+
+TEST_F(NetLogicFixture, ArpRequestForOurIpGetsReply) {
+  net::ArpMessage request;
+  request.op = net::ArpOp::Request;
+  request.sender_mac = host_mac;
+  request.sender_ip = host_ip;
+  request.target_ip = logic.device_config().ip;
+  const Bytes frame = net::build_ethernet_frame(
+      net::EthernetHeader{net::kBroadcastMac, host_mac, net::EtherType::Arp},
+      net::build_arp_message(request));
+  const auto response =
+      logic.process(virtio::net::kTxQueue, with_net_header(frame), 2048);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(logic.arp_replies(), 1u);
+  const auto eth = net::parse_ethernet_frame(
+      ConstByteSpan{response->payload}.subspan(NetHeader::kSize));
+  ASSERT_TRUE(eth.has_value());
+  EXPECT_EQ(eth->header.type, net::EtherType::Arp);
+  const auto reply = net::parse_arp_message(
+      ConstByteSpan{response->payload}.subspan(
+          NetHeader::kSize + eth->payload_offset, eth->payload_length));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->op, net::ArpOp::Reply);
+  EXPECT_EQ(reply->sender_mac, logic.device_config().mac);
+}
+
+TEST_F(NetLogicFixture, ArpForSomeoneElseIgnored) {
+  net::ArpMessage request;
+  request.op = net::ArpOp::Request;
+  request.sender_ip = host_ip;
+  request.target_ip = net::Ipv4Addr::from_octets(10, 42, 0, 200);
+  const Bytes frame = net::build_ethernet_frame(
+      net::EthernetHeader{net::kBroadcastMac, host_mac, net::EtherType::Arp},
+      net::build_arp_message(request));
+  EXPECT_FALSE(logic.process(virtio::net::kTxQueue, with_net_header(frame),
+                             2048)
+                   .has_value());
+}
+
+TEST_F(NetLogicFixture, RuntPayloadDropped) {
+  EXPECT_FALSE(
+      logic.process(virtio::net::kTxQueue, Bytes(4, 0), 2048).has_value());
+  EXPECT_EQ(logic.dropped(), 1u);
+}
+
+TEST_F(NetLogicFixture, DeviceConfigStructureLayout) {
+  using virtio::net::NetConfigLayout;
+  for (u32 i = 0; i < 6; ++i) {
+    EXPECT_EQ(logic.device_config_read(NetConfigLayout::kMacOffset + i),
+              logic.device_config().mac.octets[i]);
+  }
+  EXPECT_EQ(logic.device_config_read(NetConfigLayout::kStatusOffset),
+            virtio::net::kNetStatusLinkUp);
+  const u16 mtu = static_cast<u16>(
+      logic.device_config_read(NetConfigLayout::kMtuOffset) |
+      logic.device_config_read(NetConfigLayout::kMtuOffset + 1) << 8);
+  EXPECT_EQ(mtu, 1500);
+}
+
+// ---- BlkDeviceLogic through the controller (same-chain responses) -----------------
+
+struct BlkFixture : ::testing::Test {
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  BlkDeviceLogic blk{BlkDeviceConfig{.capacity_sectors = 64}};
+  std::optional<VirtioDeviceFunction> device;
+  hostos::InterruptController irq;
+  std::optional<testing_support::TestDriver> driver;
+
+  void SetUp() override {
+    device.emplace(blk, ControllerConfig{});
+    rc.set_irq_sink([&](u32 data, sim::SimTime at) { irq.deliver(data, at); });
+    rc.attach(*device);
+    device->connect(rc);
+    ASSERT_EQ(pcie::enumerate_bus(rc).size(), 1u);
+    driver.emplace(rc, *device, irq);
+    driver->initialize(1);
+  }
+
+  /// Submit one request chain; returns the status byte the device wrote.
+  u8 submit(virtio::blk::RequestType type, u64 sector, ConstByteSpan out_data,
+            Bytes* in_data = nullptr) {
+    using virtio::blk::kRequestHeaderBytes;
+    const HostAddr hdr_addr = memory.allocate(kRequestHeaderBytes);
+    virtio::blk::RequestHeader hdr;
+    hdr.type = type;
+    hdr.sector = sector;
+    std::array<u8, kRequestHeaderBytes> raw{};
+    hdr.encode(raw);
+    memory.write(hdr_addr, raw);
+
+    std::vector<virtio::ChainBuffer> chain;
+    chain.push_back({hdr_addr, kRequestHeaderBytes, false});
+    HostAddr data_addr = 0;
+    if (type == virtio::blk::RequestType::Out) {
+      data_addr = memory.allocate(out_data.size());
+      memory.write(data_addr, out_data);
+      chain.push_back({data_addr, static_cast<u32>(out_data.size()), false});
+    } else if (in_data != nullptr) {
+      data_addr = memory.allocate(in_data->size());
+      chain.push_back({data_addr, static_cast<u32>(in_data->size()), true});
+    }
+    const HostAddr status_addr = memory.allocate(1);
+    memory.write_u8(status_addr, 0xaa);  // poison
+    chain.push_back({status_addr, 1, true});
+
+    auto& vq = driver->vq(virtio::blk::kRequestQueue);
+    EXPECT_TRUE(vq.add_chain(chain, 1).has_value());
+    vq.publish();
+    driver->notify(virtio::blk::kRequestQueue);
+
+    const auto completion = vq.harvest_used();
+    EXPECT_TRUE(completion.has_value());
+    if (in_data != nullptr) {
+      *in_data = memory.read_bytes(data_addr, in_data->size());
+    }
+    return memory.read_u8(status_addr);
+  }
+};
+
+TEST_F(BlkFixture, WriteThenReadRoundTrips) {
+  Bytes data(1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<u8>(i * 11);
+  }
+  EXPECT_EQ(submit(virtio::blk::RequestType::Out, 4, data),
+            virtio::blk::kStatusOk);
+  EXPECT_EQ(blk.writes(), 1u);
+
+  Bytes readback(1024, 0);
+  EXPECT_EQ(submit(virtio::blk::RequestType::In, 4, {}, &readback),
+            virtio::blk::kStatusOk);
+  EXPECT_EQ(readback, data);
+  EXPECT_EQ(blk.reads(), 1u);
+}
+
+TEST_F(BlkFixture, OutOfRangeSectorIsIoError) {
+  EXPECT_EQ(submit(virtio::blk::RequestType::Out, 64, Bytes(512, 1)),
+            virtio::blk::kStatusIoErr);
+  EXPECT_EQ(blk.errors(), 1u);
+}
+
+TEST_F(BlkFixture, FlushSucceeds) {
+  EXPECT_EQ(submit(virtio::blk::RequestType::Flush, 0, {}),
+            virtio::blk::kStatusOk);
+}
+
+TEST_F(BlkFixture, UnsupportedRequestTypeReported) {
+  EXPECT_EQ(submit(virtio::blk::RequestType::GetId, 0, {}),
+            virtio::blk::kStatusUnsupported);
+}
+
+TEST_F(BlkFixture, CapacityVisibleInDeviceConfig) {
+  u64 capacity = 0;
+  for (u32 i = 0; i < 8; ++i) {
+    capacity |= static_cast<u64>(driver->device_cfg8(i)) << (8 * i);
+  }
+  EXPECT_EQ(capacity, 64u);
+}
+
+TEST_F(BlkFixture, InterruptFiresPerCompletion) {
+  const u32 vector = driver->queue_vector(virtio::blk::kRequestQueue);
+  submit(virtio::blk::RequestType::Flush, 0, {});
+  EXPECT_TRUE(irq.pending(vector));
+  irq.consume(vector);
+  // Re-arm used_event, then a second request interrupts again.
+  driver->vq(virtio::blk::kRequestQueue)
+      .set_used_event(
+          driver->vq(virtio::blk::kRequestQueue).last_used_index());
+  submit(virtio::blk::RequestType::Flush, 0, {});
+  EXPECT_TRUE(irq.pending(vector));
+}
+
+}  // namespace
+}  // namespace vfpga::core

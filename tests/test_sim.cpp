@@ -1,0 +1,288 @@
+// Unit + property tests: simulated time, RNG, distributions, scheduler,
+// noise model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vfpga/sim/distributions.hpp"
+#include "vfpga/sim/noise.hpp"
+#include "vfpga/sim/rng.hpp"
+#include "vfpga/sim/scheduler.hpp"
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::sim {
+namespace {
+
+TEST(SimTime, DurationArithmetic) {
+  const Duration a = microseconds(3);
+  const Duration b = nanoseconds(500);
+  EXPECT_EQ((a + b).picos(), 3'500'000);
+  EXPECT_EQ((a - b).picos(), 2'500'000);
+  EXPECT_EQ((a * 2).picos(), 6'000'000);
+  EXPECT_DOUBLE_EQ(a.micros(), 3.0);
+  EXPECT_DOUBLE_EQ(b.nanos(), 500.0);
+}
+
+TEST(SimTime, PointMinusPointIsDuration) {
+  const SimTime t0{1000};
+  const SimTime t1 = t0 + nanoseconds(5);
+  EXPECT_EQ((t1 - t0).picos(), 5000);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(SimTime, FromNanosRounds) {
+  EXPECT_EQ(from_nanos(1.4).picos(), 1400);
+  EXPECT_EQ(from_nanos(0.0004).picos(), 0);
+  EXPECT_EQ(from_nanos(0.0006).picos(), 1);
+}
+
+TEST(SimTime, RoundToClockTicks) {
+  const Duration tick = nanoseconds(8);
+  EXPECT_EQ(round_up_to(nanoseconds(1), tick), nanoseconds(8));
+  EXPECT_EQ(round_up_to(nanoseconds(8), tick), nanoseconds(8));
+  EXPECT_EQ(round_up_to(nanoseconds(9), tick), nanoseconds(16));
+  EXPECT_EQ(round_down_to(nanoseconds(15), tick), nanoseconds(8));
+}
+
+TEST(Rng, DeterministicStream) {
+  Xoshiro256 a{42};
+  Xoshiro256 b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a{1};
+  Xoshiro256 b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 rng{7};
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformBelowIsUnbiasedish) {
+  Xoshiro256 rng{11};
+  std::array<int, 7> histogram{};
+  for (int i = 0; i < 70'000; ++i) {
+    ++histogram[rng.uniform_below(7)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, 10'000, 600);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Xoshiro256 parent{99};
+  Xoshiro256 child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// ---- distributions (statistical property tests) ------------------------------
+
+TEST(Distributions, LognormalMedianIsMedian) {
+  Xoshiro256 rng{5};
+  int below = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    if (sample_lognormal(rng, 100.0, 0.5) < 100.0) {
+      ++below;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below) / kN, 0.5, 0.02);
+}
+
+TEST(Distributions, ExponentialMean) {
+  Xoshiro256 rng{6};
+  double sum = 0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    sum += sample_exponential(rng, 250.0);
+  }
+  EXPECT_NEAR(sum / kN, 250.0, 10.0);
+}
+
+TEST(Distributions, ParetoIsNonNegativeAndHeavy) {
+  Xoshiro256 rng{8};
+  double max_seen = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = sample_pareto(rng, 10.0, 2.0);
+    ASSERT_GE(v, 0.0);
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_GT(max_seen, 100.0);  // heavy tail reaches >10x scale
+}
+
+TEST(Distributions, PoissonMeanMatches) {
+  Xoshiro256 rng{9};
+  for (double mean : {0.1, 1.0, 5.0, 40.0}) {
+    u64 sum = 0;
+    constexpr int kN = 20'000;
+    for (int i = 0; i < kN; ++i) {
+      sum += sample_poisson(rng, mean);
+    }
+    EXPECT_NEAR(static_cast<double>(sum) / kN, mean, mean * 0.1 + 0.05)
+        << "mean " << mean;
+  }
+}
+
+TEST(Distributions, JitteredSegmentRespectsBounds) {
+  Xoshiro256 rng{10};
+  JitteredSegment segment{nanoseconds(1000), 0.8, nanoseconds(800),
+                          nanoseconds(1500)};
+  for (int i = 0; i < 5'000; ++i) {
+    const Duration d = segment.sample(rng);
+    ASSERT_GE(d, nanoseconds(800));
+    ASSERT_LE(d, nanoseconds(1500));
+  }
+}
+
+TEST(Distributions, ZeroSigmaIsDeterministic) {
+  Xoshiro256 rng{11};
+  JitteredSegment segment{nanoseconds(750), 0.0, {}, {}};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(segment.sample(rng), nanoseconds(750));
+  }
+}
+
+TEST(Distributions, MixtureSelectsAllComponents) {
+  Xoshiro256 rng{12};
+  MixtureSegment mixture{{
+      {0.5, {nanoseconds(100), 0.0, {}, {}}},
+      {0.5, {nanoseconds(900), 0.0, {}, {}}},
+  }};
+  int fast = 0;
+  constexpr int kN = 10'000;
+  for (int i = 0; i < kN; ++i) {
+    if (mixture.sample(rng) == nanoseconds(100)) {
+      ++fast;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fast) / kN, 0.5, 0.03);
+}
+
+// ---- scheduler ---------------------------------------------------------------
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(SimTime{300}, [&] { order.push_back(3); });
+  sched.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  sched.schedule_at(SimTime{200}, [&] { order.push_back(2); });
+  EXPECT_EQ(sched.run_until_idle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now().picos(), 300);
+}
+
+TEST(Scheduler, FifoTieBreakAtEqualTimes) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(SimTime{50}, [&, i] { order.push_back(i); });
+  }
+  sched.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ActionsCanScheduleMore) {
+  Scheduler sched;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10) {
+      sched.schedule_after(nanoseconds(10), chain);
+    }
+  };
+  sched.schedule_at(SimTime{0}, chain);
+  sched.run_until_idle();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sched.now(), SimTime{} + nanoseconds(90));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(SimTime{100}, [&] { ++fired; });
+  sched.schedule_at(SimTime{200}, [&] { ++fired; });
+  EXPECT_EQ(sched.run_until(SimTime{150}), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), SimTime{150});
+  sched.run_until_idle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, StopExitsRunLoop) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(SimTime{1}, [&] {
+    ++fired;
+    sched.stop();
+  });
+  sched.schedule_at(SimTime{2}, [&] { ++fired; });
+  EXPECT_EQ(sched.run_until_stopped(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+// ---- noise model ----------------------------------------------------------------
+
+TEST(Noise, DisabledProducesNothing) {
+  NoiseConfig config;
+  config.enabled = false;
+  NoiseModel noise{config};
+  Xoshiro256 rng{1};
+  EXPECT_EQ(noise.interference(rng, microseconds(1000)), Duration{});
+  EXPECT_EQ(noise.rare_stall(rng, microseconds(1000)), Duration{});
+}
+
+TEST(Noise, InterferenceScalesWithExposure) {
+  NoiseModel noise{NoiseConfig{}};
+  Xoshiro256 rng{2};
+  double short_total = 0;
+  double long_total = 0;
+  for (int i = 0; i < 3'000; ++i) {
+    short_total += noise.interference(rng, microseconds(5)).micros();
+    long_total += noise.interference(rng, microseconds(50)).micros();
+  }
+  EXPECT_GT(long_total, short_total * 5);
+}
+
+TEST(Noise, RareStallsAreRareButLarge) {
+  NoiseModel noise{NoiseConfig{}};
+  Xoshiro256 rng{3};
+  int stalls = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const Duration d = noise.rare_stall(rng, microseconds(30));
+    if (d > Duration{}) {
+      ++stalls;
+      EXPECT_GT(d.micros(), 20.0);   // offset floor
+      EXPECT_LE(d.micros(), 450.0);  // capped (allowing multi-event)
+    }
+  }
+  // ~0.12% per 30us window.
+  EXPECT_GT(stalls, 30);
+  EXPECT_LT(stalls, 400);
+}
+
+}  // namespace
+}  // namespace vfpga::sim

@@ -1,0 +1,126 @@
+// Statistics tests: sample sets, exact percentiles, histogram binning.
+#include <gtest/gtest.h>
+
+#include "vfpga/stats/histogram.hpp"
+#include "vfpga/stats/summary.hpp"
+
+namespace vfpga::stats {
+namespace {
+
+TEST(SampleSet, MeanStddevMinMax) {
+  SampleSet s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add_us(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev (n-1)
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(SampleSet, NearestRankPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add_us(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+}
+
+TEST(SampleSet, PercentileUnaffectedByInsertionOrder) {
+  SampleSet ascending;
+  SampleSet shuffled;
+  const double values[] = {5, 1, 9, 3, 7, 2, 8, 6, 4, 10};
+  for (int i = 1; i <= 10; ++i) {
+    ascending.add_us(i);
+  }
+  for (double v : values) {
+    shuffled.add_us(v);
+  }
+  for (double q : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(ascending.percentile(q), shuffled.percentile(q));
+  }
+}
+
+TEST(SampleSet, AddAfterPercentileResorts) {
+  SampleSet s;
+  s.add_us(1.0);
+  s.add_us(3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
+  s.add_us(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(SampleSet, AddDurationConvertsToMicros) {
+  SampleSet s;
+  s.add(sim::microseconds(7));
+  s.add(sim::nanoseconds(500));
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+}
+
+TEST(SampleSet, MergeCombines) {
+  SampleSet a;
+  a.add_us(1.0);
+  SampleSet b;
+  b.add_us(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(LatencySummary, FromSampleSet) {
+  SampleSet s;
+  for (int i = 1; i <= 1000; ++i) {
+    s.add_us(static_cast<double>(i));
+  }
+  const auto summary = LatencySummary::from(s);
+  EXPECT_DOUBLE_EQ(summary.median_us, 500.0);
+  EXPECT_DOUBLE_EQ(summary.p95_us, 950.0);
+  EXPECT_DOUBLE_EQ(summary.p99_us, 990.0);
+  EXPECT_DOUBLE_EQ(summary.p999_us, 999.0);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h{0.0, 100.0, 10.0};
+  EXPECT_EQ(h.bin_count(), 10u);
+  h.add(5.0);    // bin 0
+  h.add(15.0);   // bin 1
+  h.add(-3.0);   // clamps to bin 0
+  h.add(250.0);  // clamps to last bin
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, RenderShowsOnlyOccupiedBins) {
+  Histogram h{0.0, 50.0, 10.0};
+  h.add(25.0);
+  const std::string text = h.render();
+  EXPECT_NE(text.find("20.0"), std::string::npos);
+  EXPECT_EQ(text.find("40.0"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Histogram, AddAllFromSampleSet) {
+  SampleSet s;
+  for (int i = 0; i < 100; ++i) {
+    s.add_us(static_cast<double>(i % 10));
+  }
+  Histogram h{0.0, 10.0, 1.0};
+  h.add_all(s);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.bin(i), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace vfpga::stats

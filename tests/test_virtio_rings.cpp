@@ -1,0 +1,373 @@
+// Split-virtqueue tests: layout constants, driver-side ring operations,
+// device-side DMA access, and the driver<->device protocol round trip —
+// the core invariant being that both halves agree on every byte purely
+// through shared memory.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "vfpga/pcie/root_complex.hpp"
+#include "vfpga/sim/rng.hpp"
+#include "vfpga/virtio/ids.hpp"
+#include "vfpga/virtio/ring_layout.hpp"
+#include "vfpga/virtio/virtqueue_device.hpp"
+#include "vfpga/virtio/virtqueue_driver.hpp"
+
+namespace vfpga::virtio {
+namespace {
+
+TEST(RingLayout, SpecSizes) {
+  // VirtIO 1.2 §2.7: sizes for a 256-entry queue.
+  EXPECT_EQ(desc_table_bytes(256), 4096u);
+  EXPECT_EQ(avail_ring_bytes(256), 4u + 512u + 2u);
+  EXPECT_EQ(used_ring_bytes(256), 4u + 2048u + 2u);
+  EXPECT_EQ(desc_offset(3), 48u);
+  EXPECT_EQ(avail_entry_offset(5), 14u);
+  EXPECT_EQ(used_entry_offset(5), 44u);
+  EXPECT_EQ(used_event_offset(256), 516u);
+  EXPECT_EQ(avail_event_offset(256), 2052u);
+}
+
+/// Dummy endpoint so the device side has a bus-master DMA port.
+class DummyFunction : public pcie::Function {
+ public:
+  DummyFunction() {
+    config().set_ids(0x1af4, 0x1041, 0x1af4, 1);
+    config().define_bar(0, pcie::BarDefinition{4096, false, false});
+    config().write16(pcie::cfg::kCommand,
+                     pcie::cfg::kCommandMemoryEnable |
+                         pcie::cfg::kCommandBusMaster);
+  }
+  u64 bar_read(u32, BarOffset, u32, sim::SimTime) override { return 0; }
+  void bar_write(u32, BarOffset, u64, u32, sim::SimTime) override {}
+};
+
+struct RingFixture : ::testing::Test {
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  DummyFunction fn;
+  FeatureSet features{(1ull << feature::kVersion1) |
+                      (1ull << feature::kRingEventIdx)};
+
+  VirtqueueDriver make_driver(u16 size = 8) {
+    return VirtqueueDriver{memory, size, features};
+  }
+  VirtqueueDevice make_device(const VirtqueueDriver& drv) {
+    VirtqueueDevice vq{rc.dma_port(fn)};
+    vq.configure(drv.addresses(), drv.size(), features);
+    return vq;
+  }
+};
+
+TEST_F(RingFixture, FreshQueueIsEmptyAndFullyFree) {
+  auto drv = make_driver();
+  EXPECT_EQ(drv.free_descriptors(), 8);
+  EXPECT_EQ(drv.in_flight(), 0);
+  EXPECT_FALSE(drv.used_pending());
+  // Ring memory is zeroed.
+  EXPECT_EQ(memory.read_le16(drv.addresses().avail + kAvailIdxOffset), 0);
+  EXPECT_EQ(memory.read_le16(drv.addresses().used + kUsedIdxOffset), 0);
+}
+
+TEST_F(RingFixture, AddChainWritesSpecCompliantDescriptors) {
+  auto drv = make_driver();
+  const HostAddr buf_a = memory.allocate(64);
+  const HostAddr buf_b = memory.allocate(128);
+  const std::array<ChainBuffer, 2> chain{
+      ChainBuffer{buf_a, 64, false},
+      ChainBuffer{buf_b, 128, true},
+  };
+  const auto head = drv.add_chain(chain, /*token=*/42);
+  ASSERT_TRUE(head.has_value());
+
+  const HostAddr d0 = drv.addresses().desc + desc_offset(*head);
+  EXPECT_EQ(memory.read_le64(d0 + kDescAddrOffset), buf_a);
+  EXPECT_EQ(memory.read_le32(d0 + kDescLenOffset), 64u);
+  EXPECT_EQ(memory.read_le16(d0 + kDescFlagsOffset), descflags::kNext);
+  const u16 next = memory.read_le16(d0 + kDescNextOffset);
+  const HostAddr d1 = drv.addresses().desc + desc_offset(next);
+  EXPECT_EQ(memory.read_le64(d1 + kDescAddrOffset), buf_b);
+  EXPECT_EQ(memory.read_le16(d1 + kDescFlagsOffset), descflags::kWrite);
+  EXPECT_EQ(drv.free_descriptors(), 6);
+}
+
+TEST_F(RingFixture, PublishIsTheVisibilityPoint) {
+  auto drv = make_driver();
+  const ChainBuffer buf{memory.allocate(16), 16, false};
+  drv.add_chain(std::span{&buf, 1}, 1);
+  // Not yet visible: avail.idx still 0.
+  EXPECT_EQ(memory.read_le16(drv.addresses().avail + kAvailIdxOffset), 0);
+  EXPECT_EQ(drv.publish(), 1);
+  EXPECT_EQ(memory.read_le16(drv.addresses().avail + kAvailIdxOffset), 1);
+  EXPECT_EQ(drv.publish(), 0);  // idempotent with nothing pending
+}
+
+TEST_F(RingFixture, ChainTooLargeIsRefusedWithoutSideEffects) {
+  auto drv = make_driver(4);
+  std::vector<ChainBuffer> chain(5, ChainBuffer{memory.allocate(8), 8, false});
+  EXPECT_FALSE(drv.add_chain(chain, 9).has_value());
+  EXPECT_EQ(drv.free_descriptors(), 4);
+}
+
+TEST_F(RingFixture, DeviceSeesDriverDescriptorsThroughDma) {
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+  const HostAddr buf = memory.allocate(32);
+  memory.fill(buf, 0x77, 32);
+  const ChainBuffer cb{buf, 32, false};
+  const auto head = drv.add_chain(std::span{&cb, 1}, 5);
+  drv.publish();
+
+  const auto idx = dev.fetch_avail_idx(sim::SimTime{});
+  EXPECT_EQ(idx.value, 1);
+  EXPECT_GT(idx.done.nanos(), 0.0);
+
+  const auto entry = dev.fetch_avail_entry(0, idx.done);
+  EXPECT_EQ(entry.value, *head);
+
+  const auto chain = dev.fetch_chain(entry.value, entry.done);
+  ASSERT_EQ(chain.value.size(), 1u);
+  EXPECT_EQ(chain.value[0].addr, buf);
+  EXPECT_EQ(chain.value[0].len, 32u);
+
+  Bytes payload;
+  const auto done = dev.gather_payload(chain.value, payload, chain.done);
+  EXPECT_EQ(payload, Bytes(32, 0x77));
+  EXPECT_GT(done, chain.done);
+}
+
+TEST_F(RingFixture, FullProtocolRoundTrip) {
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+
+  // Driver exposes one writable buffer (an RX buffer).
+  const HostAddr rx_buf = memory.allocate(64);
+  const ChainBuffer cb{rx_buf, 64, true};
+  const auto head = drv.add_chain(std::span{&cb, 1}, 1234);
+  drv.publish();
+
+  // Device consumes it, scatters a payload, pushes a used entry.
+  const auto entry = dev.fetch_avail_entry(0, sim::SimTime{});
+  dev.advance_avail_cursor();
+  const auto chain = dev.fetch_chain(entry.value, entry.done);
+  const Bytes message{'v', 'i', 'r', 't', 'i', 'o'};
+  u32 written = 0;
+  const auto scatter =
+      dev.scatter_payload(chain.value, message, chain.done, written);
+  EXPECT_EQ(written, message.size());
+  dev.push_used(entry.value, written, scatter.issuer_free);
+
+  // Driver harvests: token, length, bytes all round-trip.
+  ASSERT_TRUE(drv.used_pending());
+  const auto completion = drv.harvest_used();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_EQ(completion->token, 1234u);
+  EXPECT_EQ(completion->written, message.size());
+  EXPECT_EQ(completion->head, *head);
+  EXPECT_EQ(memory.read_bytes(rx_buf, message.size()), message);
+  EXPECT_EQ(drv.free_descriptors(), 8);
+  EXPECT_FALSE(drv.harvest_used().has_value());
+}
+
+TEST_F(RingFixture, DescriptorsRecycleThroughFullRing) {
+  auto drv = make_driver(4);
+  auto dev = make_device(drv);
+  // Push 3x the ring size of single-buffer chains through.
+  for (u64 i = 0; i < 12; ++i) {
+    const ChainBuffer cb{memory.allocate(8), 8, false};
+    const auto head = drv.add_chain(std::span{&cb, 1}, i);
+    ASSERT_TRUE(head.has_value()) << i;
+    drv.publish();
+    const auto entry =
+        dev.fetch_avail_entry(dev.next_avail_position(), sim::SimTime{});
+    dev.advance_avail_cursor();
+    dev.push_used(entry.value, 0, entry.done);
+    const auto completion = drv.harvest_used();
+    ASSERT_TRUE(completion.has_value());
+    EXPECT_EQ(completion->token, i);
+  }
+}
+
+TEST_F(RingFixture, EventIdxKickSuppression) {
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+
+  // Device asks to be kicked for the first publish.
+  dev.write_avail_event(0, sim::SimTime{});
+  const ChainBuffer cb{memory.allocate(8), 8, false};
+  drv.add_chain(std::span{&cb, 1}, 1);
+  drv.publish();
+  EXPECT_TRUE(drv.should_kick());
+
+  // Device has NOT advanced avail_event: the next publish is already
+  // covered, so no kick needed.
+  drv.add_chain(std::span{&cb, 1}, 2);
+  drv.publish();
+  EXPECT_FALSE(drv.should_kick());
+
+  // Device catches up and requests the next one.
+  dev.write_avail_event(2, sim::SimTime{});
+  drv.add_chain(std::span{&cb, 1}, 3);
+  drv.publish();
+  EXPECT_TRUE(drv.should_kick());
+}
+
+TEST_F(RingFixture, UsedEventControlsDeviceVisibleField) {
+  auto drv = make_driver();
+  drv.set_used_event(7);
+  EXPECT_EQ(
+      memory.read_le16(drv.addresses().avail + used_event_offset(drv.size())),
+      7);
+  auto dev = make_device(drv);
+  EXPECT_EQ(dev.read_used_event(sim::SimTime{}).value, 7);
+}
+
+TEST_F(RingFixture, BatchedDescriptorFetchMatchesSingles) {
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+  const std::array<ChainBuffer, 2> chain{
+      ChainBuffer{memory.allocate(16), 16, false},
+      ChainBuffer{memory.allocate(16), 16, true},
+  };
+  const auto head = drv.add_chain(chain, 1);
+  drv.publish();
+  const auto burst = dev.fetch_descriptors(*head, 2, sim::SimTime{});
+  const auto single0 = dev.fetch_descriptor(*head, sim::SimTime{});
+  ASSERT_EQ(burst.value.size(), 2u);
+  EXPECT_EQ(burst.value[0].addr, single0.value.addr);
+  EXPECT_EQ(burst.value[0].flags, single0.value.flags);
+  // One burst read is cheaper than two single reads.
+  const auto two_singles =
+      dev.fetch_descriptor(single0.value.next, single0.done).done;
+  EXPECT_LT(burst.done.picos(), two_singles.picos());
+}
+
+// Property sweep over queue sizes: in-flight + free == size always.
+class RingSizeProperty : public ::testing::TestWithParam<u16> {};
+
+TEST_P(RingSizeProperty, ConservationOfDescriptors) {
+  mem::HostMemory memory;
+  const u16 size = GetParam();
+  VirtqueueDriver drv{memory, size,
+                      FeatureSet{1ull << feature::kVersion1}};
+  sim::Xoshiro256 rng{size};
+  std::vector<u64> outstanding;
+  for (int step = 0; step < 200; ++step) {
+    EXPECT_EQ(drv.free_descriptors() + drv.in_flight(), size);
+    const bool add = rng.uniform01() < 0.6;
+    if (add && drv.free_descriptors() >= 2) {
+      const std::array<ChainBuffer, 2> chain{
+          ChainBuffer{memory.allocate(8), 8, false},
+          ChainBuffer{memory.allocate(8), 8, true},
+      };
+      const auto head = drv.add_chain(chain, static_cast<u64>(step));
+      ASSERT_TRUE(head.has_value());
+      drv.publish();
+      outstanding.push_back(static_cast<u64>(step));
+    } else if (!outstanding.empty()) {
+      // Complete the oldest outstanding chain, bypassing the device:
+      // emulate its used-ring write directly.
+      const u16 slot = static_cast<u16>(
+          memory.read_le16(drv.addresses().used + kUsedIdxOffset) % size);
+      // Find the head for the oldest token by scanning the avail ring is
+      // overkill; instead complete in publish order which matches the
+      // avail order for this workload.
+      const u16 avail_slot = static_cast<u16>(
+          (memory.read_le16(drv.addresses().used + kUsedIdxOffset)) % size);
+      (void)avail_slot;
+      const u16 head = memory.read_le16(
+          drv.addresses().avail +
+          avail_entry_offset(static_cast<u16>(
+              memory.read_le16(drv.addresses().used + kUsedIdxOffset) %
+              size)));
+      memory.write_le32(drv.addresses().used + used_entry_offset(slot), head);
+      memory.write_le32(drv.addresses().used + used_entry_offset(slot) + 4,
+                        0);
+      memory.write_le16(
+          drv.addresses().used + kUsedIdxOffset,
+          static_cast<u16>(
+              memory.read_le16(drv.addresses().used + kUsedIdxOffset) + 1));
+      const auto completion = drv.harvest_used();
+      ASSERT_TRUE(completion.has_value());
+      EXPECT_EQ(completion->token, outstanding.front());
+      outstanding.erase(outstanding.begin());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QueueSizes, RingSizeProperty,
+                         ::testing::Values(u16{2}, u16{4}, u16{16}, u16{64},
+                                           u16{256}));
+
+
+TEST_F(RingFixture, SurvivesU16IndexWraparound) {
+  // avail.idx and used.idx are free-running 16-bit counters; a size-4
+  // queue crosses the 65536 wrap after 16384 laps. Push enough chains
+  // through that both counters wrap and verify tokens stay exact.
+  auto drv = make_driver(4);
+  auto dev = make_device(drv);
+  constexpr u64 kChains = 70'000;  // > 65536: full counter wrap
+  for (u64 i = 0; i < kChains; ++i) {
+    const ChainBuffer cb{memory.allocate(8), 8, false};
+    ASSERT_TRUE(drv.add_chain(std::span{&cb, 1}, i).has_value()) << i;
+    drv.publish();
+    const auto idx = dev.fetch_avail_idx(sim::SimTime{});
+    ASSERT_EQ(static_cast<u16>(idx.value - dev.next_avail_position()), 1)
+        << i;
+    const auto entry =
+        dev.fetch_avail_entry(dev.next_avail_position(), sim::SimTime{});
+    dev.advance_avail_cursor();
+    dev.push_used(entry.value, 0, entry.done);
+    const auto completion = drv.harvest_used();
+    ASSERT_TRUE(completion.has_value()) << i;
+    ASSERT_EQ(completion->token, i) << i;
+  }
+  EXPECT_EQ(drv.free_descriptors(), 4);
+}
+
+TEST_F(RingFixture, EventIdxSuppressionCorrectAcrossWrap) {
+  // The §2.7.10 wrap-safe comparison must hold when used_event and
+  // used.idx straddle the 16-bit boundary.
+  auto drv = make_driver(4);
+  auto dev = make_device(drv);
+  // Drive the counters close to the wrap point.
+  for (u64 i = 0; i < 65'530; ++i) {
+    const ChainBuffer cb{memory.allocate(8), 8, false};
+    ASSERT_TRUE(drv.add_chain(std::span{&cb, 1}, i).has_value());
+    drv.publish();
+    const auto entry =
+        dev.fetch_avail_entry(dev.next_avail_position(), sim::SimTime{});
+    dev.advance_avail_cursor();
+    dev.push_used(entry.value, 0, entry.done);
+    ASSERT_TRUE(drv.harvest_used().has_value());
+  }
+  // Device asks for a kick exactly at the pre-wrap index...
+  dev.write_avail_event(static_cast<u16>(65'530), sim::SimTime{});
+  const ChainBuffer cb{memory.allocate(8), 8, false};
+  drv.add_chain(std::span{&cb, 1}, 1);
+  drv.publish();  // avail idx 65531: passes event 65530
+  EXPECT_TRUE(drv.should_kick());
+  // ...and for one past the wrap: publishes at 65532..65535 suppressed,
+  // the one that lands on 0 (post-wrap) kicks.
+  dev.write_avail_event(static_cast<u16>(65'535), sim::SimTime{});
+  // Publishes at idx 65532..65535 are suppressed; the publish whose idx
+  // wraps to 0 passes event 65535 and kicks.
+  for (int i = 0; i < 5; ++i) {
+    const auto entry =
+        dev.fetch_avail_entry(dev.next_avail_position(), sim::SimTime{});
+    dev.advance_avail_cursor();
+    dev.push_used(entry.value, 0, entry.done);
+    drv.harvest_used();
+    drv.add_chain(std::span{&cb, 1}, 2);
+    drv.publish();
+    if (i < 4) {
+      EXPECT_FALSE(drv.should_kick()) << i;
+    } else {
+      EXPECT_TRUE(drv.should_kick()) << i;  // idx wrapped to 0
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vfpga::virtio
