@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_c2h_notification.dir/ablation_c2h_notification.cpp.o"
+  "CMakeFiles/ablation_c2h_notification.dir/ablation_c2h_notification.cpp.o.d"
+  "ablation_c2h_notification"
+  "ablation_c2h_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_c2h_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_c2h_notification.
+# This may be replaced when dependencies are built.

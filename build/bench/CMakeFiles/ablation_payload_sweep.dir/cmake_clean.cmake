@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_payload_sweep.dir/ablation_payload_sweep.cpp.o"
+  "CMakeFiles/ablation_payload_sweep.dir/ablation_payload_sweep.cpp.o.d"
+  "ablation_payload_sweep"
+  "ablation_payload_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_payload_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

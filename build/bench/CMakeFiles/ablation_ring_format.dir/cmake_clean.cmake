@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ring_format.dir/ablation_ring_format.cpp.o"
+  "CMakeFiles/ablation_ring_format.dir/ablation_ring_format.cpp.o.d"
+  "ablation_ring_format"
+  "ablation_ring_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ring_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_storage.dir/blk_storage.cpp.o"
+  "CMakeFiles/blk_storage.dir/blk_storage.cpp.o.d"
+  "blk_storage"
+  "blk_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bypass_stream.dir/bypass_stream.cpp.o"
+  "CMakeFiles/bypass_stream.dir/bypass_stream.cpp.o.d"
+  "bypass_stream"
+  "bypass_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bypass_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

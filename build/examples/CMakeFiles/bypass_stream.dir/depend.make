@@ -1,0 +1,2 @@
+# Empty dependencies file for bypass_stream.
+# This may be replaced when dependencies are built.

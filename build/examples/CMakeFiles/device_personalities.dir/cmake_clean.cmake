@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_personalities.dir/device_personalities.cpp.o"
+  "CMakeFiles/device_personalities.dir/device_personalities.cpp.o.d"
+  "device_personalities"
+  "device_personalities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_personalities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

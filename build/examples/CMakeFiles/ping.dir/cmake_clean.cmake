@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ping.dir/ping.cpp.o"
+  "CMakeFiles/ping.dir/ping.cpp.o.d"
+  "ping"
+  "ping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

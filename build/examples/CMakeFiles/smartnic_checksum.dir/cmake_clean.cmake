@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartnic_checksum.dir/smartnic_checksum.cpp.o"
+  "CMakeFiles/smartnic_checksum.dir/smartnic_checksum.cpp.o.d"
+  "smartnic_checksum"
+  "smartnic_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartnic_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

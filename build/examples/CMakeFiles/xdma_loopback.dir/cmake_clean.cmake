@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdma_loopback.dir/xdma_loopback.cpp.o"
+  "CMakeFiles/xdma_loopback.dir/xdma_loopback.cpp.o.d"
+  "xdma_loopback"
+  "xdma_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdma_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

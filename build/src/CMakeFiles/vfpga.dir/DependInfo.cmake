@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfpga/common/log.cpp" "src/CMakeFiles/vfpga.dir/vfpga/common/log.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/common/log.cpp.o.d"
+  "/root/repo/src/vfpga/core/blk_device.cpp" "src/CMakeFiles/vfpga.dir/vfpga/core/blk_device.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/core/blk_device.cpp.o.d"
+  "/root/repo/src/vfpga/core/bypass.cpp" "src/CMakeFiles/vfpga.dir/vfpga/core/bypass.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/core/bypass.cpp.o.d"
+  "/root/repo/src/vfpga/core/console_device.cpp" "src/CMakeFiles/vfpga.dir/vfpga/core/console_device.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/core/console_device.cpp.o.d"
+  "/root/repo/src/vfpga/core/device_spec.cpp" "src/CMakeFiles/vfpga.dir/vfpga/core/device_spec.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/core/device_spec.cpp.o.d"
+  "/root/repo/src/vfpga/core/net_device.cpp" "src/CMakeFiles/vfpga.dir/vfpga/core/net_device.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/core/net_device.cpp.o.d"
+  "/root/repo/src/vfpga/core/packed_queue_engine.cpp" "src/CMakeFiles/vfpga.dir/vfpga/core/packed_queue_engine.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/core/packed_queue_engine.cpp.o.d"
+  "/root/repo/src/vfpga/core/queue_engine.cpp" "src/CMakeFiles/vfpga.dir/vfpga/core/queue_engine.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/core/queue_engine.cpp.o.d"
+  "/root/repo/src/vfpga/core/testbed.cpp" "src/CMakeFiles/vfpga.dir/vfpga/core/testbed.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/core/testbed.cpp.o.d"
+  "/root/repo/src/vfpga/core/virtio_controller.cpp" "src/CMakeFiles/vfpga.dir/vfpga/core/virtio_controller.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/core/virtio_controller.cpp.o.d"
+  "/root/repo/src/vfpga/fpga/perf_counter.cpp" "src/CMakeFiles/vfpga.dir/vfpga/fpga/perf_counter.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/fpga/perf_counter.cpp.o.d"
+  "/root/repo/src/vfpga/fpga/stream.cpp" "src/CMakeFiles/vfpga.dir/vfpga/fpga/stream.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/fpga/stream.cpp.o.d"
+  "/root/repo/src/vfpga/fpga/timeline.cpp" "src/CMakeFiles/vfpga.dir/vfpga/fpga/timeline.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/fpga/timeline.cpp.o.d"
+  "/root/repo/src/vfpga/harness/experiment.cpp" "src/CMakeFiles/vfpga.dir/vfpga/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/harness/experiment.cpp.o.d"
+  "/root/repo/src/vfpga/harness/parallel.cpp" "src/CMakeFiles/vfpga.dir/vfpga/harness/parallel.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/harness/parallel.cpp.o.d"
+  "/root/repo/src/vfpga/harness/report.cpp" "src/CMakeFiles/vfpga.dir/vfpga/harness/report.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/harness/report.cpp.o.d"
+  "/root/repo/src/vfpga/harness/virtio_bench.cpp" "src/CMakeFiles/vfpga.dir/vfpga/harness/virtio_bench.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/harness/virtio_bench.cpp.o.d"
+  "/root/repo/src/vfpga/harness/xdma_bench.cpp" "src/CMakeFiles/vfpga.dir/vfpga/harness/xdma_bench.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/harness/xdma_bench.cpp.o.d"
+  "/root/repo/src/vfpga/hostos/char_device.cpp" "src/CMakeFiles/vfpga.dir/vfpga/hostos/char_device.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/hostos/char_device.cpp.o.d"
+  "/root/repo/src/vfpga/hostos/cost_model.cpp" "src/CMakeFiles/vfpga.dir/vfpga/hostos/cost_model.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/hostos/cost_model.cpp.o.d"
+  "/root/repo/src/vfpga/hostos/interrupt.cpp" "src/CMakeFiles/vfpga.dir/vfpga/hostos/interrupt.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/hostos/interrupt.cpp.o.d"
+  "/root/repo/src/vfpga/hostos/netstack.cpp" "src/CMakeFiles/vfpga.dir/vfpga/hostos/netstack.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/hostos/netstack.cpp.o.d"
+  "/root/repo/src/vfpga/hostos/virtio_blk_driver.cpp" "src/CMakeFiles/vfpga.dir/vfpga/hostos/virtio_blk_driver.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/hostos/virtio_blk_driver.cpp.o.d"
+  "/root/repo/src/vfpga/hostos/virtio_console_driver.cpp" "src/CMakeFiles/vfpga.dir/vfpga/hostos/virtio_console_driver.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/hostos/virtio_console_driver.cpp.o.d"
+  "/root/repo/src/vfpga/hostos/virtio_net_driver.cpp" "src/CMakeFiles/vfpga.dir/vfpga/hostos/virtio_net_driver.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/hostos/virtio_net_driver.cpp.o.d"
+  "/root/repo/src/vfpga/hostos/virtio_transport.cpp" "src/CMakeFiles/vfpga.dir/vfpga/hostos/virtio_transport.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/hostos/virtio_transport.cpp.o.d"
+  "/root/repo/src/vfpga/mem/bram.cpp" "src/CMakeFiles/vfpga.dir/vfpga/mem/bram.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/mem/bram.cpp.o.d"
+  "/root/repo/src/vfpga/mem/host_memory.cpp" "src/CMakeFiles/vfpga.dir/vfpga/mem/host_memory.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/mem/host_memory.cpp.o.d"
+  "/root/repo/src/vfpga/net/arp.cpp" "src/CMakeFiles/vfpga.dir/vfpga/net/arp.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/net/arp.cpp.o.d"
+  "/root/repo/src/vfpga/net/checksum.cpp" "src/CMakeFiles/vfpga.dir/vfpga/net/checksum.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/net/checksum.cpp.o.d"
+  "/root/repo/src/vfpga/net/ethernet.cpp" "src/CMakeFiles/vfpga.dir/vfpga/net/ethernet.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/net/ethernet.cpp.o.d"
+  "/root/repo/src/vfpga/net/icmp.cpp" "src/CMakeFiles/vfpga.dir/vfpga/net/icmp.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/net/icmp.cpp.o.d"
+  "/root/repo/src/vfpga/net/ipv4.cpp" "src/CMakeFiles/vfpga.dir/vfpga/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/net/ipv4.cpp.o.d"
+  "/root/repo/src/vfpga/net/routing.cpp" "src/CMakeFiles/vfpga.dir/vfpga/net/routing.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/net/routing.cpp.o.d"
+  "/root/repo/src/vfpga/net/udp.cpp" "src/CMakeFiles/vfpga.dir/vfpga/net/udp.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/net/udp.cpp.o.d"
+  "/root/repo/src/vfpga/pcie/capabilities.cpp" "src/CMakeFiles/vfpga.dir/vfpga/pcie/capabilities.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/pcie/capabilities.cpp.o.d"
+  "/root/repo/src/vfpga/pcie/config_space.cpp" "src/CMakeFiles/vfpga.dir/vfpga/pcie/config_space.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/pcie/config_space.cpp.o.d"
+  "/root/repo/src/vfpga/pcie/enumeration.cpp" "src/CMakeFiles/vfpga.dir/vfpga/pcie/enumeration.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/pcie/enumeration.cpp.o.d"
+  "/root/repo/src/vfpga/pcie/link_model.cpp" "src/CMakeFiles/vfpga.dir/vfpga/pcie/link_model.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/pcie/link_model.cpp.o.d"
+  "/root/repo/src/vfpga/pcie/msix.cpp" "src/CMakeFiles/vfpga.dir/vfpga/pcie/msix.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/pcie/msix.cpp.o.d"
+  "/root/repo/src/vfpga/pcie/root_complex.cpp" "src/CMakeFiles/vfpga.dir/vfpga/pcie/root_complex.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/pcie/root_complex.cpp.o.d"
+  "/root/repo/src/vfpga/sim/distributions.cpp" "src/CMakeFiles/vfpga.dir/vfpga/sim/distributions.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/sim/distributions.cpp.o.d"
+  "/root/repo/src/vfpga/sim/noise.cpp" "src/CMakeFiles/vfpga.dir/vfpga/sim/noise.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/sim/noise.cpp.o.d"
+  "/root/repo/src/vfpga/sim/rng.cpp" "src/CMakeFiles/vfpga.dir/vfpga/sim/rng.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/sim/rng.cpp.o.d"
+  "/root/repo/src/vfpga/sim/scheduler.cpp" "src/CMakeFiles/vfpga.dir/vfpga/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/sim/scheduler.cpp.o.d"
+  "/root/repo/src/vfpga/stats/histogram.cpp" "src/CMakeFiles/vfpga.dir/vfpga/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/stats/histogram.cpp.o.d"
+  "/root/repo/src/vfpga/stats/summary.cpp" "src/CMakeFiles/vfpga.dir/vfpga/stats/summary.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/stats/summary.cpp.o.d"
+  "/root/repo/src/vfpga/virtio/feature_negotiation.cpp" "src/CMakeFiles/vfpga.dir/vfpga/virtio/feature_negotiation.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/virtio/feature_negotiation.cpp.o.d"
+  "/root/repo/src/vfpga/virtio/packed_device.cpp" "src/CMakeFiles/vfpga.dir/vfpga/virtio/packed_device.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/virtio/packed_device.cpp.o.d"
+  "/root/repo/src/vfpga/virtio/packed_driver.cpp" "src/CMakeFiles/vfpga.dir/vfpga/virtio/packed_driver.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/virtio/packed_driver.cpp.o.d"
+  "/root/repo/src/vfpga/virtio/pci_caps.cpp" "src/CMakeFiles/vfpga.dir/vfpga/virtio/pci_caps.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/virtio/pci_caps.cpp.o.d"
+  "/root/repo/src/vfpga/virtio/virtqueue_device.cpp" "src/CMakeFiles/vfpga.dir/vfpga/virtio/virtqueue_device.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/virtio/virtqueue_device.cpp.o.d"
+  "/root/repo/src/vfpga/virtio/virtqueue_driver.cpp" "src/CMakeFiles/vfpga.dir/vfpga/virtio/virtqueue_driver.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/virtio/virtqueue_driver.cpp.o.d"
+  "/root/repo/src/vfpga/xdma/engine.cpp" "src/CMakeFiles/vfpga.dir/vfpga/xdma/engine.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/xdma/engine.cpp.o.d"
+  "/root/repo/src/vfpga/xdma/host_driver.cpp" "src/CMakeFiles/vfpga.dir/vfpga/xdma/host_driver.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/xdma/host_driver.cpp.o.d"
+  "/root/repo/src/vfpga/xdma/xdma_ip.cpp" "src/CMakeFiles/vfpga.dir/vfpga/xdma/xdma_ip.cpp.o" "gcc" "src/CMakeFiles/vfpga.dir/vfpga/xdma/xdma_ip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blk_driver.dir/test_blk_driver.cpp.o"
+  "CMakeFiles/test_blk_driver.dir/test_blk_driver.cpp.o.d"
+  "test_blk_driver"
+  "test_blk_driver.pdb"
+  "test_blk_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blk_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

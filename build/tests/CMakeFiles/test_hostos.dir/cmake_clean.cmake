@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hostos.dir/test_hostos.cpp.o"
+  "CMakeFiles/test_hostos.dir/test_hostos.cpp.o.d"
+  "test_hostos"
+  "test_hostos.pdb"
+  "test_hostos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hostos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

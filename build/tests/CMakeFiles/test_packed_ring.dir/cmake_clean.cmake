@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packed_ring.dir/test_packed_ring.cpp.o"
+  "CMakeFiles/test_packed_ring.dir/test_packed_ring.cpp.o.d"
+  "test_packed_ring"
+  "test_packed_ring.pdb"
+  "test_packed_ring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packed_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

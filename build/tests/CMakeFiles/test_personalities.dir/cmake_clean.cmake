@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_personalities.dir/test_personalities.cpp.o"
+  "CMakeFiles/test_personalities.dir/test_personalities.cpp.o.d"
+  "test_personalities"
+  "test_personalities.pdb"
+  "test_personalities[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_personalities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtio_caps.dir/test_virtio_caps.cpp.o"
+  "CMakeFiles/test_virtio_caps.dir/test_virtio_caps.cpp.o.d"
+  "test_virtio_caps"
+  "test_virtio_caps.pdb"
+  "test_virtio_caps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtio_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

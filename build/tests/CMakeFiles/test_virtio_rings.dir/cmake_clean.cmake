@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtio_rings.dir/test_virtio_rings.cpp.o"
+  "CMakeFiles/test_virtio_rings.dir/test_virtio_rings.cpp.o.d"
+  "test_virtio_rings"
+  "test_virtio_rings.pdb"
+  "test_virtio_rings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtio_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xdma.dir/test_xdma.cpp.o"
+  "CMakeFiles/test_xdma.dir/test_xdma.cpp.o.d"
+  "test_xdma"
+  "test_xdma.pdb"
+  "test_xdma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_pcie[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_virtio_rings[1]_include.cmake")
+include("/root/repo/build/tests/test_virtio_caps[1]_include.cmake")
+include("/root/repo/build/tests/test_xdma[1]_include.cmake")
+include("/root/repo/build/tests/test_hostos[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_personalities[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_packed_ring[1]_include.cmake")
+include("/root/repo/build/tests/test_blk_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_device_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_bypass[1]_include.cmake")
