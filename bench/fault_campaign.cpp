@@ -1,0 +1,28 @@
+// Randomized fault-injection campaign runner.
+//
+// Sweeps every fault class x seed over the UDP-echo and chardev
+// workloads with recovery enabled, then prints per-class injection and
+// recovery-latency statistics (p50/p99). Exits non-zero when any run
+// hung, silently corrupted a payload, or failed to return to
+// steady-state after the plane was disarmed.
+//
+//   VFPGA_CAMPAIGN_RUNS=200  seeded runs per (class, workload)
+//   VFPGA_CAMPAIGN_OPS=12    faulted operations per run
+//   VFPGA_CAMPAIGN_RATE=0.08 per-consult injection probability
+//   VFPGA_SEED=202408        campaign base seed
+#include <cstdio>
+
+#include "vfpga/harness/fault_campaign.hpp"
+
+int main() {
+  using namespace vfpga;
+  const harness::CampaignConfig config = harness::CampaignConfig::from_env();
+  std::printf(
+      "fault campaign: %llu runs/class, %u ops/run, rate %.3f, seed %llu\n",
+      static_cast<unsigned long long>(config.runs_per_class),
+      config.ops_per_run, config.fault_rate,
+      static_cast<unsigned long long>(config.base_seed));
+  const harness::CampaignResult result = harness::run_fault_campaign(config);
+  harness::print_campaign_report(result);
+  return result.ok() ? 0 : 1;
+}

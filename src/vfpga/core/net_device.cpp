@@ -200,7 +200,13 @@ std::optional<UserLogic::Response> NetDeviceLogic::process(
   }
   const auto parsed_udp = net::parse_udp_datagram(
       udp_copy, parsed_ip->header.src, parsed_ip->header.dst);
-  VFPGA_ASSERT(parsed_udp.has_value());
+  if (!parsed_udp.has_value()) {
+    // Reachable in the offload branch: a frame whose UDP length fields
+    // were mangled in flight parses as IPv4 (header checksum intact)
+    // but not as UDP. Garbage in -> drop, never crash the device.
+    ++dropped_;
+    return std::nullopt;
+  }
 
   // Build the echo: same payload, endpoints swapped.
   const auto echo_payload = ConstByteSpan{udp_copy}.subspan(

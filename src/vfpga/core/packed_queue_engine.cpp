@@ -30,6 +30,14 @@ virtio::Timed<FetchedChain> PackedQueueEngine::consume_chain(
   chain.descriptors = std::move(consumed.value.descriptors);
   t += timing_.clock.cycles(timing_.per_descriptor_cycles *
                             chain.descriptors.size());
+  if (fault_ != nullptr &&
+      fault_->should_inject(fault::FaultClass::kDescCorrupt) &&
+      !chain.descriptors.empty()) {
+    // Corrupted packed-descriptor read: force a length the bounds check
+    // rejects.
+    chain.descriptors.front().addr = 0;
+  }
+  chain.error = !chain_within_bounds(chain, vq_.size());
   return virtio::Timed<FetchedChain>{std::move(chain), t};
 }
 
@@ -37,6 +45,12 @@ IQueueEngine::Completion PackedQueueEngine::complete_chain(
     const FetchedChain& chain, u32 written, sim::SimTime start,
     bool refresh_suppression) {
   sim::SimTime t = start + timing_.clock.cycles(timing_.used_update_cycles);
+  if (fault_ != nullptr &&
+      fault_->should_inject(fault::FaultClass::kUsedWriteFail)) {
+    // Completion descriptor write lost: cursor does not advance, the
+    // driver never sees this buffer again until it resets the device.
+    return Completion{t, false};
+  }
   virtio::PackedVirtqueueDevice::Chain dev_chain;
   dev_chain.id = chain.handle;
   dev_chain.descriptor_count = chain.ring_slots;

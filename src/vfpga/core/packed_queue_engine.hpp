@@ -16,8 +16,9 @@ namespace vfpga::core {
 class PackedQueueEngine final : public IQueueEngine {
  public:
   PackedQueueEngine(virtio::PackedVirtqueueDevice vq, QueueTiming timing,
-                    ControllerPolicy policy)
-      : vq_(std::move(vq)), timing_(timing), policy_(policy) {}
+                    ControllerPolicy policy,
+                    fault::FaultPlane* fault = nullptr)
+      : vq_(std::move(vq)), timing_(timing), policy_(policy), fault_(fault) {}
 
   [[nodiscard]] virtio::PackedVirtqueueDevice& vq() { return vq_; }
 
@@ -34,6 +35,7 @@ class PackedQueueEngine final : public IQueueEngine {
   virtio::PackedVirtqueueDevice vq_;
   QueueTiming timing_;
   ControllerPolicy policy_;
+  fault::FaultPlane* fault_ = nullptr;
   bool head_cached_ = false;  ///< a peek has armed the next consume
   std::optional<u16> cached_driver_event_;
 };

@@ -5,6 +5,25 @@
 
 namespace vfpga::core {
 
+bool chain_within_bounds(const FetchedChain& chain, u16 queue_size) {
+  if (chain.descriptors.empty() || chain.descriptors.size() > queue_size) {
+    return false;
+  }
+  for (const virtio::Descriptor& d : chain.descriptors) {
+    if (d.addr == 0) {
+      return false;
+    }
+    // Device-readable length drives the DMA fetch and payload staging,
+    // so an insane value is a corrupt table. Device-writable length is
+    // only a capacity: drivers may legitimately post huge buffers.
+    const bool readable = (d.flags & virtio::descflags::kWrite) == 0;
+    if (readable && (d.len == 0 || d.len > kMaxSaneDescriptorLen)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 virtio::Timed<u16> QueueEngine::poll_available(sim::SimTime start) {
   const auto idx = vq_.fetch_avail_idx(start);
   const u16 outstanding =
@@ -41,6 +60,12 @@ virtio::Timed<FetchedChain> QueueEngine::consume_chain(sim::SimTime start) {
       t = indirect.done +
           timing_.clock.cycles(timing_.per_descriptor_cycles *
                                chain.descriptors.size());
+      if (fault_ != nullptr &&
+          fault_->should_inject(fault::FaultClass::kDescCorrupt) &&
+          !chain.descriptors.empty()) {
+        chain.descriptors.front().addr = 0;
+      }
+      chain.error = !chain_within_bounds(chain, vq_.size());
       return virtio::Timed<FetchedChain>{std::move(chain), t};
     }
     chain.descriptors.push_back(first);
@@ -66,6 +91,14 @@ virtio::Timed<FetchedChain> QueueEngine::consume_chain(sim::SimTime start) {
   }
   t += timing_.clock.cycles(timing_.per_descriptor_cycles *
                             chain.descriptors.size());
+  if (fault_ != nullptr &&
+      fault_->should_inject(fault::FaultClass::kDescCorrupt) &&
+      !chain.descriptors.empty()) {
+    // The table read returned garbage: force a length the bounds check
+    // below rejects, as a corrupted descriptor would.
+    chain.descriptors.front().addr = 0;
+  }
+  chain.error = !chain_within_bounds(chain, vq_.size());
   return virtio::Timed<FetchedChain>{std::move(chain), t};
 }
 
@@ -73,6 +106,13 @@ IQueueEngine::Completion QueueEngine::complete_chain(
     const FetchedChain& chain, u32 written, sim::SimTime start,
     bool refresh_suppression) {
   sim::SimTime t = start + timing_.clock.cycles(timing_.used_update_cycles);
+  if (fault_ != nullptr &&
+      fault_->should_inject(fault::FaultClass::kUsedWriteFail)) {
+    // The used-ring update is lost before reaching host memory: the
+    // cursor does not advance and the driver never sees this completion
+    // (the chain's buffers stay in flight until the driver resets).
+    return Completion{t, false};
+  }
   const u16 new_used_idx = static_cast<u16>(vq_.used_idx() + 1);
   const auto push = vq_.push_used(chain.handle, written, t);
   t = push.issuer_free;

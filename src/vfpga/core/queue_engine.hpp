@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "vfpga/fault/fault_plane.hpp"
 #include "vfpga/fpga/clock.hpp"
 #include "vfpga/virtio/virtqueue_device.hpp"
 
@@ -45,6 +46,10 @@ struct ControllerPolicy {
   bool offer_packed = false;
 };
 
+/// Largest descriptor length the FSM's bounds check accepts; anything
+/// above it is treated as a corrupted descriptor table.
+inline constexpr u32 kMaxSaneDescriptorLen = 1u << 20;
+
 /// A fully-fetched buffer chain ready for data movement.
 struct FetchedChain {
   /// Completion handle: split = head descriptor index, packed = buffer id.
@@ -52,8 +57,18 @@ struct FetchedChain {
   /// Ring slots the chain occupies (packed completion bookkeeping; for
   /// split chains through an indirect table this is 1).
   u16 ring_slots = 0;
+  /// The fetched descriptors failed the FSM's bounds check (corrupted
+  /// table): the controller must not touch the chain's buffers and
+  /// should enter the error state (DEVICE_NEEDS_RESET).
+  bool error = false;
   std::vector<virtio::Descriptor> descriptors;
 };
+
+/// The FSM's descriptor bounds check, run on every fetched chain: a
+/// zero/oversized length or null address means the table read returned
+/// garbage.
+[[nodiscard]] bool chain_within_bounds(const FetchedChain& chain,
+                                       u16 queue_size);
 
 class IQueueEngine {
  public:
@@ -99,8 +114,8 @@ class IQueueEngine {
 class QueueEngine final : public IQueueEngine {
  public:
   QueueEngine(virtio::VirtqueueDevice vq, QueueTiming timing,
-              ControllerPolicy policy)
-      : vq_(std::move(vq)), timing_(timing), policy_(policy) {}
+              ControllerPolicy policy, fault::FaultPlane* fault = nullptr)
+      : vq_(std::move(vq)), timing_(timing), policy_(policy), fault_(fault) {}
 
   [[nodiscard]] virtio::VirtqueueDevice& vq() { return vq_; }
   [[nodiscard]] const virtio::VirtqueueDevice& vq() const { return vq_; }
@@ -121,6 +136,7 @@ class QueueEngine final : public IQueueEngine {
   virtio::VirtqueueDevice vq_;
   QueueTiming timing_;
   ControllerPolicy policy_;
+  fault::FaultPlane* fault_ = nullptr;
   std::optional<u16> cached_used_event_;
 };
 

@@ -32,6 +32,9 @@ TestbedOptions with_ring_format(TestbedOptions options) {
 
 VirtioNetTestbed::VirtioNetTestbed(TestbedOptions options)
     : options_(with_ring_format(options)),
+      fault_plane_(options_.fault.any_enabled()
+                       ? std::make_unique<fault::FaultPlane>(options_.fault)
+                       : nullptr),
       memory_(std::make_unique<mem::HostMemory>()),
       rc_(std::make_unique<pcie::RootComplex>(
           *memory_, pcie::LinkModel{options_.link})),
@@ -51,6 +54,10 @@ VirtioNetTestbed::VirtioNetTestbed(TestbedOptions options)
   });
   rc_->attach(*device_);
   device_->connect(*rc_);
+  if (fault_plane_) {
+    rc_->set_fault_plane(fault_plane_.get());      // TLP + DMA + notify
+    device_->set_fault_plane(fault_plane_.get());  // queue engines
+  }
 
   enumerated_ = pcie::enumerate_bus(*rc_);
   VFPGA_ASSERT(enumerated_.size() == 1);
@@ -105,6 +112,9 @@ VirtioNetTestbed::RoundTrip VirtioNetTestbed::udp_round_trip(
 
 XdmaTestbed::XdmaTestbed(TestbedOptions options)
     : options_(options),
+      fault_plane_(options_.fault.any_enabled()
+                       ? std::make_unique<fault::FaultPlane>(options_.fault)
+                       : nullptr),
       memory_(std::make_unique<mem::HostMemory>()),
       rc_(std::make_unique<pcie::RootComplex>(*memory_,
                                               pcie::LinkModel{options.link})),
@@ -121,6 +131,10 @@ XdmaTestbed::XdmaTestbed(TestbedOptions options)
   });
   rc_->attach(*device_);
   device_->connect(*rc_);
+  if (fault_plane_) {
+    rc_->set_fault_plane(fault_plane_.get());      // TLP + DMA + notify
+    device_->set_fault_plane(fault_plane_.get());  // engine halts
+  }
 
   enumerated_ = pcie::enumerate_bus(*rc_);
   VFPGA_ASSERT(enumerated_.size() == 1);

@@ -13,6 +13,7 @@
 
 #include "vfpga/core/net_device.hpp"
 #include "vfpga/core/virtio_controller.hpp"
+#include "vfpga/fault/fault_plane.hpp"
 #include "vfpga/hostos/char_device.hpp"
 #include "vfpga/hostos/netstack.hpp"
 #include "vfpga/hostos/socket_api.hpp"
@@ -35,6 +36,11 @@ struct TestbedOptions {
   bool use_packed_rings = false;
   u16 udp_port = 4791;
   u16 fpga_udp_port = 9000;
+  /// Fault-injection configuration. A FaultPlane is instantiated and
+  /// wired through every layer only when at least one rate is non-zero;
+  /// the all-zero default leaves the datapath untouched (bit-identical
+  /// to a build without fault hooks).
+  fault::FaultConfig fault{};
 };
 
 class VirtioNetTestbed {
@@ -52,6 +58,8 @@ class VirtioNetTestbed {
   [[nodiscard]] mem::HostMemory& memory() { return *memory_; }
   [[nodiscard]] net::Ipv4Addr fpga_ip() const { return options_.net.ip; }
   [[nodiscard]] const TestbedOptions& options() const { return options_; }
+  /// Nullptr unless options.fault enabled at least one class.
+  [[nodiscard]] fault::FaultPlane* fault_plane() { return fault_plane_.get(); }
 
   /// One measured UDP echo round trip (the paper's VirtIO test step).
   struct RoundTrip {
@@ -64,6 +72,7 @@ class VirtioNetTestbed {
 
  private:
   TestbedOptions options_;
+  std::unique_ptr<fault::FaultPlane> fault_plane_;
   std::unique_ptr<mem::HostMemory> memory_;
   std::unique_ptr<pcie::RootComplex> rc_;
   std::unique_ptr<NetDeviceLogic> net_logic_;
@@ -91,6 +100,8 @@ class XdmaTestbed {
   [[nodiscard]] hostos::InterruptController& irq() { return irq_; }
   [[nodiscard]] pcie::RootComplex& root_complex() { return *rc_; }
   [[nodiscard]] const TestbedOptions& options() const { return options_; }
+  /// Nullptr unless options.fault enabled at least one class.
+  [[nodiscard]] fault::FaultPlane* fault_plane() { return fault_plane_.get(); }
 
   /// One measured back-to-back write()/read() round trip (§IV-C: the
   /// favourable setup without a device-side C2H interrupt trigger).
@@ -112,6 +123,7 @@ class XdmaTestbed {
   RoundTrip run_round_trip(u64 bytes, bool user_irq);
 
   TestbedOptions options_;
+  std::unique_ptr<fault::FaultPlane> fault_plane_;
   std::unique_ptr<mem::HostMemory> memory_;
   std::unique_ptr<pcie::RootComplex> rc_;
   std::unique_ptr<xdma::XdmaIpFunction> device_;

@@ -305,12 +305,12 @@ void VirtioDeviceFunction::common_write(BarOffset offset, u64 value, u32 size,
           vq.write_device_event_flags(virtio::packed::event::kEnable,
                                       at);
           engines_[queue_select_] = std::make_unique<PackedQueueEngine>(
-              std::move(vq), config_.timing, config_.policy);
+              std::move(vq), config_.timing, config_.policy, fault_);
         } else {
           virtio::VirtqueueDevice vq{*port_};
           vq.configure(q.rings, q.size, negotiated);
           engines_[queue_select_] = std::make_unique<QueueEngine>(
-              std::move(vq), config_.timing, config_.policy);
+              std::move(vq), config_.timing, config_.policy, fault_);
         }
         credits_[queue_select_] = 0;
       }
@@ -383,6 +383,16 @@ void VirtioDeviceFunction::on_driver_ok(sim::SimTime at) {
 
 // ---- datapath ---------------------------------------------------------------------
 
+void VirtioDeviceFunction::device_error(sim::SimTime at) {
+  ++device_errors_;
+  status_.device_error();
+  isr_status_ |= virtio::isr::kConfigInterrupt;
+  if (msix_config_vector_ != virtio::kNoVector) {
+    msix_->fire(msix_config_vector_, at, *port_);
+  }
+  VFPGA_WARN("virtio-ctl", "device error: DEVICE_NEEDS_RESET latched");
+}
+
 void VirtioDeviceFunction::fire_queue_interrupt(u16 queue, sim::SimTime at) {
   const u16 vector = queue_state_[queue].msix_vector;
   if (vector == virtio::kNoVector) {
@@ -397,6 +407,9 @@ void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
   VFPGA_EXPECTS(queue < queue_state_.size());
   if (!status_.live() || !queue_state_[queue].enabled) {
     return;  // spurious notify before DRIVER_OK: ignore, as hardware would
+  }
+  if (status_.needs_reset()) {
+    return;  // error state: datapath fenced until the driver resets us
   }
   counters_.capture("notify", at);
   IQueueEngine& eng = engine(queue);
@@ -419,6 +432,12 @@ void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
     auto fetched = eng.consume_chain(t);
     t = fetched.done;
     const FetchedChain& chain = fetched.value;
+    if (chain.error) {
+      // Corrupted descriptor table: never touch the chain's buffers —
+      // fence the datapath and wait for the driver to reset us.
+      device_error(t);
+      return;
+    }
 
     // Stage the device-readable payload into BRAM through the DMA
     // engine (Fig. 2: the engine moves data between host memory and
@@ -563,6 +582,10 @@ sim::SimTime VirtioDeviceFunction::deliver_response(
   auto fetched = eng.consume_chain(t);
   t = fetched.done;
   const FetchedChain& chain = fetched.value;
+  if (chain.error) {
+    device_error(t);
+    return t;
+  }
 
   // Stage the response in BRAM, then scatter into the chain's writable
   // buffers via the C2H engine.

@@ -71,6 +71,17 @@ class VirtioDeviceFunction : public pcie::Function {
   /// attaching to the root complex.
   void connect(pcie::RootComplex& rc);
 
+  /// Install a fault plane consulted by the queue engines (descriptor
+  /// corruption, used-ring write failures). Call before the driver
+  /// enables queues; nullptr = no fault hooks.
+  void set_fault_plane(fault::FaultPlane* plane) { fault_ = plane; }
+
+  /// Device-internal error (§2.1.2): latch DEVICE_NEEDS_RESET, gate the
+  /// datapath, and raise a configuration-change interrupt so the driver
+  /// notices without polling.
+  void device_error(sim::SimTime at);
+  [[nodiscard]] u64 device_errors() const { return device_errors_; }
+
   // ---- pcie::Function ---------------------------------------------------------
   u64 bar_read(u32 bar, BarOffset offset, u32 size, sim::SimTime at) override;
   void bar_write(u32 bar, BarOffset offset, u64 value, u32 size,
@@ -169,6 +180,8 @@ class VirtioDeviceFunction : public pcie::Function {
   sim::Duration last_response_generation_{};
   u64 frames_processed_ = 0;
   u64 interrupts_suppressed_ = 0;
+  u64 device_errors_ = 0;
+  fault::FaultPlane* fault_ = nullptr;
 };
 
 }  // namespace vfpga::core

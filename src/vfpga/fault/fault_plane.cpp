@@ -1,0 +1,60 @@
+#include "vfpga/fault/fault_plane.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::fault {
+
+const char* fault_class_name(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kTlpDrop:
+      return "tlp-drop";
+    case FaultClass::kTlpCorrupt:
+      return "tlp-corrupt";
+    case FaultClass::kDmaPoison:
+      return "dma-poison";
+    case FaultClass::kDescCorrupt:
+      return "desc-corrupt";
+    case FaultClass::kUsedWriteFail:
+      return "used-write-fail";
+    case FaultClass::kNotifyLost:
+      return "notify-lost";
+    case FaultClass::kNotifyDup:
+      return "notify-dup";
+    case FaultClass::kEngineHalt:
+      return "engine-halt";
+  }
+  VFPGA_UNREACHABLE("bad fault class");
+}
+
+FaultPlane::FaultPlane(const FaultConfig& config)
+    : config_(config), rng_(config.seed ^ 0xfa017f4417ULL) {}
+
+bool FaultPlane::should_inject(FaultClass cls) {
+  const double rate = config_.rate_of(cls);
+  if (!armed_ || rate <= 0.0) {
+    return false;  // no RNG draw: disarmed plane == no plane
+  }
+  if (rng_.uniform01() >= rate) {
+    return false;
+  }
+  ++injected_[static_cast<std::size_t>(cls)];
+  return true;
+}
+
+void FaultPlane::corrupt(ByteSpan data) {
+  VFPGA_EXPECTS(!data.empty());
+  const u64 offset = rng_.uniform_below(data.size());
+  // XOR with a non-zero byte so the flip is guaranteed to change data.
+  const u8 mask = static_cast<u8>(1u + rng_.uniform_below(255));
+  data[offset] ^= mask;
+}
+
+u64 FaultPlane::total_injected() const {
+  u64 total = 0;
+  for (u64 n : injected_) {
+    total += n;
+  }
+  return total;
+}
+
+}  // namespace vfpga::fault

@@ -1,0 +1,301 @@
+#include "vfpga/harness/fault_campaign.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::harness {
+
+namespace {
+
+/// Deterministic per-op payload so a stale echo from a retransmitted
+/// earlier request can never satisfy a later one.
+Bytes make_payload(u64 bytes, u64 run_seed, u32 op) {
+  Bytes payload(bytes);
+  sim::SplitMix64 gen{run_seed * 1315423911ull + op};
+  for (auto& b : payload) {
+    b = static_cast<u8>(gen.next());
+  }
+  return payload;
+}
+
+bool payload_matches(ConstByteSpan expected, ConstByteSpan got) {
+  return expected.size() == got.size() &&
+         std::equal(expected.begin(), expected.end(), got.begin());
+}
+
+/// Outcome of one operation driven through the recovery machinery.
+struct OpOutcome {
+  bool ok = false;
+  bool recovered = false;  ///< at least one failed attempt preceded success
+  sim::Duration recovery{};
+};
+
+/// One UDP echo with the full recovery ladder: blocking receive,
+/// then (on timeout / mismatch) TX watchdog + interrupt-less RX poll,
+/// then retransmission, bounded by attempts and simulated time.
+OpOutcome udp_echo_op(core::VirtioNetTestbed& bed, ConstByteSpan payload,
+                      const CampaignConfig& config) {
+  hostos::HostThread& t = bed.thread();
+  hostos::UdpSocket& sock = bed.socket();
+  const sim::SimTime op_start = t.now();
+  OpOutcome outcome;
+  std::optional<sim::SimTime> first_failure;
+
+  const auto fail_detected = [&] {
+    if (!first_failure.has_value()) {
+      first_failure = t.now();
+    }
+  };
+  const auto accept = [&] {
+    outcome.ok = true;
+    if (first_failure.has_value()) {
+      outcome.recovered = true;
+      outcome.recovery = t.now() - *first_failure;
+    }
+  };
+
+  for (u32 attempt = 0; attempt < config.max_op_attempts; ++attempt) {
+    if (t.now() - op_start >= config.op_time_bound) {
+      return outcome;  // liveness bound blown: hang
+    }
+    if (!sock.sendto(t, bed.fpga_ip(), bed.options().fpga_udp_port,
+                     payload)) {
+      fail_detected();
+      (void)bed.driver().tx_watchdog(t);
+      continue;
+    }
+    // A few receive attempts per transmission: stale echoes from earlier
+    // retries are drained and discarded by the payload comparison.
+    for (u32 rx_try = 0; rx_try < 4; ++rx_try) {
+      const auto reply = sock.recvfrom(t);
+      if (reply.has_value() && payload_matches(payload, reply->payload)) {
+        accept();
+        return outcome;
+      }
+      fail_detected();  // timeout, or a detected-corrupt/stale echo
+      // Recovery ladder: reclaim/kick/reset through the TX watchdog and
+      // pick up completions whose notify was lost.
+      const auto action = bed.driver().tx_watchdog(t);
+      if (bed.stack().poll_rx(t) > 0) {
+        continue;  // harvested something without an interrupt: re-check
+      }
+      if (action == hostos::VirtioNetDriver::WatchdogAction::kReset) {
+        break;  // in-flight chains are gone; retransmit
+      }
+    }
+  }
+  return outcome;
+}
+
+/// One chardev write+read round trip. XdmaHostDriver::run_channel does
+/// its own halt-clearing retries; op-level retries cover detected
+/// payload mismatches (poisoned DMA).
+OpOutcome chardev_op(core::XdmaTestbed& bed, const CampaignConfig& config,
+                     u64* injected_before) {
+  hostos::HostThread& t = bed.thread();
+  const sim::SimTime op_start = t.now();
+  OpOutcome outcome;
+  for (u32 attempt = 0; attempt < config.max_op_attempts; ++attempt) {
+    if (t.now() - op_start >= config.op_time_bound) {
+      return outcome;
+    }
+    const auto rt = bed.write_read_round_trip(config.xdma_bytes);
+    if (rt.ok) {
+      outcome.ok = true;
+      const u64 injected_now =
+          bed.fault_plane() ? bed.fault_plane()->total_injected() : 0;
+      if (attempt > 0 || injected_now != *injected_before) {
+        // The fault hit inside the driver's own retry loop (or forced a
+        // whole-op retry): report the op duration as the recovery
+        // latency — detection happens inside the blocking transfer.
+        outcome.recovered = true;
+        outcome.recovery = t.now() - op_start;
+      }
+      *injected_before = injected_now;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+ClassReport run_udp_class(fault::FaultClass cls,
+                          const CampaignConfig& config) {
+  ClassReport report;
+  report.cls = cls;
+  report.workload = "udp-echo";
+  for (u64 run = 0; run < config.runs_per_class; ++run) {
+    core::TestbedOptions options;
+    options.seed = config.base_seed + run;
+    options.fault.seed = config.base_seed * 7919 + run;
+    options.fault.set_rate(cls, config.fault_rate);
+    core::VirtioNetTestbed bed{options};
+    ++report.runs;
+
+    for (u32 op = 0; op < config.ops_per_run; ++op) {
+      const Bytes payload = make_payload(config.udp_payload_bytes,
+                                         options.seed, op);
+      const OpOutcome outcome = udp_echo_op(bed, payload, config);
+      if (!outcome.ok) {
+        ++report.hangs;
+        // The run cannot meaningfully continue past a hang.
+        break;
+      }
+      if (outcome.recovered) {
+        ++report.recoveries;
+        report.recovery_us.add(outcome.recovery);
+      }
+    }
+
+    // Steady-state proof: disarm the plane, drain any stragglers, then
+    // every op must complete without recovery actions.
+    bed.fault_plane()->set_armed(false);
+    (void)bed.driver().tx_watchdog(bed.thread());
+    (void)bed.stack().poll_rx(bed.thread());
+    while (bed.socket().recvfrom_nonblock(bed.thread()).has_value()) {
+    }
+    for (u32 op = 0; op < config.clean_ops; ++op) {
+      const Bytes payload = make_payload(config.udp_payload_bytes,
+                                         options.seed, 0x1000u + op);
+      const OpOutcome outcome = udp_echo_op(bed, payload, config);
+      if (!outcome.ok || outcome.recovered) {
+        ++report.steady_state_failures;
+      }
+    }
+    report.injected += bed.fault_plane()->injected(cls);
+    report.device_resets += bed.driver().device_resets();
+  }
+  return report;
+}
+
+ClassReport run_chardev_class(fault::FaultClass cls,
+                              const CampaignConfig& config) {
+  ClassReport report;
+  report.cls = cls;
+  report.workload = "chardev";
+  for (u64 run = 0; run < config.runs_per_class; ++run) {
+    core::TestbedOptions options;
+    options.seed = config.base_seed + run;
+    options.fault.seed = config.base_seed * 104729 + run;
+    options.fault.set_rate(cls, config.fault_rate);
+    core::XdmaTestbed bed{options};
+    ++report.runs;
+
+    u64 injected_before = 0;
+    for (u32 op = 0; op < config.ops_per_run; ++op) {
+      const OpOutcome outcome = chardev_op(bed, config, &injected_before);
+      if (!outcome.ok) {
+        ++report.hangs;
+        break;
+      }
+      if (outcome.recovered) {
+        ++report.recoveries;
+        report.recovery_us.add(outcome.recovery);
+      }
+    }
+
+    bed.fault_plane()->set_armed(false);
+    for (u32 op = 0; op < config.clean_ops; ++op) {
+      u64 before = bed.fault_plane()->total_injected();
+      const OpOutcome outcome = chardev_op(bed, config, &before);
+      if (!outcome.ok || outcome.recovered) {
+        ++report.steady_state_failures;
+      }
+    }
+    report.injected += bed.fault_plane()->injected(cls);
+    report.device_resets += bed.driver().engine_restarts();
+  }
+  return report;
+}
+
+}  // namespace
+
+CampaignConfig CampaignConfig::from_env() {
+  CampaignConfig config;
+  if (const char* runs = std::getenv("VFPGA_CAMPAIGN_RUNS")) {
+    const long long v = std::atoll(runs);
+    if (v > 0) {
+      config.runs_per_class = static_cast<u64>(v);
+    }
+  }
+  if (const char* ops = std::getenv("VFPGA_CAMPAIGN_OPS")) {
+    const long long v = std::atoll(ops);
+    if (v > 0) {
+      config.ops_per_run = static_cast<u32>(v);
+    }
+  }
+  if (const char* rate = std::getenv("VFPGA_CAMPAIGN_RATE")) {
+    const double v = std::atof(rate);
+    if (v > 0.0 && v < 1.0) {
+      config.fault_rate = v;
+    }
+  }
+  if (const char* seed = std::getenv("VFPGA_SEED")) {
+    const long long v = std::atoll(seed);
+    if (v > 0) {
+      config.base_seed = static_cast<u64>(v);
+    }
+  }
+  return config;
+}
+
+bool CampaignResult::ok() const {
+  for (const ClassReport& report : classes) {
+    if (!report.ok()) {
+      return false;
+    }
+  }
+  return !classes.empty();
+}
+
+CampaignResult run_fault_campaign(const CampaignConfig& config) {
+  using fault::FaultClass;
+  CampaignResult result;
+  // Every fault class the VirtIO datapath can observe, against the
+  // UDP-echo workload.
+  for (const FaultClass cls :
+       {FaultClass::kTlpDrop, FaultClass::kTlpCorrupt, FaultClass::kDmaPoison,
+        FaultClass::kDescCorrupt, FaultClass::kUsedWriteFail,
+        FaultClass::kNotifyLost, FaultClass::kNotifyDup}) {
+    result.classes.push_back(run_udp_class(cls, config));
+  }
+  // The DMA/engine classes against the character-device workload.
+  for (const FaultClass cls : {FaultClass::kEngineHalt,
+                               FaultClass::kNotifyLost,
+                               FaultClass::kDmaPoison}) {
+    result.classes.push_back(run_chardev_class(cls, config));
+  }
+  return result;
+}
+
+void print_campaign_report(const CampaignResult& result) {
+  std::printf(
+      "%-18s %-9s %6s %9s %6s %8s %7s %7s %12s %12s\n", "fault-class",
+      "workload", "runs", "injected", "hangs", "corrupt", "resets", "recov",
+      "rec-p50(us)", "rec-p99(us)");
+  for (const ClassReport& r : result.classes) {
+    const bool has_samples = !r.recovery_us.empty();
+    std::printf("%-18s %-9s %6llu %9llu %6llu %8llu %7llu %7llu ",
+                fault::fault_class_name(r.cls), r.workload.c_str(),
+                static_cast<unsigned long long>(r.runs),
+                static_cast<unsigned long long>(r.injected),
+                static_cast<unsigned long long>(r.hangs),
+                static_cast<unsigned long long>(r.corruptions),
+                static_cast<unsigned long long>(r.device_resets),
+                static_cast<unsigned long long>(r.recoveries));
+    if (has_samples) {
+      std::printf("%12.2f %12.2f\n", r.recovery_us.percentile(50.0),
+                  r.recovery_us.percentile(99.0));
+    } else {
+      std::printf("%12s %12s\n", "-", "-");
+    }
+    if (r.steady_state_failures != 0) {
+      std::printf("  !! %llu steady-state failure(s) after disarm\n",
+                  static_cast<unsigned long long>(r.steady_state_failures));
+    }
+  }
+  std::printf("campaign: %s\n", result.ok() ? "PASS" : "FAIL");
+}
+
+}  // namespace vfpga::harness

@@ -261,6 +261,17 @@ std::optional<sim::Duration> KernelNetstack::icmp_ping(
   return thread.now() - start;
 }
 
+u32 KernelNetstack::poll_rx(HostThread& thread) {
+  // Consume any pending interrupt first so a later blocking receive
+  // doesn't double-service it; then poll unconditionally.
+  while (irq_->pending(driver_->rx_vector())) {
+    irq_->consume(driver_->rx_vector());
+  }
+  const u32 harvested = driver_->napi_poll(thread);
+  demux_frames(thread);
+  return harvested;
+}
+
 std::optional<KernelNetstack::Datagram> KernelNetstack::udp_receive_poll(
     HostThread& thread, u16 local_port) {
   thread.exec(thread.costs().syscall_entry);

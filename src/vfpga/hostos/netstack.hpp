@@ -70,6 +70,12 @@ class KernelNetstack {
   std::optional<Datagram> udp_receive_poll(HostThread& thread,
                                            u16 local_port);
 
+  /// Interrupt-less receive servicing: run the NAPI poll + demux even
+  /// when no RX interrupt fired. This is the recovery path for a lost
+  /// MSI-X notify — the used ring may hold completions that never raised
+  /// a vector. Returns the number of frames harvested.
+  u32 poll_rx(HostThread& thread);
+
   /// ping(8): send an ICMP echo request and block for the matching
   /// reply. Returns the application-measured round-trip time, or
   /// nullopt on timeout/verification failure.

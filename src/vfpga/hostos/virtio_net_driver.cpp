@@ -10,6 +10,21 @@ namespace vfpga::hostos {
 using virtio::net::NetHeader;
 
 bool VirtioNetDriver::probe(const BindContext& ctx, HostThread& thread) {
+  ctx_ = ctx;
+  return initialize_device(thread);
+}
+
+bool VirtioNetDriver::recover(HostThread& thread) {
+  // §2.1.2 recovery: full reset (begin_probe writes status 0), feature
+  // renegotiation, queue rebuild, and requeue of the (reused) buffers.
+  // In-flight chains on the old rings are forfeit; upper layers retry.
+  ++device_resets_;
+  kick_retries_ = 0;
+  tx_stall_since_.reset();
+  return initialize_device(thread);
+}
+
+bool VirtioNetDriver::initialize_device(HostThread& thread) {
   // Device-class features the Linux virtio-net driver would accept.
   virtio::FeatureSet wanted;
   wanted.set(virtio::feature::net::kCsum);
@@ -17,7 +32,7 @@ bool VirtioNetDriver::probe(const BindContext& ctx, HostThread& thread) {
   wanted.set(virtio::feature::net::kMac);
   wanted.set(virtio::feature::net::kMtu);
   wanted.set(virtio::feature::net::kStatus);
-  if (!transport_.begin_probe(ctx, virtio::DeviceType::Net, wanted, thread)) {
+  if (!transport_.begin_probe(ctx_, virtio::DeviceType::Net, wanted, thread)) {
     return false;
   }
 
@@ -31,18 +46,25 @@ bool VirtioNetDriver::probe(const BindContext& ctx, HostThread& thread) {
   auto& rx = transport_.setup_queue(virtio::net::kRxQueue, 1, thread);
   auto& tx = transport_.setup_queue(virtio::net::kTxQueue, 2, thread);
 
-  // Pre-allocate TX buffers, one per ring slot: virtio_net_hdr headroom
-  // immediately followed by the frame area (single-buffer transmission).
+  // TX buffers, one per ring slot: virtio_net_hdr headroom immediately
+  // followed by the frame area (single-buffer transmission). Allocated
+  // once; a recovery cycle reuses the same memory and just rebuilds the
+  // free list.
   auto& memory = transport_.memory();
   tx_buffers_.resize(tx.size());
+  tx_free_.clear();
   for (u16 i = 0; i < tx.size(); ++i) {
-    const HostAddr base = memory.allocate(NetHeader::kSize + 1526, 64);
-    tx_buffers_[i].hdr_addr = base;
-    tx_buffers_[i].frame_addr = base + NetHeader::kSize;
+    if (tx_buffers_[i].hdr_addr == 0) {
+      const HostAddr base = memory.allocate(NetHeader::kSize + 1526, 64);
+      tx_buffers_[i].hdr_addr = base;
+      tx_buffers_[i].frame_addr = base + NetHeader::kSize;
+    }
     tx_free_.push_back(i);
   }
 
-  transport_.finish_probe(thread);
+  if (!transport_.finish_probe(thread)) {
+    return false;
+  }
 
   // Device config: MAC + MTU.
   for (u32 i = 0; i < 6; ++i) {
@@ -67,7 +89,9 @@ void VirtioNetDriver::post_initial_rx_buffers() {
   const u16 size = rx.size();
   rx_buffers_.resize(size);
   for (u16 i = 0; i < size; ++i) {
-    rx_buffers_[i].addr = memory.allocate(rx_buffer_bytes_, 64);
+    if (rx_buffers_[i].addr == 0) {
+      rx_buffers_[i].addr = memory.allocate(rx_buffer_bytes_, 64);
+    }
     rx_buffers_[i].len = rx_buffer_bytes_;
     const virtio::ChainBuffer buf{rx_buffers_[i].addr, rx_buffer_bytes_,
                                   /*device_writable=*/true};
@@ -75,6 +99,48 @@ void VirtioNetDriver::post_initial_rx_buffers() {
     VFPGA_ASSERT(handle.has_value());
   }
   rx.publish();
+}
+
+VirtioNetDriver::WatchdogAction VirtioNetDriver::tx_watchdog(
+    HostThread& thread) {
+  VFPGA_EXPECTS(bound());
+  auto& tx = transport_.queue(virtio::net::kTxQueue);
+  auto& rx = transport_.queue(virtio::net::kRxQueue);
+  // Reclaim whatever did complete before judging the queue stuck.
+  while (const auto completion = tx.harvest()) {
+    tx_free_.push_back(static_cast<u32>(completion->token));
+  }
+  // A broken vring or a device that latched DEVICE_NEEDS_RESET cannot
+  // make progress — no amount of re-kicking helps; reset immediately.
+  if (tx.broken() || rx.broken() || transport_.device_needs_reset(thread)) {
+    VFPGA_ASSERT(recover(thread));
+    return WatchdogAction::kReset;
+  }
+  const u16 in_flight = static_cast<u16>(tx.size() - tx.free_descriptors());
+  if (in_flight == 0) {
+    kick_retries_ = 0;
+    tx_stall_since_.reset();
+    return WatchdogAction::kNone;
+  }
+  if (!tx_stall_since_.has_value()) {
+    tx_stall_since_ = thread.now();
+  }
+  const bool deadline_passed =
+      thread.now() - *tx_stall_since_ >= watchdog_.deadline;
+  if (deadline_passed || kick_retries_ >= watchdog_.max_kick_retries) {
+    VFPGA_ASSERT(recover(thread));
+    return WatchdogAction::kReset;
+  }
+  // Bounded exponential backoff, then re-ring the doorbell: a lost
+  // notify left the published chains in the ring, so a repeat kick is
+  // enough to restart the device FSM.
+  const sim::Duration backoff =
+      watchdog_.backoff_base * static_cast<i64>(1ll << kick_retries_);
+  ++kick_retries_;
+  thread.block_until(thread.now() + backoff);
+  transport_.notify(virtio::net::kTxQueue, thread);
+  ++watchdog_kicks_;
+  return WatchdogAction::kRekicked;
 }
 
 bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
@@ -92,7 +158,12 @@ bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
       tx_free_.push_back(static_cast<u32>(completion->token));
     }
   }
-  VFPGA_ASSERT(!tx_free_.empty());  // the device has consumed past sends
+  if (tx_free_.empty()) {
+    // Still full: a stuck device is holding every slot. Drop the frame
+    // (netif_stop_queue analogue) and leave recovery to the watchdog.
+    ++tx_dropped_;
+    return false;
+  }
   const u32 slot = tx_free_.front();
   tx_free_.pop_front();
 

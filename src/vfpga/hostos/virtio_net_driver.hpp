@@ -55,6 +55,36 @@ class VirtioNetDriver {
   /// number of frames harvested.
   u32 napi_poll(HostThread& thread);
 
+  /// TX watchdog policy: how long a stuck TX queue is tolerated and how
+  /// the bounded exponential backoff re-kicks are paced before the
+  /// watchdog escalates to a full device reset.
+  struct WatchdogPolicy {
+    sim::Duration deadline = sim::microseconds(500);
+    u32 max_kick_retries = 3;
+    sim::Duration backoff_base = sim::microseconds(20);
+  };
+  enum class WatchdogAction : u8 {
+    kNone,      ///< queue healthy (or drained by the inline harvest)
+    kRekicked,  ///< backoff wait + doorbell re-ring
+    kReset,     ///< escalated: full reset -> renegotiate -> requeue
+  };
+
+  /// The virtio-net TX watchdog (cf. virtnet dev_watchdog): harvest
+  /// completions, then — if transmissions are stuck — re-kick with
+  /// bounded exponential backoff, escalating to recover() when the
+  /// simulated-time deadline or the retry budget is exhausted. A device
+  /// that latched DEVICE_NEEDS_RESET or a broken vring resets
+  /// immediately.
+  WatchdogAction tx_watchdog(HostThread& thread);
+
+  /// Full recovery cycle: reset the device, renegotiate features,
+  /// rebuild both queues and requeue the (reused) RX/TX buffers.
+  bool recover(HostThread& thread);
+
+  void set_watchdog_policy(const WatchdogPolicy& policy) {
+    watchdog_ = policy;
+  }
+
   /// Pop one received frame (after napi_poll queued it).
   std::optional<Bytes> pop_rx_frame();
   [[nodiscard]] bool rx_backlog_empty() const { return rx_backlog_.empty(); }
@@ -63,11 +93,16 @@ class VirtioNetDriver {
   [[nodiscard]] u64 tx_packets() const { return tx_packets_; }
   [[nodiscard]] u64 rx_packets() const { return rx_packets_; }
   [[nodiscard]] u64 tx_kicks() const { return tx_kicks_; }
+  [[nodiscard]] u64 tx_dropped() const { return tx_dropped_; }
+  [[nodiscard]] u64 device_resets() const { return device_resets_; }
+  [[nodiscard]] u64 watchdog_kicks() const { return watchdog_kicks_; }
 
  private:
+  bool initialize_device(HostThread& thread);
   void post_initial_rx_buffers();
 
   VirtioPciTransport transport_;
+  BindContext ctx_{};
   net::MacAddr mac_{};
   u16 mtu_ = 1500;
   u32 rx_vector_ = 0;
@@ -95,6 +130,13 @@ class VirtioNetDriver {
   u64 tx_packets_ = 0;
   u64 rx_packets_ = 0;
   u64 tx_kicks_ = 0;
+  u64 tx_dropped_ = 0;
+  u64 device_resets_ = 0;
+  u64 watchdog_kicks_ = 0;
+
+  WatchdogPolicy watchdog_{};
+  u32 kick_retries_ = 0;
+  std::optional<sim::SimTime> tx_stall_since_;
 };
 
 }  // namespace vfpga::hostos

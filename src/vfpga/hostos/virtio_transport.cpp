@@ -60,6 +60,7 @@ bool VirtioPciTransport::begin_probe(const BindContext& ctx,
   VFPGA_EXPECTS(ctx.rc != nullptr && ctx.device != nullptr &&
                 ctx.enumerated != nullptr && ctx.irq != nullptr);
   ctx_ = ctx;
+  bound_ = false;
 
   if (ctx.enumerated->vendor_id != virtio::kVirtioPciVendorId ||
       ctx.enumerated->device_id != virtio::modern_pci_device_id(expected_type) ||
@@ -158,10 +159,26 @@ virtio::DriverRing& VirtioPciTransport::setup_queue(u16 index, u16 msix_entry,
   return *queues_[index];
 }
 
-void VirtioPciTransport::finish_probe(HostThread& thread) {
+bool VirtioPciTransport::finish_probe(HostThread& thread) {
   status_shadow_ |= virtio::status::kDriverOk;
   common_write32(thread, kDeviceStatus, status_shadow_);
+  // Read the status back (§3.1.1): the device may have refused DRIVER_OK
+  // or latched DEVICE_NEEDS_RESET during queue setup.
+  const u8 status = read_device_status(thread);
+  if ((status & virtio::status::kDriverOk) == 0 ||
+      (status & virtio::status::kDeviceNeedsReset) != 0) {
+    return false;
+  }
   bound_ = true;
+  return true;
+}
+
+u8 VirtioPciTransport::read_device_status(HostThread& thread) {
+  return common_read8(thread, kDeviceStatus);
+}
+
+bool VirtioPciTransport::device_needs_reset(HostThread& thread) {
+  return (read_device_status(thread) & virtio::status::kDeviceNeedsReset) != 0;
 }
 
 void VirtioPciTransport::notify(u16 queue_index, HostThread& thread) {

@@ -50,8 +50,23 @@ class VirtioPciTransport {
   virtio::DriverRing& setup_queue(u16 index, u16 msix_entry,
                                   HostThread& thread);
 
-  /// §3.1.1 step 8: DRIVER_OK.
-  void finish_probe(HostThread& thread);
+  /// §3.1.1 step 8: write DRIVER_OK, then read the status back and
+  /// verify the device accepted it (DRIVER_OK set, DEVICE_NEEDS_RESET
+  /// clear) — the re-check a robust driver performs instead of assuming
+  /// the write stuck. Returns false when the device is already sick.
+  bool finish_probe(HostThread& thread);
+
+  /// Non-posted read of the device status register.
+  u8 read_device_status(HostThread& thread);
+
+  /// §2.1.2: has the device latched DEVICE_NEEDS_RESET? Drivers call
+  /// this from their watchdog/error paths to decide between retry and
+  /// full re-initialization.
+  bool device_needs_reset(HostThread& thread);
+
+  /// The bind context of the last begin_probe — recovery paths re-probe
+  /// through the same context after a device reset.
+  [[nodiscard]] const BindContext& context() const { return ctx_; }
 
   [[nodiscard]] bool bound() const { return bound_; }
   [[nodiscard]] virtio::FeatureSet negotiated() const { return negotiated_; }

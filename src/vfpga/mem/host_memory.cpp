@@ -48,6 +48,14 @@ void HostMemory::read(HostAddr addr, ByteSpan out) const {
   }
 }
 
+void HostMemory::dma_read(HostAddr addr, ByteSpan out) const {
+  read(addr, out);
+  if (fault_ != nullptr && out.size() >= fault::kMinPayloadBytes &&
+      fault_->should_inject(fault::FaultClass::kDmaPoison)) {
+    fault_->corrupt(out);
+  }
+}
+
 void HostMemory::write(HostAddr addr, ConstByteSpan data) {
   u64 remaining = data.size();
   u64 cursor = addr;

@@ -17,6 +17,7 @@
 
 #include "vfpga/common/endian.hpp"
 #include "vfpga/common/types.hpp"
+#include "vfpga/fault/fault_plane.hpp"
 
 namespace vfpga::mem {
 
@@ -36,6 +37,14 @@ class HostMemory {
   void read(HostAddr addr, ByteSpan out) const;
   void write(HostAddr addr, ConstByteSpan data);
   void fill(HostAddr addr, u8 value, u64 length);
+
+  /// DMA read-completion path (device-initiated reads routed through the
+  /// root complex). Identical to read() except that an installed fault
+  /// plane may poison payload-sized completions.
+  void dma_read(HostAddr addr, ByteSpan out) const;
+
+  /// Install a fault plane (nullptr = no fault hooks, zero cost).
+  void set_fault_plane(fault::FaultPlane* plane) { fault_ = plane; }
 
   [[nodiscard]] u8 read_u8(HostAddr addr) const;
   [[nodiscard]] u16 read_le16(HostAddr addr) const;
@@ -72,6 +81,7 @@ class HostMemory {
   HostAddr alloc_base_;
   HostAddr bump_;
   mutable const u8* zero_page_ = nullptr;
+  fault::FaultPlane* fault_ = nullptr;
 };
 
 }  // namespace vfpga::mem

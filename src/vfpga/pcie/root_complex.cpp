@@ -65,7 +65,7 @@ sim::Duration RootComplex::config_write(Function& fn, u16 offset, u32 value) {
 sim::SimTime RootComplex::endpoint_read(const Function& fn, sim::SimTime start,
                                         HostAddr addr, ByteSpan out) {
   VFPGA_EXPECTS(fn.config().bus_master_enabled());
-  memory_->read(addr, out);
+  memory_->dma_read(addr, out);
   sim::SimTime done = start + link_.dma_read_time(out.size());
   if (dma_read_jitter_) {
     done += dma_read_jitter_();
@@ -85,8 +85,27 @@ DmaPort::WriteTiming RootComplex::endpoint_write(const Function& fn,
     // interrupt sink at arrival time.
     VFPGA_EXPECTS(data.size() == 4);
     if (irq_sink_) {
-      irq_sink_(load_le32(data), delivered);
+      if (fault_ != nullptr &&
+          fault_->should_inject(fault::FaultClass::kNotifyLost)) {
+        // Message dropped in flight: the vector never reaches the host.
+      } else if (fault_ != nullptr &&
+                 fault_->should_inject(fault::FaultClass::kNotifyDup)) {
+        irq_sink_(load_le32(data), delivered);
+        irq_sink_(load_le32(data), delivered);
+      } else {
+        irq_sink_(load_le32(data), delivered);
+      }
     }
+  } else if (fault_ != nullptr && data.size() >= fault::kMinPayloadBytes &&
+             fault_->should_inject(fault::FaultClass::kTlpDrop)) {
+    // Payload TLP dropped in flight: the bytes never land. Ring
+    // bookkeeping writes are below kMinPayloadBytes and never dropped —
+    // the link layer's replay protects small TLPs.
+  } else if (fault_ != nullptr && data.size() >= fault::kMinPayloadBytes &&
+             fault_->should_inject(fault::FaultClass::kTlpCorrupt)) {
+    Bytes corrupted(data.begin(), data.end());
+    fault_->corrupt(corrupted);
+    memory_->write(addr, corrupted);
   } else {
     memory_->write(addr, data);
   }

@@ -69,6 +69,15 @@ class RootComplex {
   /// Register the host interrupt controller's delivery callback.
   void set_irq_sink(IrqSink sink) { irq_sink_ = std::move(sink); }
 
+  /// Install a fault plane consulted on endpoint-initiated traffic:
+  /// payload-sized posted writes (TLP drop/corrupt), DMA read
+  /// completions (poison, via HostMemory), and MSI window writes
+  /// (lost/duplicated notifies). nullptr = no fault hooks, zero cost.
+  void set_fault_plane(fault::FaultPlane* plane) {
+    fault_ = plane;
+    memory_->set_fault_plane(plane);
+  }
+
   /// Optional per-DMA-read jitter source (host memory-controller
   /// contention: bank conflicts, refresh, IOMMU TLB misses). Sampled
   /// once per endpoint-initiated read; keeps hardware-side variance
@@ -122,6 +131,7 @@ class RootComplex {
   std::vector<Function*> functions_;
   IrqSink irq_sink_;
   std::function<sim::Duration()> dma_read_jitter_;
+  fault::FaultPlane* fault_ = nullptr;
 };
 
 }  // namespace vfpga::pcie

@@ -42,6 +42,11 @@ class DriverRing {
   virtual std::optional<Completion> harvest() = 0;
   [[nodiscard]] virtual bool used_pending() const = 0;
 
+  /// The ring observed a malformed completion (out-of-range id, zero
+  /// chain length) and refused to harvest it — the vring is corrupt and
+  /// the device must be reset, mirroring Linux's vq->broken flag.
+  [[nodiscard]] bool broken() const { return broken_; }
+
   /// Re-enable device->driver interrupts after harvesting (split: write
   /// used_event; packed: write ENABLE into the driver event structure).
   virtual void enable_interrupts() = 0;
@@ -52,6 +57,12 @@ class DriverRing {
   /// Split: descriptor table / avail ring / used ring. Packed:
   /// descriptor ring / driver event struct / device event struct.
   [[nodiscard]] virtual RingAddresses ring_addresses() const = 0;
+
+ protected:
+  void mark_broken() { broken_ = true; }
+
+ private:
+  bool broken_ = false;
 };
 
 }  // namespace vfpga::virtio

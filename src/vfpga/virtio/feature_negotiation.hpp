@@ -28,7 +28,14 @@ class DeviceStatusMachine {
   /// Writing zero resets the device.
   void reset();
 
+  /// Device-internal error (§2.1.2): set DEVICE_NEEDS_RESET. The bit
+  /// stays latched until the driver writes zero to reset the device.
+  void device_error() { status_ |= status::kDeviceNeedsReset; }
+
   [[nodiscard]] u8 status() const { return status_; }
+  [[nodiscard]] bool needs_reset() const {
+    return (status_ & status::kDeviceNeedsReset) != 0;
+  }
   [[nodiscard]] bool features_accepted() const {
     return (status_ & status::kFeaturesOk) != 0;
   }

@@ -101,9 +101,17 @@ std::optional<DriverRing::Completion> PackedVirtqueueDriver::harvest() {
   const HostAddr entry = addrs_.desc + pk::desc_offset(next_used_slot_);
   const u16 id = memory_->read_le16(entry + pk::kDescIdOffset);
   const u32 written = memory_->read_le32(entry + pk::kDescLenOffset);
-  VFPGA_ASSERT(id < queue_size_);
+  if (id >= queue_size_) {
+    // Corrupt completion descriptor: refuse it and mark the ring broken
+    // so the driver escalates to a device reset.
+    mark_broken();
+    return std::nullopt;
+  }
   const u16 count = id_desc_count_[id];
-  VFPGA_ASSERT(count > 0);
+  if (count == 0) {
+    mark_broken();  // completion for a buffer id we never exposed
+    return std::nullopt;
+  }
 
   // The device wrote one used descriptor for the chain and skipped ahead
   // by the chain length (§2.8.7).

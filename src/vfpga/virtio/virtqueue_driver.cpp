@@ -195,13 +195,21 @@ std::optional<VirtqueueDriver::Completion> VirtqueueDriver::harvest_used() {
   const HostAddr entry = addrs_.used + used_entry_offset(slot);
   const u32 id = memory_->read_le32(entry);
   const u32 written = memory_->read_le32(entry + 4);
-  VFPGA_ASSERT(id < queue_size_);
+  if (id >= queue_size_) {
+    // Corrupt used entry (Linux: "id %u out of range"): refuse to
+    // harvest and mark the vring broken so the driver resets the device.
+    mark_broken();
+    return std::nullopt;
+  }
+  const u16 head = static_cast<u16>(id);
+  const u16 count = chain_len_[head];
+  if (count == 0) {
+    mark_broken();  // completion for a chain we never exposed
+    return std::nullopt;
+  }
   ++last_used_idx_;
 
   // Recycle the chain onto the free list.
-  const u16 head = static_cast<u16>(id);
-  const u16 count = chain_len_[head];
-  VFPGA_ASSERT(count > 0);
   u16 tail = head;
   for (u16 i = 1; i < count; ++i) {
     tail = read_descriptor(tail).next;

@@ -57,6 +57,10 @@ DmaChannel::RunResult DmaChannel::run(sim::SimTime start) {
   for (;;) {
     std::array<u8, kDescriptorBytes> raw{};
     t = port_.read(t, desc_addr, raw);  // descriptor fetch over PCIe
+    if (fault_ != nullptr &&
+        fault_->should_inject(fault::FaultClass::kEngineHalt)) {
+      raw[3] ^= 0x5a;  // corrupt the magic: the engine halts below
+    }
     XdmaDescriptor desc;
     if (!XdmaDescriptor::decode(raw, desc)) {
       status_ = regs::kStatusMagicStopped | regs::kStatusDescStopped;

@@ -21,6 +21,7 @@
 
 #include <functional>
 
+#include "vfpga/fault/fault_plane.hpp"
 #include "vfpga/fpga/clock.hpp"
 #include "vfpga/fpga/perf_counter.hpp"
 #include "vfpga/mem/bram.hpp"
@@ -63,6 +64,11 @@ class DmaChannel {
 
   void set_interrupt_enable(bool enable) { irq_enabled_ = enable; }
   [[nodiscard]] bool interrupt_enabled() const { return irq_enabled_; }
+
+  /// Install a fault plane: descriptor fetches in run() may then return
+  /// corrupted magic, halting the engine (kStatusMagicStopped). nullptr
+  /// = no fault hooks.
+  void set_fault_plane(fault::FaultPlane* plane) { fault_ = plane; }
 
   /// Completion hook: the owning endpoint fires MSI-X from this.
   std::function<void(sim::SimTime)> on_complete;
@@ -110,6 +116,7 @@ class DmaChannel {
   EngineConfig config_;
   fpga::PerfCounterBank* counters_;
 
+  fault::FaultPlane* fault_ = nullptr;
   u64 descriptor_addr_ = 0;
   u32 adjacent_ = 0;
   HostAddr writeback_addr_ = 0;

@@ -71,93 +71,135 @@ bool XdmaHostDriver::run_channel(hostos::HostThread& thread,
                                  BarOffset sgdma_base, u32 vector,
                                  HostAddr buffer_addr, FpgaAddr card_addr,
                                  u32 length) {
-  // Per-transfer submission work: get_user_pages, SG table, descriptor
-  // construction + cache flush (§IV-A: "the device driver creates one or
-  // more descriptors ... when initiating a DMA transfer"). Pinned user
-  // pages are not physically contiguous, so the driver emits one
-  // descriptor per 4 KiB page, chained — exactly the SG shape
-  // dma_ip_drivers builds.
-  thread.exec(thread.costs().xdma_submit);
-
   const HostAddr desc_base = channel.direction() == Direction::H2C
                                  ? h2c_desc_addr_
                                  : c2h_desc_addr_;
-  constexpr u32 kPage = 4096;
-  const u32 descriptor_count = (length + kPage - 1) / kPage;
-  VFPGA_ASSERT(descriptor_count * kDescriptorBytes <= kDescriptorAreaBytes);
-  for (u32 i = 0; i < descriptor_count; ++i) {
-    const u32 offset = i * kPage;
-    const u32 chunk = std::min(kPage, length - offset);
-    const bool last = i + 1 == descriptor_count;
-    XdmaDescriptor desc;
-    desc.control_flags =
-        last ? static_cast<u8>(descctl::kStop | descctl::kEop |
-                               descctl::kCompleted)
-             : u8{0};
-    desc.length = chunk;
-    if (channel.direction() == Direction::H2C) {
-      desc.src_addr = buffer_addr + offset;
-      desc.dst_addr = card_addr + offset;
-    } else {
-      desc.src_addr = card_addr + offset;
-      desc.dst_addr = buffer_addr + offset;
+  for (u32 attempt = 0; attempt < recovery_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Bounded exponential backoff before re-submitting; the engine was
+      // already stopped and its sticky status cleared below.
+      thread.block_until(thread.now() + recovery_.backoff_base *
+                                            static_cast<i64>(1ll << (attempt - 1)));
+      ++engine_restarts_;
     }
-    desc.next_addr = last ? 0 : desc_base + (i + 1) * kDescriptorBytes;
-    desc.next_adjacent = last ? 0
-                              : static_cast<u8>(std::min<u32>(
-                                    descriptor_count - i - 1, 63));
-    std::array<u8, kDescriptorBytes> raw{};
-    desc.encode(raw);
-    ctx_.rc->memory().write(desc_base + i * kDescriptorBytes, raw);
-  }
-  const HostAddr desc_addr = desc_base;
 
-  // Program the SGDMA registers and start the engine: three posted MMIO
-  // writes per transfer.
-  mmio_write(thread, sgdma_base + regs::kSgDescLo,
-             static_cast<u32>(desc_addr & 0xffffffffu));
-  mmio_write(thread, sgdma_base + regs::kSgDescHi,
-             static_cast<u32>(desc_addr >> 32));
-  mmio_write(thread, channel_base + regs::kChControlW1S,
-             regs::kControlRun | regs::kControlIeDescStopped);
+    // Per-transfer submission work: get_user_pages, SG table, descriptor
+    // construction + cache flush (§IV-A: "the device driver creates one
+    // or more descriptors ... when initiating a DMA transfer"). Pinned
+    // user pages are not physically contiguous, so the driver emits one
+    // descriptor per 4 KiB page, chained — exactly the SG shape
+    // dma_ip_drivers builds. A retry rebuilds the list from scratch.
+    thread.exec(thread.costs().xdma_submit);
+    constexpr u32 kPage = 4096;
+    const u32 descriptor_count = (length + kPage - 1) / kPage;
+    VFPGA_ASSERT(descriptor_count * kDescriptorBytes <= kDescriptorAreaBytes);
+    for (u32 i = 0; i < descriptor_count; ++i) {
+      const u32 offset = i * kPage;
+      const u32 chunk = std::min(kPage, length - offset);
+      const bool last = i + 1 == descriptor_count;
+      XdmaDescriptor desc;
+      desc.control_flags =
+          last ? static_cast<u8>(descctl::kStop | descctl::kEop |
+                                 descctl::kCompleted)
+               : u8{0};
+      desc.length = chunk;
+      if (channel.direction() == Direction::H2C) {
+        desc.src_addr = buffer_addr + offset;
+        desc.dst_addr = card_addr + offset;
+      } else {
+        desc.src_addr = card_addr + offset;
+        desc.dst_addr = buffer_addr + offset;
+      }
+      desc.next_addr = last ? 0 : desc_base + (i + 1) * kDescriptorBytes;
+      desc.next_adjacent = last ? 0
+                                : static_cast<u8>(std::min<u32>(
+                                      descriptor_count - i - 1, 63));
+      std::array<u8, kDescriptorBytes> raw{};
+      desc.encode(raw);
+      ctx_.rc->memory().write(desc_base + i * kDescriptorBytes, raw);
+    }
+    const HostAddr desc_addr = desc_base;
 
-  if (poll_mode_) {
-    // Poll-mode ablation: spin on the status register; each poll is a
-    // full non-posted round trip.
-    for (int spins = 0; spins < 64; ++spins) {
-      const u32 status = mmio_read(thread, channel_base + regs::kChStatus);
-      if ((status & regs::kStatusDescStopped) != 0) {
+    // Program the SGDMA registers and start the engine: three posted MMIO
+    // writes per transfer.
+    mmio_write(thread, sgdma_base + regs::kSgDescLo,
+               static_cast<u32>(desc_addr & 0xffffffffu));
+    mmio_write(thread, sgdma_base + regs::kSgDescHi,
+               static_cast<u32>(desc_addr >> 32));
+    mmio_write(thread, channel_base + regs::kChControlW1S,
+               regs::kControlRun | regs::kControlIeDescStopped);
+
+    if (poll_mode_) {
+      // Poll-mode ablation: spin on the status register; each poll is a
+      // full non-posted round trip.
+      bool completed = false;
+      for (int spins = 0; spins < 64; ++spins) {
+        const u32 status = mmio_read(thread, channel_base + regs::kChStatus);
+        if ((status & regs::kStatusMagicStopped) != 0) {
+          break;  // engine halted on a bad descriptor: no point spinning
+        }
+        if ((status & regs::kStatusDescStopped) != 0) {
+          completed = true;
+          break;
+        }
+      }
+      if (completed) {
         mmio_write(thread, channel_base + regs::kChControlW1C,
                    regs::kControlRun);
         thread.exec(thread.costs().xdma_teardown);
         ++transfers_completed_;
         return true;
       }
+      // Clear the sticky halt status (read-to-clear) and stop the
+      // engine, then retry with a fresh descriptor list.
+      (void)mmio_read(thread, channel_base + regs::kChStatusRC);
+      mmio_write(thread, channel_base + regs::kChControlW1C,
+                 regs::kControlRun);
+      continue;
     }
-    return false;
-  }
 
-  // Interrupt mode: the run-bit write made the engine execute; its
-  // completion interrupt is pending with a delivery timestamp.
-  if (!ctx_.irq->pending(vector)) {
-    return false;  // engine error: no completion
+    // Interrupt mode: the run-bit write made the engine execute; its
+    // completion interrupt is pending with a delivery timestamp.
+    if (!ctx_.irq->pending(vector)) {
+      // Completion-wait timeout (xdma_xfer_submit's wait would expire
+      // here). Read the engine status — read-to-clear, so this also
+      // clears a sticky halt — to tell "engine halted" from "transfer
+      // done but the MSI-X write was lost".
+      const u32 status = mmio_read(thread, channel_base + regs::kChStatusRC);
+      const bool halted = (status & regs::kStatusMagicStopped) != 0;
+      const bool done = !halted && (status & regs::kStatusDescStopped) != 0;
+      mmio_write(thread, channel_base + regs::kChControlW1C,
+                 regs::kControlRun);
+      if (done) {
+        // The DMA itself finished; only the notify vanished. Finish in
+        // process context — no ISR ran.
+        ++lost_completion_irqs_;
+        thread.exec(thread.costs().xdma_teardown);
+        ++transfers_completed_;
+        return true;
+      }
+      continue;  // halted (or never started): rebuild + restart
+    }
+    const sim::SimTime irq_time = ctx_.irq->consume(vector);
+    thread.block_until(irq_time);
+    thread.exec(thread.costs().irq_entry);
+    // The ISR reads the channel status over PCIe — the expensive
+    // non-posted read the VirtIO path does not have.
+    const u32 status = mmio_read(thread, channel_base + regs::kChStatusRC);
+    if ((status & regs::kStatusMagicStopped) != 0) {
+      mmio_write(thread, channel_base + regs::kChControlW1C,
+                 regs::kControlRun);
+      continue;
+    }
+    thread.exec(thread.costs().xdma_isr_body);
+    mmio_write(thread, channel_base + regs::kChControlW1C, regs::kControlRun);
+    // Wake the sleeping submitter and finish in process context.
+    thread.exec(thread.costs().wakeup);
+    thread.exec(thread.costs().xdma_teardown);
+    ++transfers_completed_;
+    return true;
   }
-  const sim::SimTime irq_time = ctx_.irq->consume(vector);
-  thread.block_until(irq_time);
-  thread.exec(thread.costs().irq_entry);
-  // The ISR reads the channel status over PCIe — the expensive
-  // non-posted read the VirtIO path does not have.
-  const u32 status = mmio_read(thread, channel_base + regs::kChStatusRC);
-  if ((status & regs::kStatusMagicStopped) != 0) {
-    return false;
-  }
-  thread.exec(thread.costs().xdma_isr_body);
-  mmio_write(thread, channel_base + regs::kChControlW1C, regs::kControlRun);
-  // Wake the sleeping submitter and finish in process context.
-  thread.exec(thread.costs().wakeup);
-  thread.exec(thread.costs().xdma_teardown);
-  ++transfers_completed_;
-  return true;
+  return false;
 }
 
 bool XdmaHostDriver::h2c_transfer(hostos::HostThread& thread,

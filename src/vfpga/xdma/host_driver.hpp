@@ -49,8 +49,25 @@ class XdmaHostDriver {
   bool c2h_transfer(hostos::HostThread& thread, ByteSpan out,
                     FpgaAddr card_addr = 0);
 
+  /// Completion-wait recovery policy: instead of blocking forever on a
+  /// completion interrupt that never comes, the driver reads the engine
+  /// status (read-to-clear — this also clears a halted engine), rebuilds
+  /// the descriptor list, and restarts the engine with bounded
+  /// exponential backoff between attempts.
+  struct RecoveryPolicy {
+    u32 max_attempts = 4;
+    sim::Duration backoff_base = sim::microseconds(10);
+  };
+  void set_recovery_policy(const RecoveryPolicy& policy) {
+    recovery_ = policy;
+  }
+
   [[nodiscard]] u64 transfers_completed() const {
     return transfers_completed_;
+  }
+  [[nodiscard]] u64 engine_restarts() const { return engine_restarts_; }
+  [[nodiscard]] u64 lost_completion_irqs() const {
+    return lost_completion_irqs_;
   }
 
  private:
@@ -74,6 +91,9 @@ class XdmaHostDriver {
   HostAddr c2h_buffer_ = 0;
   u32 buffer_capacity_ = 64 * 1024;
   u64 transfers_completed_ = 0;
+  u64 engine_restarts_ = 0;
+  u64 lost_completion_irqs_ = 0;
+  RecoveryPolicy recovery_{};
 };
 
 }  // namespace vfpga::xdma

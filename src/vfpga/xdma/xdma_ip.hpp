@@ -42,6 +42,13 @@ class XdmaIpFunction : public pcie::Function {
 
   [[nodiscard]] DmaChannel& h2c() { return *h2c_; }
   [[nodiscard]] DmaChannel& c2h() { return *c2h_; }
+
+  /// Install a fault plane on both DMA channels (engine-halt injection).
+  /// Call after connect(); nullptr = no fault hooks.
+  void set_fault_plane(fault::FaultPlane* plane) {
+    h2c_->set_fault_plane(plane);
+    c2h_->set_fault_plane(plane);
+  }
   [[nodiscard]] mem::Bram& bram() { return bram_; }
   [[nodiscard]] fpga::PerfCounterBank& counters() { return counters_; }
   [[nodiscard]] pcie::MsixTable& msix() { return *msix_; }
