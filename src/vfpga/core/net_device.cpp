@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/fault/fault_plane.hpp"
 #include "vfpga/net/arp.hpp"
 #include "vfpga/net/icmp.hpp"
 #include "vfpga/net/ethernet.hpp"
@@ -14,7 +15,13 @@ namespace vfpga::core {
 using virtio::net::NetConfigLayout;
 using virtio::net::NetHeader;
 
-NetDeviceLogic::NetDeviceLogic(NetDeviceConfig config) : config_(config) {}
+NetDeviceLogic::NetDeviceLogic(NetDeviceConfig config)
+    : config_(config), pair_echoes_(config.max_queue_pairs, 0) {
+  // 64 pairs keeps both apertures inside the controller's BAR layout:
+  // notify window 4*(2*64+1) bytes and MSI-X table 130 entries.
+  VFPGA_EXPECTS(config_.max_queue_pairs >= 1 && config_.max_queue_pairs <= 64);
+  reset_steering_table();
+}
 
 virtio::FeatureSet NetDeviceLogic::device_features() const {
   virtio::FeatureSet f;
@@ -27,11 +34,70 @@ virtio::FeatureSet NetDeviceLogic::device_features() const {
   if (config_.offer_guest_csum) {
     f.set(virtio::feature::net::kGuestCsum);
   }
+  if (config_.max_queue_pairs > 1) {
+    f.set(virtio::feature::net::kMq);
+    f.set(virtio::feature::net::kCtrlVq);
+  }
   return f;
 }
 
 void NetDeviceLogic::on_driver_ready(virtio::FeatureSet negotiated) {
   negotiated_ = negotiated;
+  // §5.1.5: the device comes up with one active pair regardless of what
+  // it supports; more are enabled only by a later
+  // VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET on the control queue.
+  active_pairs_ = 1;
+  reset_steering_table();
+}
+
+void NetDeviceLogic::reset_steering_table() {
+  for (u16 i = 0; i < net::kSteeringTableSize; ++i) {
+    steering_table_[i] = static_cast<u8>(i);
+  }
+}
+
+u16 NetDeviceLogic::steer_flow(u32 hash) {
+  // Fetch the indirection-table entry for this hash; the fault hook
+  // corrupts the *fetched copy* (a transient read upset, matching the
+  // kDescCorrupt model) so a disarmed plane leaves the table pristine.
+  u8 entry = steering_table_[hash % net::kSteeringTableSize];
+  if (fault_ != nullptr &&
+      fault_->should_inject(fault::FaultClass::kSteeringCorrupt)) {
+    fault_->corrupt(ByteSpan{&entry, 1});
+  }
+  return static_cast<u16>(entry % active_pairs_);
+}
+
+UserLogic::Response NetDeviceLogic::ctrl_response(u16 queue, u8 ack,
+                                                  u64 cycles) {
+  Response response;
+  response.payload.assign(1, ack);
+  response.target_queue = queue;  // same-chain writable ack byte
+  response.processing_cycles = cycles;
+  return response;
+}
+
+std::optional<UserLogic::Response> NetDeviceLogic::process_ctrl(
+    u16 queue, ConstByteSpan payload, u32 writable_capacity) {
+  ++ctrl_commands_;
+  if (writable_capacity < 1) {
+    ++dropped_;  // nowhere to put the ack: ill-formed chain
+    return std::nullopt;
+  }
+  const u64 cycles = config_.fixed_cycles;
+  if (payload.size() < 4 || payload[0] != virtio::net::kCtrlClassMq ||
+      payload[1] != virtio::net::kCtrlMqVqPairsSet) {
+    ++ctrl_rejected_;
+    return ctrl_response(queue, virtio::net::kCtrlErr, cycles);
+  }
+  const u16 pairs = load_le16(payload, 2);
+  if (pairs < virtio::net::kMqPairsMin || pairs > config_.max_queue_pairs) {
+    ++ctrl_rejected_;
+    return ctrl_response(queue, virtio::net::kCtrlErr, cycles);
+  }
+  active_pairs_ = pairs;
+  reset_steering_table();
+  return ctrl_response(queue, virtio::net::kCtrlOk, cycles);
 }
 
 u8 NetDeviceLogic::device_config_read(u32 offset) const {
@@ -49,9 +115,9 @@ u8 NetDeviceLogic::device_config_read(u32 offset) const {
     case NetConfigLayout::kStatusOffset + 1:
       return 0;
     case NetConfigLayout::kMaxPairsOffset:
-      return 1;  // single queue pair
+      return static_cast<u8>(config_.max_queue_pairs & 0xff);
     case NetConfigLayout::kMaxPairsOffset + 1:
-      return 0;
+      return static_cast<u8>(config_.max_queue_pairs >> 8);
     case NetConfigLayout::kMtuOffset:
       return static_cast<u8>(config_.mtu & 0xff);
     case NetConfigLayout::kMtuOffset + 1:
@@ -72,8 +138,14 @@ u64 NetDeviceLogic::processing_cycles(u64 frame_bytes,
 }
 
 std::optional<UserLogic::Response> NetDeviceLogic::process(
-    u16 queue, ConstByteSpan payload, u32 /*writable_capacity*/) {
-  VFPGA_EXPECTS(queue == virtio::net::kTxQueue);
+    u16 queue, ConstByteSpan payload, u32 writable_capacity) {
+  if (config_.max_queue_pairs > 1 && queue == ctrl_queue()) {
+    return process_ctrl(queue, payload, writable_capacity);
+  }
+  VFPGA_EXPECTS(virtio::net::is_tx_queue(queue) &&
+                virtio::net::queue_pair_of(queue) < config_.max_queue_pairs);
+  const u16 rx_of_pair =
+      virtio::net::rx_queue_index(virtio::net::queue_pair_of(queue));
   if (payload.size() < NetHeader::kSize) {
     ++dropped_;
     return std::nullopt;
@@ -113,7 +185,7 @@ std::optional<UserLogic::Response> NetDeviceLogic::process(
     out_hdr.encode(response.payload);
     std::copy(reply_frame.begin(), reply_frame.end(),
               response.payload.begin() + NetHeader::kSize);
-    response.target_queue = virtio::net::kRxQueue;
+    response.target_queue = rx_of_pair;
     response.processing_cycles = processing_cycles(reply_frame.size(), false);
     ++arp_replies_;
     return response;
@@ -164,7 +236,7 @@ std::optional<UserLogic::Response> NetDeviceLogic::process(
     out_hdr.encode(response.payload);
     std::copy(reply_frame.begin(), reply_frame.end(),
               response.payload.begin() + NetHeader::kSize);
-    response.target_queue = virtio::net::kRxQueue;
+    response.target_queue = rx_of_pair;
     response.processing_cycles =
         processing_cycles(reply_frame.size(), true);  // csum recompute
     ++icmp_echoes_;
@@ -235,10 +307,18 @@ std::optional<UserLogic::Response> NetDeviceLogic::process(
   out_hdr.encode(response.payload);
   std::copy(echo_frame.begin(), echo_frame.end(),
             response.payload.begin() + NetHeader::kSize);
-  response.target_queue = virtio::net::kRxQueue;
+  // RSS stage: the echo steers by the symmetric flow hash, which lands
+  // on the originating pair because the host picked its TX queue with
+  // the same hash (steering faults can divert it — the host detects the
+  // mismatch and repairs via the control queue).
+  const u16 echo_pair = steer_flow(net::rss_flow_hash(
+      parsed_ip->header.src, parsed_udp->header.src_port,
+      parsed_ip->header.dst, parsed_udp->header.dst_port));
+  response.target_queue = virtio::net::rx_queue_index(echo_pair);
   response.processing_cycles =
       processing_cycles(echo_frame.size(), device_checksummed);
   ++udp_echoes_;
+  ++pair_echoes_[echo_pair];
   return response;
 }
 

@@ -11,8 +11,12 @@
 // offloaded.
 #pragma once
 
+#include <array>
+#include <vector>
+
 #include "vfpga/core/user_logic.hpp"
 #include "vfpga/net/addr.hpp"
+#include "vfpga/net/rss.hpp"
 #include "vfpga/virtio/net_defs.hpp"
 
 namespace vfpga::core {
@@ -27,6 +31,12 @@ struct NetDeviceConfig {
   /// Offer VIRTIO_NET_F_GUEST_CSUM (we always produce full checksums, so
   /// offering it is safe).
   bool offer_guest_csum = true;
+
+  /// RX/TX queue pairs the fabric instantiates. 1 (the paper's device)
+  /// keeps the two-queue personality with no control queue; >1 offers
+  /// VIRTIO_NET_F_MQ + VIRTIO_NET_F_CTRL_VQ and adds the control queue
+  /// after the last pair.
+  u16 max_queue_pairs = 1;
 
   /// User-logic pipeline model: fixed cycles + per-8-byte-beat cycles
   /// (parse + rebuild), doubled when a checksum must be computed in the
@@ -44,14 +54,30 @@ class NetDeviceLogic final : public UserLogic {
     return virtio::DeviceType::Net;
   }
   [[nodiscard]] virtio::FeatureSet device_features() const override;
-  [[nodiscard]] u16 queue_count() const override { return 2; }
+  [[nodiscard]] u16 queue_count() const override {
+    // Single-pair keeps the paper's two-queue personality; multiqueue
+    // adds the control queue after the last supported pair (§5.1.2).
+    return config_.max_queue_pairs == 1
+               ? u16{2}
+               : static_cast<u16>(2 * config_.max_queue_pairs + 1);
+  }
   void on_driver_ready(virtio::FeatureSet negotiated) override;
+  void attach_fault_plane(fault::FaultPlane* plane) override {
+    fault_ = plane;
+  }
   [[nodiscard]] u32 device_config_size() const override {
     return virtio::net::NetConfigLayout::kSize;
   }
   [[nodiscard]] u8 device_config_read(u32 offset) const override;
   std::optional<Response> process(u16 queue, ConstByteSpan payload,
                                   u32 writable_capacity) override;
+
+  // ---- multiqueue ---------------------------------------------------------------
+  [[nodiscard]] u16 max_queue_pairs() const { return config_.max_queue_pairs; }
+  [[nodiscard]] u16 active_queue_pairs() const { return active_pairs_; }
+  [[nodiscard]] u16 ctrl_queue() const {
+    return virtio::net::ctrl_queue_index(config_.max_queue_pairs);
+  }
 
   // ---- stats ---------------------------------------------------------------------
   [[nodiscard]] u64 udp_echoes() const { return udp_echoes_; }
@@ -61,6 +87,11 @@ class NetDeviceLogic final : public UserLogic {
     return checksums_offloaded_;
   }
   [[nodiscard]] u64 dropped() const { return dropped_; }
+  [[nodiscard]] u64 ctrl_commands() const { return ctrl_commands_; }
+  [[nodiscard]] u64 ctrl_rejected() const { return ctrl_rejected_; }
+  [[nodiscard]] u64 pair_echoes(u16 pair) const {
+    return pair_echoes_.at(pair);
+  }
   [[nodiscard]] const NetDeviceConfig& device_config() const {
     return config_;
   }
@@ -68,14 +99,27 @@ class NetDeviceLogic final : public UserLogic {
 
  private:
   [[nodiscard]] u64 processing_cycles(u64 frame_bytes, bool checksummed) const;
+  /// RSS stage: indirection-table lookup (with the steering-corrupt
+  /// fault hook) clamped to the active pair count.
+  [[nodiscard]] u16 steer_flow(u32 hash);
+  void reset_steering_table();
+  [[nodiscard]] Response ctrl_response(u16 queue, u8 ack, u64 cycles);
+  std::optional<Response> process_ctrl(u16 queue, ConstByteSpan payload,
+                                       u32 writable_capacity);
 
   NetDeviceConfig config_;
   virtio::FeatureSet negotiated_{};
+  fault::FaultPlane* fault_ = nullptr;
+  u16 active_pairs_ = 1;
+  std::array<u8, net::kSteeringTableSize> steering_table_{};
+  std::vector<u64> pair_echoes_;
   u64 udp_echoes_ = 0;
   u64 icmp_echoes_ = 0;
   u64 arp_replies_ = 0;
   u64 checksums_offloaded_ = 0;
   u64 dropped_ = 0;
+  u64 ctrl_commands_ = 0;
+  u64 ctrl_rejected_ = 0;
 };
 
 }  // namespace vfpga::core

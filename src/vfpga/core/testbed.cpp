@@ -70,13 +70,19 @@ VirtioNetTestbed::VirtioNetTestbed(TestbedOptions options)
   ctx.enumerated = &enumerated_.front();
   ctx.irq = &irq_;
   ctx.prefer_packed = options_.use_packed_rings;
-  const bool bound = driver_.probe(ctx, *thread_);
+  const bool bound =
+      driver_.probe(ctx, *thread_, options_.requested_queue_pairs);
   VFPGA_ASSERT(bound);
   VFPGA_ASSERT(driver_.using_packed_rings() == options_.use_packed_rings);
 
   stack_ = std::make_unique<hostos::KernelNetstack>(driver_, irq_);
   stack_->configure_fpga_route(options_.net.ip, options_.net.mac);
   socket_ = std::make_unique<hostos::UdpSocket>(*stack_, options_.udp_port);
+}
+
+std::unique_ptr<hostos::HostThread> VirtioNetTestbed::spawn_thread() {
+  return std::make_unique<hostos::HostThread>(rng_, options_.costs, noise_,
+                                              thread_->now());
 }
 
 VirtioNetTestbed::RoundTrip VirtioNetTestbed::udp_round_trip(

@@ -36,6 +36,10 @@ struct TestbedOptions {
   bool use_packed_rings = false;
   u16 udp_port = 4791;
   u16 fpga_udp_port = 9000;
+  /// RX/TX queue pairs the driver asks for (VIRTIO_NET_F_MQ). Clamped
+  /// by the device's max_virtqueue_pairs (options.net.max_queue_pairs);
+  /// 1 keeps the paper's single-queue configuration.
+  u16 requested_queue_pairs = 1;
   /// Fault-injection configuration. A FaultPlane is instantiated and
   /// wired through every layer only when at least one rate is non-zero;
   /// the all-zero default leaves the datapath untouched (bit-identical
@@ -69,6 +73,12 @@ class VirtioNetTestbed {
     bool ok = false;               ///< echo arrived and payload matched
   };
   RoundTrip udp_round_trip(ConstByteSpan payload);
+
+  /// A fresh HostThread modelling another application/kernel context on
+  /// the same host (shared cost model, noise and RNG stream), starting
+  /// at the main thread's current simulated time. The multi-flow load
+  /// generator gives each concurrent flow its own.
+  [[nodiscard]] std::unique_ptr<hostos::HostThread> spawn_thread();
 
  private:
   TestbedOptions options_;

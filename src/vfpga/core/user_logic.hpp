@@ -17,6 +17,10 @@
 #include "vfpga/virtio/features.hpp"
 #include "vfpga/virtio/ids.hpp"
 
+namespace vfpga::fault {
+class FaultPlane;
+}  // namespace vfpga::fault
+
 namespace vfpga::core {
 
 class UserLogic {
@@ -40,6 +44,11 @@ class UserLogic {
   /// Called once negotiation finished so the personality can adapt
   /// (e.g. enable checksum offload datapaths).
   virtual void on_driver_ready(virtio::FeatureSet /*negotiated*/) {}
+
+  /// The controller forwards its fault plane so personalities with
+  /// internal state (e.g. an RSS steering table) can expose their own
+  /// injection points. Null or never-called == no faults.
+  virtual void attach_fault_plane(fault::FaultPlane* /*plane*/) {}
 
   // ---- device-specific configuration structure -------------------------------
   [[nodiscard]] virtual u32 device_config_size() const = 0;

@@ -4,6 +4,7 @@
 
 #include "vfpga/common/contract.hpp"
 #include "vfpga/common/log.hpp"
+#include "vfpga/fault/fault_plane.hpp"
 
 namespace vfpga::core {
 namespace {
@@ -53,7 +54,8 @@ VirtioDeviceFunction::VirtioDeviceFunction(UserLogic& user_logic,
       queue_state_(user_logic.queue_count()),
       engines_(user_logic.queue_count()),
       credits_(user_logic.queue_count(), 0),
-      total_drained_(user_logic.queue_count(), 0) {
+      total_drained_(user_logic.queue_count(), 0),
+      queue_busy_until_(user_logic.queue_count()) {
   const virtio::DeviceType type = user_logic.device_type();
   auto& cfg = this->config();
   cfg.set_ids(virtio::kVirtioPciVendorId, virtio::modern_pci_device_id(type),
@@ -263,9 +265,20 @@ void VirtioDeviceFunction::common_write(BarOffset offset, u64 value, u32 size,
       driver_features_.set_window(driver_feature_select_,
                                   static_cast<u32>(value));
       break;
-    case kMsixConfig:
-      msix_config_vector_ = static_cast<u16>(value);
+    case kMsixConfig: {
+      // Reject vectors past the advertised MSI-X table instead of
+      // letting MsixTable::fire() abort later: the write simply does
+      // not take, which the driver observes via read-back (§4.1.4.3).
+      const u16 v = static_cast<u16>(value);
+      const u16 table_size = static_cast<u16>(queue_state_.size() + 1);
+      if (v != virtio::kNoVector && v >= table_size) {
+        VFPGA_WARN("virtio-ctl", "config MSI-X vector out of range: rejected");
+        msix_config_vector_ = virtio::kNoVector;
+      } else {
+        msix_config_vector_ = v;
+      }
       break;
+    }
     case kDeviceStatus: {
       if (value == 0) {
         device_reset();
@@ -287,9 +300,17 @@ void VirtioDeviceFunction::common_write(BarOffset offset, u64 value, u32 size,
       VFPGA_EXPECTS(value != 0 && value <= config_.max_queue_size);
       q.size = static_cast<u16>(value);
       break;
-    case kQueueMsixVector:
-      q.msix_vector = static_cast<u16>(value);
+    case kQueueMsixVector: {
+      const u16 v = static_cast<u16>(value);
+      const u16 table_size = static_cast<u16>(queue_state_.size() + 1);
+      if (v != virtio::kNoVector && v >= table_size) {
+        VFPGA_WARN("virtio-ctl", "queue MSI-X vector out of range: rejected");
+        q.msix_vector = virtio::kNoVector;
+      } else {
+        q.msix_vector = v;
+      }
       break;
+    }
     case kQueueEnable:
       if (value == 1 && !q.enabled) {
         q.enabled = true;
@@ -367,6 +388,8 @@ void VirtioDeviceFunction::device_reset() {
   }
   std::fill(credits_.begin(), credits_.end(), u16{0});
   std::fill(total_drained_.begin(), total_drained_.end(), u16{0});
+  std::fill(queue_busy_until_.begin(), queue_busy_until_.end(),
+            sim::SimTime{});
   frames_processed_ = 0;
   interrupts_suppressed_ = 0;
   ++config_generation_;
@@ -398,6 +421,13 @@ void VirtioDeviceFunction::fire_queue_interrupt(u16 queue, sim::SimTime at) {
   if (vector == virtio::kNoVector) {
     return;
   }
+  if (fault_ != nullptr &&
+      fault_->should_inject(fault::FaultClass::kQueueIrqLost)) {
+    // The MSI-X message for this queue dies at the device: no ISR
+    // latch, no delivery. The driver's watchdog/poll path must notice.
+    ++queue_irqs_lost_;
+    return;
+  }
   isr_status_ |= virtio::isr::kQueueInterrupt;
   msix_->fire(vector, at, *port_);
   counters_.capture("irq_sent", at);
@@ -415,6 +445,11 @@ void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
   IQueueEngine& eng = engine(queue);
   sim::SimTime t =
       at + config_.timing.clock.cycles(config_.timing.notify_decode_cycles);
+  // Per-queue engine serialization: a notify landing while this queue's
+  // FSM is still working queues up behind it (other queues in parallel).
+  if (queue_busy_until_[queue] > t) {
+    t = queue_busy_until_[queue];
+  }
 
   // "The device then accesses the data structures in host memory to
   // determine how many new buffers were exposed" (§IV-A).
@@ -539,6 +574,7 @@ void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
     }
     t = replenish_credits(eng, queue, t);
   }
+  queue_busy_until_[queue] = t;
 }
 
 sim::SimTime VirtioDeviceFunction::replenish_credits(IQueueEngine& eng,
@@ -567,6 +603,9 @@ sim::SimTime VirtioDeviceFunction::deliver_response(
     return t;  // target queue not live: drop, as a NIC drops without buffers
   }
   IQueueEngine& eng = engine(target);
+  if (queue_busy_until_[target] > t) {
+    t = queue_busy_until_[target];
+  }
 
   if (credits_[target] == 0 || !config_.policy.trust_cached_credits) {
     const auto poll = eng.poll_available(t);
@@ -574,6 +613,7 @@ sim::SimTime VirtioDeviceFunction::deliver_response(
     credits_[target] = poll.value;
     if (credits_[target] == 0) {
       VFPGA_WARN("virtio-ctl", "no RX buffer available: dropping response");
+      queue_busy_until_[target] = t;
       return t;
     }
   }
@@ -584,6 +624,7 @@ sim::SimTime VirtioDeviceFunction::deliver_response(
   const FetchedChain& chain = fetched.value;
   if (chain.error) {
     device_error(t);
+    queue_busy_until_[target] = t;
     return t;
   }
 
@@ -615,6 +656,7 @@ sim::SimTime VirtioDeviceFunction::deliver_response(
   } else {
     ++interrupts_suppressed_;
   }
+  queue_busy_until_[target] = t;
   return t;
 }
 

@@ -72,9 +72,13 @@ class VirtioDeviceFunction : public pcie::Function {
   void connect(pcie::RootComplex& rc);
 
   /// Install a fault plane consulted by the queue engines (descriptor
-  /// corruption, used-ring write failures). Call before the driver
-  /// enables queues; nullptr = no fault hooks.
-  void set_fault_plane(fault::FaultPlane* plane) { fault_ = plane; }
+  /// corruption, used-ring write failures), the interrupt path
+  /// (per-queue MSI-X loss) and the user logic (steering corruption).
+  /// Call before the driver enables queues; nullptr = no fault hooks.
+  void set_fault_plane(fault::FaultPlane* plane) {
+    fault_ = plane;
+    user_logic_->attach_fault_plane(plane);
+  }
 
   /// Device-internal error (§2.1.2): latch DEVICE_NEEDS_RESET, gate the
   /// datapath, and raise a configuration-change interrupt so the driver
@@ -112,6 +116,8 @@ class VirtioDeviceFunction : public pcie::Function {
   [[nodiscard]] u64 interrupts_suppressed() const {
     return interrupts_suppressed_;
   }
+  /// Per-queue MSI-X messages dropped by the fault plane.
+  [[nodiscard]] u64 queue_irqs_lost() const { return queue_irqs_lost_; }
 
   /// The driver-bypass DMA interface (§III-A): lets user logic move data
   /// to/from host memory without involving the VirtIO driver. `card_addr`
@@ -176,10 +182,16 @@ class VirtioDeviceFunction : public pcie::Function {
   std::vector<std::unique_ptr<IQueueEngine>> engines_;
   std::vector<u16> credits_;  ///< cached (avail_idx - cursor) per queue
   std::vector<u16> total_drained_;  ///< chains consumed per queue (mod 2^16)
+  /// Each queue engine is an independent fabric FSM, but one engine
+  /// processes one chain at a time: work on queue q issued while q is
+  /// still busy waits for it, while other queues proceed in parallel —
+  /// the contention model the multi-queue scaling bench measures.
+  std::vector<sim::SimTime> queue_busy_until_;
 
   sim::Duration last_response_generation_{};
   u64 frames_processed_ = 0;
   u64 interrupts_suppressed_ = 0;
+  u64 queue_irqs_lost_ = 0;
   u64 device_errors_ = 0;
   fault::FaultPlane* fault_ = nullptr;
 };

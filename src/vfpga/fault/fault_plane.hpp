@@ -31,9 +31,11 @@ enum class FaultClass : u8 {
   kNotifyLost,        ///< MSI-X message dropped
   kNotifyDup,         ///< MSI-X message delivered twice
   kEngineHalt,        ///< XDMA descriptor magic corrupted -> engine halt
+  kSteeringCorrupt,   ///< RSS steering-table entry corrupts on lookup
+  kQueueIrqLost,      ///< per-queue MSI-X message dropped at the device
 };
 
-inline constexpr std::size_t kFaultClassCount = 8;
+inline constexpr std::size_t kFaultClassCount = 10;
 
 /// Control-plane ring traffic (indices, descriptors, used elements, MSI
 /// messages) is 2-32 bytes; only payload-sized TLPs at or above this

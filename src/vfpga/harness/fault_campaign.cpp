@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/net/rss.hpp"
 
 namespace vfpga::harness {
 
@@ -35,10 +37,9 @@ struct OpOutcome {
 /// One UDP echo with the full recovery ladder: blocking receive,
 /// then (on timeout / mismatch) TX watchdog + interrupt-less RX poll,
 /// then retransmission, bounded by attempts and simulated time.
-OpOutcome udp_echo_op(core::VirtioNetTestbed& bed, ConstByteSpan payload,
-                      const CampaignConfig& config) {
+OpOutcome udp_echo_op(core::VirtioNetTestbed& bed, hostos::UdpSocket& sock,
+                      ConstByteSpan payload, const CampaignConfig& config) {
   hostos::HostThread& t = bed.thread();
-  hostos::UdpSocket& sock = bed.socket();
   const sim::SimTime op_start = t.now();
   OpOutcome outcome;
   std::optional<sim::SimTime> first_failure;
@@ -136,7 +137,8 @@ ClassReport run_udp_class(fault::FaultClass cls,
     for (u32 op = 0; op < config.ops_per_run; ++op) {
       const Bytes payload = make_payload(config.udp_payload_bytes,
                                          options.seed, op);
-      const OpOutcome outcome = udp_echo_op(bed, payload, config);
+      const OpOutcome outcome =
+          udp_echo_op(bed, bed.socket(), payload, config);
       if (!outcome.ok) {
         ++report.hangs;
         // The run cannot meaningfully continue past a hang.
@@ -158,7 +160,83 @@ ClassReport run_udp_class(fault::FaultClass cls,
     for (u32 op = 0; op < config.clean_ops; ++op) {
       const Bytes payload = make_payload(config.udp_payload_bytes,
                                          options.seed, 0x1000u + op);
-      const OpOutcome outcome = udp_echo_op(bed, payload, config);
+      const OpOutcome outcome =
+          udp_echo_op(bed, bed.socket(), payload, config);
+      if (!outcome.ok || outcome.recovered) {
+        ++report.steady_state_failures;
+      }
+    }
+    report.injected += bed.fault_plane()->injected(cls);
+    report.device_resets += bed.driver().device_resets();
+  }
+  return report;
+}
+
+/// Multi-queue variant of the UDP workload: a 4-pair testbed with one
+/// socket per pair (source ports searched so every queue carries ops,
+/// round-robin). Exercises the per-queue recovery paths — a diverted
+/// echo (steering-table corruption) or a swallowed per-queue MSI-X
+/// message is picked up by the interrupt-less poll across all pairs,
+/// and a run of diverted flows triggers the netstack's steering-table
+/// reset (a control-queue command, not a device reset).
+ClassReport run_udp_mq_class(fault::FaultClass cls,
+                             const CampaignConfig& config) {
+  constexpr u16 kPairs = 4;
+  ClassReport report;
+  report.cls = cls;
+  report.workload = "udp-mq";
+  for (u64 run = 0; run < config.runs_per_class; ++run) {
+    core::TestbedOptions options;
+    options.seed = config.base_seed + run;
+    options.fault.seed = config.base_seed * 15485863 + run;
+    options.fault.set_rate(cls, config.fault_rate);
+    options.net.max_queue_pairs = kPairs;
+    options.requested_queue_pairs = kPairs;
+    core::VirtioNetTestbed bed{options};
+    ++report.runs;
+
+    std::vector<std::unique_ptr<hostos::UdpSocket>> socks;
+    u16 next_port = 30'000;
+    for (u16 p = 0; p < kPairs; ++p) {
+      u16 port = next_port;
+      while (net::steer(
+                 net::rss_flow_hash(bed.stack().config().host_ip, port,
+                                    bed.fpga_ip(),
+                                    bed.options().fpga_udp_port),
+                 kPairs) != p) {
+        ++port;
+      }
+      next_port = static_cast<u16>(port + 1);
+      socks.push_back(std::make_unique<hostos::UdpSocket>(bed.stack(), port));
+    }
+
+    for (u32 op = 0; op < config.ops_per_run; ++op) {
+      const Bytes payload = make_payload(config.udp_payload_bytes,
+                                         options.seed, op);
+      const OpOutcome outcome =
+          udp_echo_op(bed, *socks[op % kPairs], payload, config);
+      if (!outcome.ok) {
+        ++report.hangs;
+        break;
+      }
+      if (outcome.recovered) {
+        ++report.recoveries;
+        report.recovery_us.add(outcome.recovery);
+      }
+    }
+
+    bed.fault_plane()->set_armed(false);
+    (void)bed.driver().tx_watchdog(bed.thread());
+    (void)bed.stack().poll_rx(bed.thread());
+    for (auto& sock : socks) {
+      while (sock->recvfrom_nonblock(bed.thread()).has_value()) {
+      }
+    }
+    for (u32 op = 0; op < config.clean_ops; ++op) {
+      const Bytes payload = make_payload(config.udp_payload_bytes,
+                                         options.seed, 0x1000u + op);
+      const OpOutcome outcome =
+          udp_echo_op(bed, *socks[op % kPairs], payload, config);
       if (!outcome.ok || outcome.recovered) {
         ++report.steady_state_failures;
       }
@@ -259,6 +337,11 @@ CampaignResult run_fault_campaign(const CampaignConfig& config) {
         FaultClass::kDescCorrupt, FaultClass::kUsedWriteFail,
         FaultClass::kNotifyLost, FaultClass::kNotifyDup}) {
     result.classes.push_back(run_udp_class(cls, config));
+  }
+  // The multi-queue-only classes against the 4-pair UDP workload.
+  for (const FaultClass cls :
+       {FaultClass::kSteeringCorrupt, FaultClass::kQueueIrqLost}) {
+    result.classes.push_back(run_udp_mq_class(cls, config));
   }
   // The DMA/engine classes against the character-device workload.
   for (const FaultClass cls : {FaultClass::kEngineHalt,

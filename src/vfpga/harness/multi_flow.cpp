@@ -1,0 +1,237 @@
+#include "vfpga/harness/multi_flow.hpp"
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/harness/parallel.hpp"
+#include "vfpga/net/rss.hpp"
+#include "vfpga/stats/sharded.hpp"
+
+namespace vfpga::harness {
+
+namespace {
+
+/// SplitMix64 step: decorrelated per-trial seed streams.
+u64 derive_seed(u64 base, u64 index) {
+  u64 z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// One flow's simulation context within a trial.
+struct FlowContext {
+  std::unique_ptr<hostos::HostThread> thread;
+  std::unique_ptr<hostos::UdpSocket> socket;
+  u16 pair = 0;
+  u64 remaining = 0;  ///< measured echoes left
+  u64 warmup = 0;
+  Bytes payload;
+  u8 packet_tag = 0;
+  stats::SampleSet latency_us;
+  u64 completed = 0;
+  u64 failures = 0;
+};
+
+/// Find a source port whose symmetric flow hash steers to `want_pair`.
+/// Deterministic (starts at `from`, walks upward), so flow identities
+/// are stable across trials and the search always terminates: the
+/// Toeplitz hash varies with every port bit, covering all residues
+/// within a handful of candidates.
+u16 search_port(net::Ipv4Addr host_ip, net::Ipv4Addr fpga_ip, u16 fpga_port,
+                u16 pairs, u16 want_pair, u16 from) {
+  for (u16 port = from;; ++port) {
+    VFPGA_ASSERT(port >= from);  // no wraparound before a hit
+    if (net::steer(net::rss_flow_hash(host_ip, port, fpga_ip, fpga_port),
+                   pairs) == want_pair) {
+      return port;
+    }
+  }
+}
+
+/// One echo round trip for one flow: send, block for the reply, retry
+/// via poll when another flow's interrupt service raced us. Returns
+/// true and records the latency on success.
+bool echo_once(core::VirtioNetTestbed& bed, FlowContext& flow, bool measure,
+               u32 max_attempts) {
+  hostos::HostThread& t = *flow.thread;
+  t.exec(bed.options().costs.app_iteration);
+  ++flow.payload[0];  // vary the payload so stale echoes cannot pass
+
+  const sim::SimTime start = t.now();
+  if (!flow.socket->sendto(t, bed.fpga_ip(), bed.options().fpga_udp_port,
+                           flow.payload)) {
+    return false;
+  }
+  for (u32 attempt = 0; attempt < max_attempts; ++attempt) {
+    const auto reply = flow.socket->recvfrom(t);
+    if (reply.has_value()) {
+      if (reply->payload.size() != flow.payload.size() ||
+          !std::equal(flow.payload.begin(), flow.payload.end(),
+                      reply->payload.begin())) {
+        return false;  // corruption, not a timeout: don't retry
+      }
+      if (measure) {
+        flow.latency_us.add(t.now() - start);
+      }
+      return true;
+    }
+    // Our pair's interrupt may have been consumed by a concurrent
+    // flow's service pass (which demuxed our datagram to our socket
+    // queue), or the echo was diverted by a steering fault: poll every
+    // queue, then re-check the socket.
+    bed.stack().poll_rx(t);
+  }
+  return false;
+}
+
+struct TrialOutput {
+  std::vector<FlowContext> flows;
+  double makespan_us = 0;
+  double throughput_mpps = 0;
+  u64 cross_pair_rx = 0;
+};
+
+TrialOutput run_trial(const MultiFlowConfig& config, u64 trial,
+                      stats::SampleSet& shard) {
+  core::TestbedOptions options = config.testbed;
+  options.seed = derive_seed(config.seed, trial);
+  options.net.max_queue_pairs = config.queue_pairs;
+  options.requested_queue_pairs = config.queue_pairs;
+  core::VirtioNetTestbed bed(options);
+  const u16 pairs = bed.driver().queue_pairs();
+  VFPGA_ASSERT(pairs == config.queue_pairs);
+
+  TrialOutput out;
+  out.flows.resize(config.flows);
+  const net::Ipv4Addr host_ip = bed.stack().config().host_ip;
+  u16 next_port = 20'000;
+  for (u16 f = 0; f < config.flows; ++f) {
+    FlowContext& flow = out.flows[f];
+    flow.pair = static_cast<u16>(f % pairs);
+    const u16 port = search_port(host_ip, bed.fpga_ip(),
+                                 bed.options().fpga_udp_port, pairs,
+                                 flow.pair, next_port);
+    next_port = static_cast<u16>(port + 1);
+    flow.thread = bed.spawn_thread();
+    flow.socket = std::make_unique<hostos::UdpSocket>(bed.stack(), port);
+    flow.remaining = config.packets_per_flow;
+    flow.warmup = config.warmup_per_flow;
+    flow.payload.assign(config.payload_bytes, static_cast<u8>(0xa0 + f));
+    VFPGA_EXPECTS(!flow.payload.empty());
+  }
+
+  // Earliest-clock-first interleaving: always advance the flow whose
+  // simulated time is furthest behind, one full round trip per step.
+  const sim::SimTime trial_start = bed.thread().now();
+  for (;;) {
+    FlowContext* next = nullptr;
+    for (FlowContext& flow : out.flows) {
+      if (flow.remaining + flow.warmup == 0) {
+        continue;
+      }
+      if (next == nullptr || flow.thread->now() < next->thread->now()) {
+        next = &flow;
+      }
+    }
+    if (next == nullptr) {
+      break;
+    }
+    const bool measure = next->warmup == 0;
+    const bool ok = echo_once(bed, *next, measure, config.max_attempts);
+    if (measure) {
+      --next->remaining;
+      if (ok) {
+        ++next->completed;
+        shard.add_us(next->latency_us.values_us().back());
+      } else {
+        ++next->failures;
+      }
+    } else {
+      --next->warmup;
+    }
+  }
+
+  sim::SimTime end = trial_start;
+  u64 completed = 0;
+  for (const FlowContext& flow : out.flows) {
+    end = std::max(end, flow.thread->now());
+    completed += flow.completed;
+  }
+  out.makespan_us = (end - trial_start).micros();
+  out.throughput_mpps =
+      out.makespan_us > 0 ? static_cast<double>(completed) / out.makespan_us
+                          : 0.0;
+  out.cross_pair_rx = bed.stack().steering_mismatches();
+  return out;
+}
+
+}  // namespace
+
+MultiFlowConfig MultiFlowConfig::from_env() {
+  MultiFlowConfig config;
+  if (const char* trials = std::getenv("VFPGA_MQ_TRIALS")) {
+    config.trials = static_cast<u32>(std::stoul(trials));
+  }
+  if (const char* packets = std::getenv("VFPGA_MQ_PACKETS")) {
+    config.packets_per_flow = std::stoull(packets);
+  }
+  if (const char* seed = std::getenv("VFPGA_SEED")) {
+    config.seed = std::stoull(seed);
+  }
+  return config;
+}
+
+MultiFlowResult run_multi_flow(const MultiFlowConfig& config) {
+  VFPGA_EXPECTS(config.queue_pairs >= 1 && config.flows >= 1 &&
+                config.trials >= 1);
+
+  // One shard per trial: trial workers append concurrently without a
+  // lock; the merge below happens after the pool joins (fork/join
+  // happens-before, satellite of the multi-queue plane).
+  const std::size_t reserve =
+      config.flows * (config.packets_per_flow + config.warmup_per_flow);
+  stats::ShardedSamples all(config.trials, reserve);
+  std::vector<TrialOutput> trials(config.trials);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(config.trials);
+  for (u32 t = 0; t < config.trials; ++t) {
+    tasks.push_back([&config, &trials, &all, t] {
+      trials[t] = run_trial(config, t, all.shard(t));
+    });
+  }
+  run_parallel(std::move(tasks), worker_threads(config.trials));
+
+  MultiFlowResult result;
+  result.queue_pairs = config.queue_pairs;
+  result.flows = config.flows;
+  result.payload_bytes = config.payload_bytes;
+  result.all_latency_us = all.merged();
+  result.per_flow.resize(config.flows);
+  double mpps = 0;
+  double makespan = 0;
+  for (u32 t = 0; t < config.trials; ++t) {
+    const TrialOutput& out = trials[t];
+    for (u16 f = 0; f < config.flows; ++f) {
+      FlowResult& merged = result.per_flow[f];
+      merged.flow = f;
+      merged.pair = out.flows[f].pair;
+      merged.completed += out.flows[f].completed;
+      merged.failures += out.flows[f].failures;
+      merged.latency_us.merge(out.flows[f].latency_us);
+      result.failures += out.flows[f].failures;
+    }
+    mpps += out.throughput_mpps;
+    makespan += out.makespan_us;
+    result.cross_pair_rx += out.cross_pair_rx;
+  }
+  result.aggregate_mpps = mpps / config.trials;
+  result.mean_makespan_us = makespan / config.trials;
+  return result;
+}
+
+}  // namespace vfpga::harness

@@ -6,13 +6,20 @@ namespace vfpga::hostos {
 
 u32 InterruptController::allocate_vector() {
   queues_.emplace_back();
+  delivered_per_vector_.push_back(0);
   return static_cast<u32>(queues_.size() - 1);
 }
 
 void InterruptController::deliver(u32 message_data, sim::SimTime at) {
   VFPGA_EXPECTS(message_data < queues_.size());
   queues_[message_data].push_back(at);
+  ++delivered_per_vector_[message_data];
   ++delivered_;
+}
+
+u64 InterruptController::delivered_on(u32 vector) const {
+  VFPGA_EXPECTS(vector < delivered_per_vector_.size());
+  return delivered_per_vector_[vector];
 }
 
 bool InterruptController::pending(u32 vector) const {

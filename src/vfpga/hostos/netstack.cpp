@@ -4,6 +4,7 @@
 #include "vfpga/common/endian.hpp"
 #include "vfpga/net/ethernet.hpp"
 #include "vfpga/net/ipv4.hpp"
+#include "vfpga/net/rss.hpp"
 
 namespace vfpga::hostos {
 
@@ -59,12 +60,24 @@ bool KernelNetstack::udp_send(HostThread& thread, u16 src_port,
       net::EthernetHeader{*neighbour, driver_->mac(), net::EtherType::Ipv4},
       packet);
 
+  // Queue selection mirrors the device's RSS stage: same hash, same
+  // reduction, so the echo lands on the TX queue's partner RX queue.
+  const u16 pair = net::steer(
+      net::rss_flow_hash(config_.host_ip, src_port, dst, dst_port),
+      driver_->queue_pairs());
+  flow_affinity_[src_port] = pair;
+
   driver_->xmit_frame(thread, frame, offload_csum,
                       /*csum_start=*/net::EthernetHeader::kSize +
                           net::Ipv4Header::kSize,
-                      /*csum_offset=*/6);
+                      /*csum_offset=*/6, pair);
   thread.exec(thread.costs().syscall_exit);
   return true;
+}
+
+u16 KernelNetstack::flow_pair(u16 local_port) const {
+  const auto it = flow_affinity_.find(local_port);
+  return it == flow_affinity_.end() ? u16{0} : it->second;
 }
 
 std::optional<net::MacAddr> KernelNetstack::arp_resolve(HostThread& thread,
@@ -93,15 +106,15 @@ std::optional<net::MacAddr> KernelNetstack::arp_resolve(HostThread& thread,
 }
 
 void KernelNetstack::service_rx_interrupt(HostThread& thread,
-                                          sim::SimTime irq_time) {
+                                          sim::SimTime irq_time, u16 pair) {
   thread.block_until(irq_time);
   thread.exec(thread.costs().irq_entry);
-  driver_->napi_poll(thread);
-  demux_frames(thread);
+  driver_->napi_poll(thread, pair);
+  demux_frames(thread, pair);
 }
 
-void KernelNetstack::demux_frames(HostThread& thread) {
-  while (const auto frame = driver_->pop_rx_frame()) {
+void KernelNetstack::demux_frames(HostThread& thread, u16 pair) {
+  while (const auto frame = driver_->pop_rx_frame(pair)) {
     const auto eth = net::parse_ethernet_frame(*frame);
     if (!eth.has_value()) {
       ++frames_dropped_;
@@ -162,6 +175,25 @@ void KernelNetstack::demux_frames(HostThread& thread) {
       ++frames_dropped_;
       continue;
     }
+    if (driver_->queue_pairs() > 1) {
+      // Steering check: the flow bound to this port hashed to a specific
+      // pair on transmit; an echo arriving elsewhere means the device's
+      // steering table diverged. The datagram is still delivered — only
+      // the affinity (and its cache/interrupt locality) is lost — but a
+      // run of diverted flows triggers a steering-table reset, the
+      // per-queue repair that avoids a whole-device reset.
+      const auto it = flow_affinity_.find(udp->header.dst_port);
+      if (it != flow_affinity_.end() && it->second != pair) {
+        ++steering_mismatches_;
+        if (++mismatches_since_repair_ >= kSteeringRepairThreshold) {
+          if (driver_->reset_steering(thread)) {
+            mismatches_since_repair_ = 0;
+          }
+        }
+      } else {
+        mismatches_since_repair_ = 0;
+      }
+    }
     Datagram dgram;
     dgram.src = ip->header.src;
     dgram.src_port = udp->header.src_port;
@@ -180,15 +212,19 @@ std::optional<KernelNetstack::Datagram> KernelNetstack::udp_receive_blocking(
     HostThread& thread, u16 local_port) {
   thread.exec(thread.costs().syscall_entry);
 
+  // The flow's queue-pair affinity decides which RX vector the receiver
+  // sleeps on — with one pair this is the paper's single rx_vector().
+  const u16 pair = flow_pair(local_port);
   auto& queue = socket_queues_[local_port];
   if (queue.empty()) {
     // Task blocks; the next RX interrupt wakes it. In the transaction-
     // level flow the device has already computed the delivery time.
-    if (!irq_->pending(driver_->rx_vector())) {
+    if (!irq_->pending(driver_->rx_vector(pair))) {
       thread.exec(thread.costs().syscall_exit);
       return std::nullopt;  // would block forever: timeout analogue
     }
-    service_rx_interrupt(thread, irq_->consume(driver_->rx_vector()));
+    service_rx_interrupt(thread, irq_->consume(driver_->rx_vector(pair)),
+                         pair);
     thread.exec(thread.costs().wakeup);  // scheduler wakes the receiver
   }
   if (queue.empty()) {
@@ -263,20 +299,27 @@ std::optional<sim::Duration> KernelNetstack::icmp_ping(
 
 u32 KernelNetstack::poll_rx(HostThread& thread) {
   // Consume any pending interrupt first so a later blocking receive
-  // doesn't double-service it; then poll unconditionally.
-  while (irq_->pending(driver_->rx_vector())) {
-    irq_->consume(driver_->rx_vector());
+  // doesn't double-service it; then poll unconditionally. Every pair is
+  // polled: a lost interrupt (or a diverted flow) can leave completions
+  // on any ring.
+  u32 harvested = 0;
+  for (u16 p = 0; p < driver_->queue_pairs(); ++p) {
+    while (irq_->pending(driver_->rx_vector(p))) {
+      irq_->consume(driver_->rx_vector(p));
+    }
+    harvested += driver_->napi_poll(thread, p);
+    demux_frames(thread, p);
   }
-  const u32 harvested = driver_->napi_poll(thread);
-  demux_frames(thread);
   return harvested;
 }
 
 std::optional<KernelNetstack::Datagram> KernelNetstack::udp_receive_poll(
     HostThread& thread, u16 local_port) {
   thread.exec(thread.costs().syscall_entry);
-  while (irq_->pending(driver_->rx_vector())) {
-    service_rx_interrupt(thread, irq_->consume(driver_->rx_vector()));
+  for (u16 p = 0; p < driver_->queue_pairs(); ++p) {
+    while (irq_->pending(driver_->rx_vector(p))) {
+      service_rx_interrupt(thread, irq_->consume(driver_->rx_vector(p)), p);
+    }
   }
   auto& queue = socket_queues_[local_port];
   if (queue.empty()) {

@@ -85,11 +85,26 @@ class KernelNetstack {
 
   [[nodiscard]] u64 frames_demuxed() const { return frames_demuxed_; }
   [[nodiscard]] u64 frames_dropped() const { return frames_dropped_; }
+  /// UDP datagrams that arrived on a different queue pair than the one
+  /// the flow's hash steers to — the symptom of device steering-table
+  /// corruption.
+  [[nodiscard]] u64 steering_mismatches() const {
+    return steering_mismatches_;
+  }
+
+  /// Queue pair carrying the flow bound to `local_port` (0 until the
+  /// first send establishes the affinity).
+  [[nodiscard]] u16 flow_pair(u16 local_port) const;
 
  private:
+  /// Consecutive diverted datagrams tolerated before the stack asks the
+  /// driver to reset the device's steering table.
+  static constexpr u32 kSteeringRepairThreshold = 4;
+
   /// Service one RX interrupt: irq entry, NAPI poll, IP/UDP demux.
-  void service_rx_interrupt(HostThread& thread, sim::SimTime irq_time);
-  void demux_frames(HostThread& thread);
+  void service_rx_interrupt(HostThread& thread, sim::SimTime irq_time,
+                            u16 pair = 0);
+  void demux_frames(HostThread& thread, u16 pair = 0);
 
   VirtioNetDriver* driver_;
   InterruptController* irq_;
@@ -98,6 +113,10 @@ class KernelNetstack {
   net::ArpCache arp_;
   u16 next_ip_id_ = 1;
   std::map<u16, std::deque<Datagram>> socket_queues_;
+  /// local port -> queue pair its flow hashes to (set on transmit).
+  std::map<u16, u16> flow_affinity_;
+  u64 steering_mismatches_ = 0;
+  u32 mismatches_since_repair_ = 0;
   struct IcmpReply {
     net::Ipv4Addr src{};
     u16 identifier = 0;

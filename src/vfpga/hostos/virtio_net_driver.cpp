@@ -1,5 +1,6 @@
 #include "vfpga/hostos/virtio_net_driver.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "vfpga/common/contract.hpp"
@@ -9,8 +10,11 @@ namespace vfpga::hostos {
 
 using virtio::net::NetHeader;
 
-bool VirtioNetDriver::probe(const BindContext& ctx, HostThread& thread) {
+bool VirtioNetDriver::probe(const BindContext& ctx, HostThread& thread,
+                            u16 requested_pairs) {
+  VFPGA_EXPECTS(requested_pairs >= 1);
   ctx_ = ctx;
+  requested_pairs_ = requested_pairs;
   return initialize_device(thread);
 }
 
@@ -19,9 +23,19 @@ bool VirtioNetDriver::recover(HostThread& thread) {
   // renegotiation, queue rebuild, and requeue of the (reused) buffers.
   // In-flight chains on the old rings are forfeit; upper layers retry.
   ++device_resets_;
-  kick_retries_ = 0;
-  tx_stall_since_.reset();
+  for (PairState& ps : pair_state_) {
+    ps.kick_retries = 0;
+    ps.tx_stall_since.reset();
+  }
   return initialize_device(thread);
+}
+
+virtio::DriverRing& VirtioNetDriver::rx_queue(u16 pair) {
+  return transport_.queue(virtio::net::rx_queue_index(pair));
+}
+
+virtio::DriverRing& VirtioNetDriver::tx_queue(u16 pair) {
+  return transport_.queue(virtio::net::tx_queue_index(pair));
 }
 
 bool VirtioNetDriver::initialize_device(HostThread& thread) {
@@ -32,34 +46,80 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
   wanted.set(virtio::feature::net::kMac);
   wanted.set(virtio::feature::net::kMtu);
   wanted.set(virtio::feature::net::kStatus);
+  if (requested_pairs_ > 1) {
+    wanted.set(virtio::feature::net::kCtrlVq);
+    wanted.set(virtio::feature::net::kMq);
+  }
   if (!transport_.begin_probe(ctx_, virtio::DeviceType::Net, wanted, thread)) {
     return false;
   }
 
-  // MSI-X: entry 0 = config changes, 1 = RX queue, 2 = TX queue.
+  // Multiqueue: MQ requires the control queue to enable the pairs
+  // (§5.1.5.1.1); without both negotiated, fall back to a single pair.
+  mq_active_ = transport_.negotiated().has(virtio::feature::net::kMq) &&
+               transport_.negotiated().has(virtio::feature::net::kCtrlVq);
+  if (mq_active_) {
+    max_device_pairs_ = transport_.device_config_read16(
+        virtio::net::NetConfigLayout::kMaxPairsOffset, thread);
+    if (max_device_pairs_ < 1) {
+      return false;
+    }
+    pairs_ = std::min(requested_pairs_, max_device_pairs_);
+    ctrl_queue_index_ = virtio::net::ctrl_queue_index(max_device_pairs_);
+  } else {
+    max_device_pairs_ = 1;
+    pairs_ = 1;
+  }
+  configured_pairs_ = pairs_;
+  if (pair_state_.size() < pairs_) {
+    pair_state_.resize(pairs_);
+  }
+
+  // MSI-X: entry 0 = config changes, then per pair RX = 1+2p, TX = 2+2p
+  // (pair 0 keeps the single-queue driver's entries 1 and 2).
   const u32 config_vec = transport_.setup_vector(0, thread);
   (void)config_vec;
   transport_.set_config_vector(0, thread);
-  rx_vector_ = transport_.setup_vector(1, thread);
-  tx_vector_ = transport_.setup_vector(2, thread);
+  for (u16 p = 0; p < pairs_; ++p) {
+    pair_state_[p].rx_vector =
+        transport_.setup_vector(1 + 2u * p, thread);
+    pair_state_[p].tx_vector =
+        transport_.setup_vector(2 + 2u * p, thread);
+  }
 
-  auto& rx = transport_.setup_queue(virtio::net::kRxQueue, 1, thread);
-  auto& tx = transport_.setup_queue(virtio::net::kTxQueue, 2, thread);
-
-  // TX buffers, one per ring slot: virtio_net_hdr headroom immediately
-  // followed by the frame area (single-buffer transmission). Allocated
-  // once; a recovery cycle reuses the same memory and just rebuilds the
-  // free list.
   auto& memory = transport_.memory();
-  tx_buffers_.resize(tx.size());
-  tx_free_.clear();
-  for (u16 i = 0; i < tx.size(); ++i) {
-    if (tx_buffers_[i].hdr_addr == 0) {
-      const HostAddr base = memory.allocate(NetHeader::kSize + 1526, 64);
-      tx_buffers_[i].hdr_addr = base;
-      tx_buffers_[i].frame_addr = base + NetHeader::kSize;
+  for (u16 p = 0; p < pairs_; ++p) {
+    transport_.setup_queue(virtio::net::rx_queue_index(p),
+                           static_cast<u16>(1 + 2 * p), thread);
+    auto& tx = transport_.setup_queue(virtio::net::tx_queue_index(p),
+                                      static_cast<u16>(2 + 2 * p), thread);
+
+    // TX buffers, one per ring slot: virtio_net_hdr headroom immediately
+    // followed by the frame area (single-buffer transmission). Allocated
+    // once; a recovery cycle reuses the same memory and just rebuilds
+    // the free list.
+    PairState& ps = pair_state_[p];
+    ps.tx_buffers.resize(tx.size());
+    ps.tx_free.clear();
+    for (u16 i = 0; i < tx.size(); ++i) {
+      if (ps.tx_buffers[i].hdr_addr == 0) {
+        const HostAddr base = memory.allocate(NetHeader::kSize + 1526, 64);
+        ps.tx_buffers[i].hdr_addr = base;
+        ps.tx_buffers[i].frame_addr = base + NetHeader::kSize;
+      }
+      ps.tx_free.push_back(i);
     }
-    tx_free_.push_back(i);
+  }
+
+  if (mq_active_) {
+    // The control queue is polled, not interrupt-driven: no MSI-X entry.
+    auto& ctrl =
+        transport_.setup_queue(ctrl_queue_index_, virtio::kNoVector, thread);
+    ctrl.disable_interrupts();
+    if (ctrl_cmd_addr_ == 0) {
+      ctrl_cmd_addr_ = memory.allocate(16, 64);
+      ctrl_ack_addr_ = memory.allocate(16, 64);
+    }
   }
 
   if (!transport_.finish_probe(thread)) {
@@ -76,24 +136,34 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
         virtio::net::NetConfigLayout::kMtuOffset, thread);
   }
 
-  post_initial_rx_buffers();
-  rx.enable_interrupts();  // interrupt on the first used entry
-  // Suppress TX-completion interrupts; they are harvested by NAPI.
-  tx.disable_interrupts();
+  for (u16 p = 0; p < pairs_; ++p) {
+    post_initial_rx_buffers(p);
+    rx_queue(p).enable_interrupts();  // interrupt on the first used entry
+    // Suppress TX-completion interrupts; they are harvested by NAPI.
+    tx_queue(p).disable_interrupts();
+  }
+
+  if (mq_active_) {
+    const auto ack = set_queue_pairs(thread, pairs_);
+    if (!ack.has_value() || *ack != virtio::net::kCtrlOk) {
+      return false;
+    }
+  }
   return true;
 }
 
-void VirtioNetDriver::post_initial_rx_buffers() {
-  auto& rx = transport_.queue(virtio::net::kRxQueue);
+void VirtioNetDriver::post_initial_rx_buffers(u16 pair) {
+  auto& rx = rx_queue(pair);
   auto& memory = transport_.memory();
   const u16 size = rx.size();
-  rx_buffers_.resize(size);
+  PairState& ps = pair_state_[pair];
+  ps.rx_buffers.resize(size);
   for (u16 i = 0; i < size; ++i) {
-    if (rx_buffers_[i].addr == 0) {
-      rx_buffers_[i].addr = memory.allocate(rx_buffer_bytes_, 64);
+    if (ps.rx_buffers[i].addr == 0) {
+      ps.rx_buffers[i].addr = memory.allocate(rx_buffer_bytes_, 64);
     }
-    rx_buffers_[i].len = rx_buffer_bytes_;
-    const virtio::ChainBuffer buf{rx_buffers_[i].addr, rx_buffer_bytes_,
+    ps.rx_buffers[i].len = rx_buffer_bytes_;
+    const virtio::ChainBuffer buf{ps.rx_buffers[i].addr, rx_buffer_bytes_,
                                   /*device_writable=*/true};
     const auto handle = rx.add_chain(std::span{&buf, 1}, i);
     VFPGA_ASSERT(handle.has_value());
@@ -101,71 +171,146 @@ void VirtioNetDriver::post_initial_rx_buffers() {
   rx.publish();
 }
 
+std::optional<u8> VirtioNetDriver::set_queue_pairs(HostThread& thread,
+                                                   u16 pairs) {
+  if (!mq_active_) {
+    return std::nullopt;
+  }
+  auto& ctrl = transport_.queue(ctrl_queue_index_);
+  auto& memory = transport_.memory();
+
+  // Command layout (§5.1.6.5): {class, command, le16 pairs} readable,
+  // one writable ack byte on the same chain.
+  const std::array<u8, 4> cmd = {
+      virtio::net::kCtrlClassMq, virtio::net::kCtrlMqVqPairsSet,
+      static_cast<u8>(pairs & 0xff), static_cast<u8>(pairs >> 8)};
+  memory.write(ctrl_cmd_addr_, cmd);
+  const std::array<u8, 1> ack_seed = {0xff};  // neither OK nor ERR
+  memory.write(ctrl_ack_addr_, ack_seed);
+
+  const std::array<virtio::ChainBuffer, 2> chain = {
+      virtio::ChainBuffer{ctrl_cmd_addr_, 4, /*device_writable=*/false},
+      virtio::ChainBuffer{ctrl_ack_addr_, 1, /*device_writable=*/true}};
+  const auto handle =
+      ctrl.add_chain(std::span{chain.data(), chain.size()}, 0);
+  VFPGA_ASSERT(handle.has_value());
+  ctrl.publish();
+  ++ctrl_commands_sent_;
+  transport_.notify(ctrl_queue_index_, thread);
+
+  // The control queue has no MSI-X vector: poll for the completion with
+  // a bounded spin (the device handles the doorbell long before the
+  // budget runs out; an unresponsive device yields nullopt).
+  bool completed = false;
+  for (int spin = 0; spin < 64 && !completed; ++spin) {
+    if (ctrl.harvest().has_value()) {
+      completed = true;
+      break;
+    }
+    thread.block_until(thread.now() + sim::microseconds(1));
+  }
+  if (!completed) {
+    return std::nullopt;
+  }
+  const u8 ack = memory.read_bytes(ctrl_ack_addr_, 1)[0];
+  // Track the device's accepted count, but never beyond the pairs this
+  // driver actually built rings and vectors for.
+  if (ack == virtio::net::kCtrlOk && pairs >= 1 &&
+      pairs <= configured_pairs_) {
+    pairs_ = pairs;
+  }
+  return ack;
+}
+
+bool VirtioNetDriver::reset_steering(HostThread& thread) {
+  const auto ack = set_queue_pairs(thread, pairs_);
+  const bool ok = ack.has_value() && *ack == virtio::net::kCtrlOk;
+  if (ok) {
+    ++steering_repairs_;
+  }
+  return ok;
+}
+
 VirtioNetDriver::WatchdogAction VirtioNetDriver::tx_watchdog(
     HostThread& thread) {
   VFPGA_EXPECTS(bound());
-  auto& tx = transport_.queue(virtio::net::kTxQueue);
-  auto& rx = transport_.queue(virtio::net::kRxQueue);
-  // Reclaim whatever did complete before judging the queue stuck.
-  while (const auto completion = tx.harvest()) {
-    tx_free_.push_back(static_cast<u32>(completion->token));
+  // Reclaim whatever did complete before judging any queue stuck.
+  for (u16 p = 0; p < pairs_; ++p) {
+    auto& tx = tx_queue(p);
+    while (const auto completion = tx.harvest()) {
+      pair_state_[p].tx_free.push_back(static_cast<u32>(completion->token));
+    }
   }
   // A broken vring or a device that latched DEVICE_NEEDS_RESET cannot
   // make progress — no amount of re-kicking helps; reset immediately.
-  if (tx.broken() || rx.broken() || transport_.device_needs_reset(thread)) {
+  bool broken = false;
+  for (u16 p = 0; p < pairs_ && !broken; ++p) {
+    broken = tx_queue(p).broken() || rx_queue(p).broken();
+  }
+  if (broken || transport_.device_needs_reset(thread)) {
     VFPGA_ASSERT(recover(thread));
     return WatchdogAction::kReset;
   }
-  const u16 in_flight = static_cast<u16>(tx.size() - tx.free_descriptors());
-  if (in_flight == 0) {
-    kick_retries_ = 0;
-    tx_stall_since_.reset();
-    return WatchdogAction::kNone;
+
+  WatchdogAction action = WatchdogAction::kNone;
+  for (u16 p = 0; p < pairs_; ++p) {
+    auto& tx = tx_queue(p);
+    PairState& ps = pair_state_[p];
+    const u16 in_flight = static_cast<u16>(tx.size() - tx.free_descriptors());
+    if (in_flight == 0) {
+      ps.kick_retries = 0;
+      ps.tx_stall_since.reset();
+      continue;
+    }
+    if (!ps.tx_stall_since.has_value()) {
+      ps.tx_stall_since = thread.now();
+    }
+    const bool deadline_passed =
+        thread.now() - *ps.tx_stall_since >= watchdog_.deadline;
+    if (deadline_passed || ps.kick_retries >= watchdog_.max_kick_retries) {
+      VFPGA_ASSERT(recover(thread));
+      return WatchdogAction::kReset;
+    }
+    // Bounded exponential backoff, then re-ring this queue's doorbell: a
+    // lost notify left the published chains in the ring, so a repeat
+    // kick is enough to restart the device FSM — per-queue recovery,
+    // the other pairs keep running undisturbed.
+    const sim::Duration backoff =
+        watchdog_.backoff_base * static_cast<i64>(1ll << ps.kick_retries);
+    ++ps.kick_retries;
+    thread.block_until(thread.now() + backoff);
+    transport_.notify(virtio::net::tx_queue_index(p), thread);
+    ++watchdog_kicks_;
+    action = WatchdogAction::kRekicked;
   }
-  if (!tx_stall_since_.has_value()) {
-    tx_stall_since_ = thread.now();
-  }
-  const bool deadline_passed =
-      thread.now() - *tx_stall_since_ >= watchdog_.deadline;
-  if (deadline_passed || kick_retries_ >= watchdog_.max_kick_retries) {
-    VFPGA_ASSERT(recover(thread));
-    return WatchdogAction::kReset;
-  }
-  // Bounded exponential backoff, then re-ring the doorbell: a lost
-  // notify left the published chains in the ring, so a repeat kick is
-  // enough to restart the device FSM.
-  const sim::Duration backoff =
-      watchdog_.backoff_base * static_cast<i64>(1ll << kick_retries_);
-  ++kick_retries_;
-  thread.block_until(thread.now() + backoff);
-  transport_.notify(virtio::net::kTxQueue, thread);
-  ++watchdog_kicks_;
-  return WatchdogAction::kRekicked;
+  return action;
 }
 
 bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
                                  bool needs_csum, u16 csum_start,
-                                 u16 csum_offset) {
+                                 u16 csum_offset, u16 pair) {
   VFPGA_EXPECTS(bound());
   VFPGA_EXPECTS(frame.size() <= 1526);
+  VFPGA_EXPECTS(pair < pairs_);
   thread.exec(thread.costs().virtio_xmit);
 
-  auto& tx = transport_.queue(virtio::net::kTxQueue);
-  if (tx_free_.empty()) {
+  auto& tx = tx_queue(pair);
+  PairState& ps = pair_state_[pair];
+  if (ps.tx_free.empty()) {
     // Ring full: free completed skbs inline, as virtio-net's start_xmit
     // does before netif_stop_queue.
     while (const auto completion = tx.harvest()) {
-      tx_free_.push_back(static_cast<u32>(completion->token));
+      ps.tx_free.push_back(static_cast<u32>(completion->token));
     }
   }
-  if (tx_free_.empty()) {
+  if (ps.tx_free.empty()) {
     // Still full: a stuck device is holding every slot. Drop the frame
     // (netif_stop_queue analogue) and leave recovery to the watchdog.
     ++tx_dropped_;
     return false;
   }
-  const u32 slot = tx_free_.front();
-  tx_free_.pop_front();
+  const u32 slot = ps.tx_free.front();
+  ps.tx_free.pop_front();
 
   NetHeader hdr;
   if (needs_csum &&
@@ -177,11 +322,11 @@ bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
   std::array<u8, NetHeader::kSize> hdr_bytes{};
   hdr.encode(hdr_bytes);
   auto& memory = transport_.memory();
-  memory.write(tx_buffers_[slot].hdr_addr, hdr_bytes);
-  memory.write(tx_buffers_[slot].frame_addr, frame);
+  memory.write(ps.tx_buffers[slot].hdr_addr, hdr_bytes);
+  memory.write(ps.tx_buffers[slot].frame_addr, frame);
 
   const virtio::ChainBuffer chain{
-      tx_buffers_[slot].hdr_addr,
+      ps.tx_buffers[slot].hdr_addr,
       static_cast<u32>(NetHeader::kSize + frame.size()), false};
   const auto handle = tx.add_chain(std::span{&chain, 1}, slot);
   VFPGA_ASSERT(handle.has_value());
@@ -192,24 +337,27 @@ bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
     return false;
   }
   // The doorbell: one posted write. The FPGA takes it from here.
-  transport_.notify(virtio::net::kTxQueue, thread);
+  transport_.notify(virtio::net::tx_queue_index(pair), thread);
   ++tx_kicks_;
   return true;
 }
 
-u32 VirtioNetDriver::napi_poll(HostThread& thread) {
+u32 VirtioNetDriver::napi_poll(HostThread& thread, u16 pair) {
   VFPGA_EXPECTS(bound());
+  VFPGA_EXPECTS(pair < pairs_);
   thread.exec(thread.costs().virtio_rx_napi);
 
-  auto& rx = transport_.queue(virtio::net::kRxQueue);
+  auto& rx = rx_queue(pair);
   auto& memory = transport_.memory();
+  PairState& ps = pair_state_[pair];
   u32 harvested = 0;
   while (const auto completion = rx.harvest()) {
-    const RxBuffer& buf = rx_buffers_[completion->token];
+    const RxBuffer& buf = ps.rx_buffers[completion->token];
     VFPGA_ASSERT(completion->written >= NetHeader::kSize);
     Bytes data = memory.read_bytes(buf.addr, completion->written);
-    rx_backlog_.emplace_back(data.begin() + NetHeader::kSize, data.end());
+    ps.rx_backlog.emplace_back(data.begin() + NetHeader::kSize, data.end());
     ++rx_packets_;
+    ++ps.rx_packets;
     ++harvested;
 
     // Recycle the buffer straight back into the avail ring.
@@ -225,21 +373,22 @@ u32 VirtioNetDriver::napi_poll(HostThread& thread) {
   }
 
   // TX completions: recycle buffers, keep interrupts suppressed.
-  auto& tx = transport_.queue(virtio::net::kTxQueue);
+  auto& tx = tx_queue(pair);
   while (const auto completion = tx.harvest()) {
-    tx_free_.push_back(static_cast<u32>(completion->token));
+    ps.tx_free.push_back(static_cast<u32>(completion->token));
   }
   tx.disable_interrupts();
 
   return harvested;
 }
 
-std::optional<Bytes> VirtioNetDriver::pop_rx_frame() {
-  if (rx_backlog_.empty()) {
+std::optional<Bytes> VirtioNetDriver::pop_rx_frame(u16 pair) {
+  PairState& ps = pair_state_.at(pair);
+  if (ps.rx_backlog.empty()) {
     return std::nullopt;
   }
-  Bytes frame = std::move(rx_backlog_.front());
-  rx_backlog_.pop_front();
+  Bytes frame = std::move(ps.rx_backlog.front());
+  ps.rx_backlog.pop_front();
   return frame;
 }
 

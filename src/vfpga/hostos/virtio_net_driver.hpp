@@ -8,6 +8,13 @@
 // transmission (§IV-A), and NAPI-style reception where the RX interrupt
 // triggers a poll that harvests used buffers and refills the ring.
 //
+// Multiqueue (VIRTIO_NET_F_MQ): the driver can negotiate up to the
+// device's max_virtqueue_pairs RX/TX pairs, each with its own MSI-X
+// vectors, buffer pools and NAPI context, and enables them with
+// VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET on the control virtqueue. With one
+// pair (the default) the behaviour is exactly the paper's single-queue
+// driver.
+//
 // Timing: probe-time costs are charged but irrelevant (not on the
 // measured path); the xmit/poll entry points charge the calibrated
 // cost-model segments against the HostThread they run on.
@@ -26,34 +33,47 @@ class VirtioNetDriver {
   using BindContext = VirtioPciTransport::BindContext;
 
   /// Probe and initialize the device (§3.1.1 init sequence). `thread`
-  /// pays the MMIO costs. Returns false when the device is not a
-  /// virtio-net modern device or negotiation fails.
-  bool probe(const BindContext& ctx, HostThread& thread);
+  /// pays the MMIO costs. `requested_pairs` > 1 asks for multiqueue;
+  /// the result is capped by what the device supports (and falls back
+  /// to 1 when VIRTIO_NET_F_MQ is not negotiated). Returns false when
+  /// the device is not a virtio-net modern device or negotiation fails.
+  bool probe(const BindContext& ctx, HostThread& thread,
+             u16 requested_pairs = 1);
 
   [[nodiscard]] bool bound() const { return transport_.bound(); }
   [[nodiscard]] virtio::FeatureSet negotiated() const {
     return transport_.negotiated();
   }
-  [[nodiscard]] u32 rx_vector() const { return rx_vector_; }
-  [[nodiscard]] u32 tx_vector() const { return tx_vector_; }
+  /// Queue pairs actually negotiated and enabled.
+  [[nodiscard]] u16 queue_pairs() const { return pairs_; }
+  /// max_virtqueue_pairs the device advertised (1 when MQ is off).
+  [[nodiscard]] u16 max_device_pairs() const { return max_device_pairs_; }
+  [[nodiscard]] u32 rx_vector() const { return pair_state_[0].rx_vector; }
+  [[nodiscard]] u32 tx_vector() const { return pair_state_[0].tx_vector; }
+  [[nodiscard]] u32 rx_vector(u16 pair) const {
+    return pair_state_.at(pair).rx_vector;
+  }
+  [[nodiscard]] u32 tx_vector(u16 pair) const {
+    return pair_state_.at(pair).tx_vector;
+  }
   [[nodiscard]] net::MacAddr mac() const { return mac_; }
   [[nodiscard]] u16 mtu() const { return mtu_; }
   [[nodiscard]] bool using_packed_rings() const {
     return transport_.using_packed_rings();
   }
 
-  /// Transmit one Ethernet frame (virtio_net_hdr is prepended here, in
-  /// the driver, as virtio-net does). `needs_csum` marks a frame whose
-  /// L4 checksum was left for the device (VIRTIO_NET_F_CSUM negotiated);
-  /// csum_start/csum_offset follow the UDP convention.
-  /// Returns true when the device was kicked.
+  /// Transmit one Ethernet frame on `pair`'s TX queue (virtio_net_hdr
+  /// is prepended here, in the driver, as virtio-net does). `needs_csum`
+  /// marks a frame whose L4 checksum was left for the device
+  /// (VIRTIO_NET_F_CSUM negotiated); csum_start/csum_offset follow the
+  /// UDP convention. Returns true when the device was kicked.
   bool xmit_frame(HostThread& thread, ConstByteSpan frame, bool needs_csum,
-                  u16 csum_start = 0, u16 csum_offset = 0);
+                  u16 csum_start = 0, u16 csum_offset = 0, u16 pair = 0);
 
-  /// NAPI poll: harvest RX completions into the receive backlog and
-  /// recycle TX completions; refill + re-enable interrupts. Returns the
-  /// number of frames harvested.
-  u32 napi_poll(HostThread& thread);
+  /// NAPI poll for one pair: harvest RX completions into that pair's
+  /// receive backlog and recycle TX completions; refill + re-enable
+  /// interrupts. Returns the number of frames harvested.
+  u32 napi_poll(HostThread& thread, u16 pair = 0);
 
   /// TX watchdog policy: how long a stuck TX queue is tolerated and how
   /// the bounded exponential backoff re-kicks are paced before the
@@ -69,44 +89,58 @@ class VirtioNetDriver {
     kReset,     ///< escalated: full reset -> renegotiate -> requeue
   };
 
-  /// The virtio-net TX watchdog (cf. virtnet dev_watchdog): harvest
-  /// completions, then — if transmissions are stuck — re-kick with
-  /// bounded exponential backoff, escalating to recover() when the
-  /// simulated-time deadline or the retry budget is exhausted. A device
-  /// that latched DEVICE_NEEDS_RESET or a broken vring resets
-  /// immediately.
+  /// The virtio-net TX watchdog (cf. virtnet dev_watchdog), across all
+  /// negotiated pairs: harvest completions, then — if a pair's
+  /// transmissions are stuck — re-kick that queue with bounded
+  /// exponential backoff (per-queue recovery: no device reset),
+  /// escalating to recover() when the simulated-time deadline or the
+  /// retry budget is exhausted. A device that latched
+  /// DEVICE_NEEDS_RESET or a broken vring resets immediately.
   WatchdogAction tx_watchdog(HostThread& thread);
 
   /// Full recovery cycle: reset the device, renegotiate features,
-  /// rebuild both queues and requeue the (reused) RX/TX buffers.
+  /// rebuild every queue and requeue the (reused) RX/TX buffers.
   bool recover(HostThread& thread);
 
   void set_watchdog_policy(const WatchdogPolicy& policy) {
     watchdog_ = policy;
   }
 
-  /// Pop one received frame (after napi_poll queued it).
-  std::optional<Bytes> pop_rx_frame();
-  [[nodiscard]] bool rx_backlog_empty() const { return rx_backlog_.empty(); }
+  /// Send VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET on the control queue and
+  /// return the device's ack byte (VIRTIO_NET_OK/ERR), or nullopt when
+  /// no control queue was negotiated or the command never completed.
+  /// Out-of-range values are sent as-is so tests can observe rejection;
+  /// driver state only updates on an in-range OK.
+  std::optional<u8> set_queue_pairs(HostThread& thread, u16 pairs);
+
+  /// Re-issue VQ_PAIRS_SET with the current pair count — resets the
+  /// device's steering table, the repair for diverted flows (per-queue
+  /// recovery without a device reset).
+  bool reset_steering(HostThread& thread);
+
+  /// Pop one received frame from `pair`'s backlog (after napi_poll
+  /// queued it).
+  std::optional<Bytes> pop_rx_frame(u16 pair = 0);
+  [[nodiscard]] bool rx_backlog_empty(u16 pair = 0) const {
+    return pair_state_.at(pair).rx_backlog.empty();
+  }
 
   /// Statistics.
   [[nodiscard]] u64 tx_packets() const { return tx_packets_; }
   [[nodiscard]] u64 rx_packets() const { return rx_packets_; }
+  [[nodiscard]] u64 rx_packets_on(u16 pair) const {
+    return pair_state_.at(pair).rx_packets;
+  }
   [[nodiscard]] u64 tx_kicks() const { return tx_kicks_; }
   [[nodiscard]] u64 tx_dropped() const { return tx_dropped_; }
   [[nodiscard]] u64 device_resets() const { return device_resets_; }
   [[nodiscard]] u64 watchdog_kicks() const { return watchdog_kicks_; }
+  [[nodiscard]] u64 steering_repairs() const { return steering_repairs_; }
+  [[nodiscard]] u64 ctrl_commands_sent() const { return ctrl_commands_sent_; }
 
  private:
   bool initialize_device(HostThread& thread);
-  void post_initial_rx_buffers();
-
-  VirtioPciTransport transport_;
-  BindContext ctx_{};
-  net::MacAddr mac_{};
-  u16 mtu_ = 1500;
-  u32 rx_vector_ = 0;
-  u32 tx_vector_ = 0;
+  void post_initial_rx_buffers(u16 pair);
 
   /// RX buffer bookkeeping: token -> buffer address (single-buffer
   /// layout: virtio_net_hdr + frame in one descriptor, as modern
@@ -115,28 +149,56 @@ class VirtioNetDriver {
     HostAddr addr = 0;
     u32 len = 0;
   };
-  std::vector<RxBuffer> rx_buffers_;
-  u32 rx_buffer_bytes_ = 12 + 1526;  ///< hdr + max frame
-
   /// TX buffers recycled through a free list (hdr headroom + frame).
   struct TxBuffer {
     HostAddr hdr_addr = 0;
     HostAddr frame_addr = 0;
   };
-  std::vector<TxBuffer> tx_buffers_;
-  std::deque<u32> tx_free_;
 
-  std::deque<Bytes> rx_backlog_;
+  /// Everything one RX/TX queue pair owns: buffer pools, backlog,
+  /// vectors and its NAPI/watchdog state. Persistent across recovery
+  /// cycles so buffer memory is reused.
+  struct PairState {
+    std::vector<RxBuffer> rx_buffers;
+    std::vector<TxBuffer> tx_buffers;
+    std::deque<u32> tx_free;
+    std::deque<Bytes> rx_backlog;
+    u32 rx_vector = 0;
+    u32 tx_vector = 0;
+    u32 kick_retries = 0;
+    std::optional<sim::SimTime> tx_stall_since;
+    u64 rx_packets = 0;
+  };
+
+  [[nodiscard]] virtio::DriverRing& rx_queue(u16 pair);
+  [[nodiscard]] virtio::DriverRing& tx_queue(u16 pair);
+
+  VirtioPciTransport transport_;
+  BindContext ctx_{};
+  net::MacAddr mac_{};
+  u16 mtu_ = 1500;
+  u16 requested_pairs_ = 1;
+  u16 pairs_ = 1;            ///< pairs currently enabled via the ctrl queue
+  u16 configured_pairs_ = 1;  ///< pairs with rings + vectors set up
+  u16 max_device_pairs_ = 1;
+  bool mq_active_ = false;
+  u16 ctrl_queue_index_ = 0;
+  HostAddr ctrl_cmd_addr_ = 0;
+  HostAddr ctrl_ack_addr_ = 0;
+
+  std::vector<PairState> pair_state_{1};
+  u32 rx_buffer_bytes_ = 12 + 1526;  ///< hdr + max frame
+
   u64 tx_packets_ = 0;
   u64 rx_packets_ = 0;
   u64 tx_kicks_ = 0;
   u64 tx_dropped_ = 0;
   u64 device_resets_ = 0;
   u64 watchdog_kicks_ = 0;
+  u64 steering_repairs_ = 0;
+  u64 ctrl_commands_sent_ = 0;
 
   WatchdogPolicy watchdog_{};
-  u32 kick_retries_ = 0;
-  std::optional<sim::SimTime> tx_stall_since_;
 };
 
 }  // namespace vfpga::hostos

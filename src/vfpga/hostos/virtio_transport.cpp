@@ -1,6 +1,7 @@
 #include "vfpga/hostos/virtio_transport.hpp"
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/common/log.hpp"
 
 namespace vfpga::hostos {
 
@@ -73,6 +74,16 @@ bool VirtioPciTransport::begin_probe(const BindContext& ctx,
   }
   layout_ = *layout;
 
+  // Parse the MSI-X capability so vector setup can bounds-check against
+  // the table the device actually has, not the table we assume.
+  const u16 msix_cap =
+      ctx.device->config().find_capability(pcie::CapabilityId::MsiX);
+  if (msix_cap == 0) {
+    return false;  // this transport is MSI-X only
+  }
+  msix_table_size_ =
+      pcie::decode_msix_capability(ctx.device->config(), msix_cap).table_size;
+
   // Reset + ACKNOWLEDGE + DRIVER.
   common_write32(thread, kDeviceStatus, 0);
   status_shadow_ = virtio::status::kAcknowledge;
@@ -111,6 +122,9 @@ bool VirtioPciTransport::begin_probe(const BindContext& ctx,
 }
 
 u32 VirtioPciTransport::setup_vector(u32 entry, HostThread& thread) {
+  // Fail loudly instead of writing past the table aperture: an aliased
+  // entry would deliver one queue's interrupts on another's vector.
+  VFPGA_EXPECTS(entry < msix_table_size_);
   const u32 vector = ctx_.irq->allocate_vector();
   const BarOffset base =
       core::kMsixTableOffset + entry * pcie::kMsixEntryBytes;
@@ -155,6 +169,12 @@ virtio::DriverRing& VirtioPciTransport::setup_queue(u16 index, u16 msix_entry,
   common_write64(thread, kQueueDriver, addrs.avail);
   common_write64(thread, kQueueDevice, addrs.used);
   common_write16(thread, kQueueMsixVector, msix_entry);
+  // §4.1.4.3: the device answers VIRTIO_MSI_NO_VECTOR when it rejected
+  // the mapping. A silent mismatch here means this queue never
+  // interrupts — surface it at setup time.
+  if (common_read16(thread, kQueueMsixVector) != msix_entry) {
+    VFPGA_WARN("virtio-pci", "device rejected queue MSI-X vector mapping");
+  }
   common_write16(thread, kQueueEnable, 1);
   return *queues_[index];
 }

@@ -40,9 +40,14 @@ class VirtioPciTransport {
                    virtio::FeatureSet driver_features, HostThread& thread);
 
   /// Allocate an MSI-X vector, program table entry `entry`, and return
-  /// the vector number.
+  /// the vector number. Aborts (loudly) when `entry` is outside the
+  /// device's advertised MSI-X table — programming a phantom entry
+  /// would otherwise silently alias interrupts between queues.
   u32 setup_vector(u32 entry, HostThread& thread);
   void set_config_vector(u16 msix_entry, HostThread& thread);
+
+  /// Table size parsed from the device's MSI-X capability.
+  [[nodiscard]] u16 msix_table_size() const { return msix_table_size_; }
 
   /// Create queue `index` (ring format per negotiation), register its
   /// addresses with the device, bind it to MSI-X table entry
@@ -103,6 +108,7 @@ class VirtioPciTransport {
   virtio::FeatureSet negotiated_{};
   std::vector<std::unique_ptr<virtio::DriverRing>> queues_;
   u8 status_shadow_ = 0;
+  u16 msix_table_size_ = 0;
 };
 
 }  // namespace vfpga::hostos

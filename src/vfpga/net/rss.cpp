@@ -1,0 +1,68 @@
+#include "vfpga/net/rss.hpp"
+
+#include "vfpga/common/contract.hpp"
+
+namespace vfpga::net {
+
+const std::array<u8, kRssKeyBytes>& rss_key() {
+  // The well-known verification key from the MSDN RSS specification —
+  // using a published key keeps the hash values checkable against
+  // external test vectors.
+  static constexpr std::array<u8, kRssKeyBytes> key = {
+      0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+      0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+      0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+      0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+  };
+  return key;
+}
+
+u32 toeplitz_hash(ConstByteSpan data, const std::array<u8, kRssKeyBytes>& key) {
+  // Each input bit that is set (MSB first) XORs in the 32-bit key
+  // window aligned at that bit position — the key treated as a
+  // big-endian bit string. The window lives in the top half of a u64
+  // shift register refilled one key byte per input byte.
+  VFPGA_EXPECTS(data.size() + 8 <= key.size());
+  u64 window = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    window = (window << 8) | key[i];
+  }
+  u32 result = 0;
+  std::size_t next_key_byte = 8;
+  for (const u8 byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1u) {
+        result ^= static_cast<u32>(window >> 32);
+      }
+      window <<= 1;
+    }
+    window |= key[next_key_byte++];
+  }
+  return result;
+}
+
+u32 rss_flow_hash(Ipv4Addr src_ip, u16 src_port, Ipv4Addr dst_ip,
+                  u16 dst_port) {
+  // Order the two (addr, port) endpoints numerically so the serialized
+  // tuple — and therefore the hash — is identical for a flow and its
+  // echo. 12 bytes: lo.ip, hi.ip, lo.port, hi.port.
+  u32 lo_ip = src_ip.value;
+  u16 lo_port = src_port;
+  u32 hi_ip = dst_ip.value;
+  u16 hi_port = dst_port;
+  if (lo_ip > hi_ip || (lo_ip == hi_ip && lo_port > hi_port)) {
+    std::swap(lo_ip, hi_ip);
+    std::swap(lo_port, hi_port);
+  }
+  std::array<u8, 12> tuple = {
+      static_cast<u8>(lo_ip >> 24),   static_cast<u8>(lo_ip >> 16),
+      static_cast<u8>(lo_ip >> 8),    static_cast<u8>(lo_ip),
+      static_cast<u8>(hi_ip >> 24),   static_cast<u8>(hi_ip >> 16),
+      static_cast<u8>(hi_ip >> 8),    static_cast<u8>(hi_ip),
+      static_cast<u8>(lo_port >> 8),  static_cast<u8>(lo_port),
+      static_cast<u8>(hi_port >> 8),  static_cast<u8>(hi_port),
+  };
+  return toeplitz_hash(tuple, rss_key());
+}
+
+}  // namespace vfpga::net

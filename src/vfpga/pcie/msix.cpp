@@ -84,11 +84,14 @@ bool MsixTable::masked(u32 index) const {
 
 Bytes make_msix_capability_body(u16 table_size, u8 table_bar, u32 table_offset,
                                 u8 pba_bar, u32 pba_offset) {
-  VFPGA_EXPECTS(table_size >= 1);
+  // The message-control field encodes (table_size - 1) in 11 bits; a
+  // larger table cannot be advertised, so reject it loudly instead of
+  // masking the size down and silently aliasing vectors.
+  VFPGA_EXPECTS(table_size >= 1 && table_size <= 2048);
   VFPGA_EXPECTS((table_offset & 0x7) == 0 && (pba_offset & 0x7) == 0);
   Bytes body(10, 0);
   ByteSpan s{body};
-  store_le16(s, 0, static_cast<u16>((table_size - 1) & 0x7ff));
+  store_le16(s, 0, static_cast<u16>(table_size - 1));
   store_le32(s, 2, table_offset | table_bar);
   store_le32(s, 6, pba_offset | pba_bar);
   return body;

@@ -60,6 +60,34 @@ inline constexpr u16 kRxQueue = 0;
 inline constexpr u16 kTxQueue = 1;
 inline constexpr u16 kCtrlQueue = 2;
 
+/// Multiqueue numbering (§5.1.2 with VIRTIO_NET_F_MQ): receiveq(N) is
+/// queue 2N, transmitq(N) is queue 2N+1 and the control queue sits after
+/// the last pair the device supports (not the last pair negotiated).
+[[nodiscard]] constexpr u16 rx_queue_index(u16 pair) {
+  return static_cast<u16>(2 * pair);
+}
+[[nodiscard]] constexpr u16 tx_queue_index(u16 pair) {
+  return static_cast<u16>(2 * pair + 1);
+}
+[[nodiscard]] constexpr u16 ctrl_queue_index(u16 max_pairs) {
+  return static_cast<u16>(2 * max_pairs);
+}
+[[nodiscard]] constexpr bool is_tx_queue(u16 queue) { return (queue & 1u) != 0; }
+[[nodiscard]] constexpr u16 queue_pair_of(u16 queue) {
+  return static_cast<u16>(queue / 2);
+}
+
+/// Control-virtqueue wire format (§5.1.6.5): a device-readable header
+/// {class, command} followed by command data, completed by one
+/// device-writable ack byte.
+inline constexpr u8 kCtrlClassMq = 4;        ///< VIRTIO_NET_CTRL_MQ
+inline constexpr u8 kCtrlMqVqPairsSet = 0;   ///< ..._MQ_VQ_PAIRS_SET
+inline constexpr u8 kCtrlOk = 0;             ///< VIRTIO_NET_OK
+inline constexpr u8 kCtrlErr = 1;            ///< VIRTIO_NET_ERR
+/// Legal bounds for VQ_PAIRS_SET argument (§5.1.6.5.5).
+inline constexpr u16 kMqPairsMin = 1;
+inline constexpr u16 kMqPairsMax = 0x8000;
+
 inline void NetHeader::encode(ByteSpan out) const {
   VFPGA_EXPECTS(out.size() >= kSize);
   out[0] = flags;
