@@ -11,6 +11,7 @@
 //      engine status (MMIO reads).
 #include <cstdio>
 
+#include "bench_seed.hpp"
 #include "vfpga/core/testbed.hpp"
 #include "vfpga/stats/summary.hpp"
 
@@ -38,7 +39,8 @@ void report(const char* name, const stats::SampleSet& samples) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const u64 seed = bench::base_seed(11, argc, argv);
   const u64 n = iterations();
   std::printf("ABL-NOTIF -- C2H notification strategies, %llu round trips, "
               "%llu-byte payload equivalent\n\n",
@@ -48,7 +50,7 @@ int main() {
 
   {
     core::TestbedOptions options;
-    options.seed = 11;
+    options.seed = seed;
     core::VirtioNetTestbed bed{options};
     stats::SampleSet samples;
     Bytes payload(kPayload, 1);
@@ -63,7 +65,7 @@ int main() {
   }
   {
     core::TestbedOptions options;
-    options.seed = 12;
+    options.seed = seed + 1;
     core::XdmaTestbed bed{options};
     stats::SampleSet samples;
     for (u64 i = 0; i < n; ++i) {
@@ -76,7 +78,7 @@ int main() {
   }
   {
     core::TestbedOptions options;
-    options.seed = 13;
+    options.seed = seed + 2;
     core::XdmaTestbed bed{options};
     stats::SampleSet samples;
     for (u64 i = 0; i < n; ++i) {
@@ -89,7 +91,7 @@ int main() {
   }
   {
     core::TestbedOptions options;
-    options.seed = 14;
+    options.seed = seed + 3;
     core::XdmaTestbed bed{options};
     bed.driver().set_poll_mode(true);
     stats::SampleSet samples;

@@ -14,6 +14,7 @@
 // against the XDMA engine's per-transfer descriptor fetch as reference.
 #include <cstdio>
 
+#include "bench_seed.hpp"
 #include "vfpga/core/testbed.hpp"
 #include "vfpga/stats/summary.hpp"
 
@@ -33,9 +34,10 @@ u64 iterations() {
   return 20'000;
 }
 
-void run_virtio(const char* name, core::ControllerPolicy policy, u64 n) {
+void run_virtio(const char* name, core::ControllerPolicy policy, u64 n,
+                u64 seed) {
   core::TestbedOptions options;
-  options.seed = 21;
+  options.seed = seed;
   options.controller.policy = policy;
   core::VirtioNetTestbed bed{options};
   stats::SampleSet hw;
@@ -55,7 +57,8 @@ void run_virtio(const char* name, core::ControllerPolicy policy, u64 n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const u64 seed = bench::base_seed(21, argc, argv);
   const u64 n = iterations();
   std::printf("ABL-DESC -- descriptor policy ablation, %llu round trips, "
               "%llu-byte payload\n\n",
@@ -63,23 +66,23 @@ int main() {
               static_cast<unsigned long long>(kPayload));
 
   core::ControllerPolicy conservative;
-  run_virtio("virtio conservative", conservative, n);
+  run_virtio("virtio conservative", conservative, n, seed);
 
   core::ControllerPolicy batched = conservative;
   batched.batched_chain_fetch = true;
-  run_virtio("virtio batched-fetch", batched, n);
+  run_virtio("virtio batched-fetch", batched, n, seed);
 
   core::ControllerPolicy trusting = conservative;
   trusting.trust_cached_credits = true;
-  run_virtio("virtio trusted-credits", trusting, n);
+  run_virtio("virtio trusted-credits", trusting, n, seed);
 
   core::ControllerPolicy all = batched;
   all.trust_cached_credits = true;
-  run_virtio("virtio all optimizations", all, n);
+  run_virtio("virtio all optimizations", all, n, seed);
 
   {
     core::TestbedOptions options;
-    options.seed = 22;
+    options.seed = seed + 1;
     core::XdmaTestbed bed{options};
     stats::SampleSet hw;
     stats::SampleSet total;

@@ -8,6 +8,7 @@
 // regime where driver choice stops mattering.
 #include <cstdio>
 
+#include "bench_seed.hpp"
 #include "vfpga/core/testbed.hpp"
 #include "vfpga/stats/summary.hpp"
 
@@ -27,7 +28,7 @@ u64 iterations() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const u64 n = iterations();
   std::printf("ABL-PAYLOAD -- bus-domination sweep, %llu round trips/point\n\n",
               static_cast<unsigned long long>(n));
@@ -35,7 +36,7 @@ int main() {
               "hw (us)", "sw share (%)", "goodput (Gb/s)");
 
   core::TestbedOptions options;
-  options.seed = 31;
+  options.seed = bench::base_seed(31, argc, argv);
   core::XdmaTestbed bed{options};
 
   for (u64 bytes : {u64{64}, u64{256}, u64{1024}, u64{4096}, u64{16384},

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_seed.hpp"
 #include "vfpga/core/testbed.hpp"
 #include "vfpga/stats/summary.hpp"
 
@@ -31,7 +32,8 @@ u64 iterations() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const u64 seed = bench::base_seed(71, argc, argv);
   const u64 bursts = iterations();
   std::printf("ABL-PIPE -- burst pipelining, %llu bursts/point, %llu B "
               "payload\n\n",
@@ -42,7 +44,7 @@ int main() {
 
   for (u64 burst : {u64{1}, u64{4}, u64{16}}) {
     core::TestbedOptions options;
-    options.seed = 71 + burst;
+    options.seed = seed + burst;
     core::VirtioNetTestbed bed{options};
     Bytes payload(kPayload, 1);
 
@@ -78,7 +80,7 @@ int main() {
   {
     // The char-device path cannot pipeline: every transfer blocks.
     core::TestbedOptions options;
-    options.seed = 79;
+    options.seed = seed + 8;
     core::XdmaTestbed bed{options};
     const u64 wire = core::virtio_wire_bytes(kPayload);
     const sim::SimTime start = bed.thread().now();

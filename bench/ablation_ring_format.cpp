@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_seed.hpp"
 #include "vfpga/core/testbed.hpp"
 #include "vfpga/stats/summary.hpp"
 
@@ -26,13 +27,13 @@ u64 iterations() {
   return 20'000;
 }
 
-void run_format(bool packed, u64 n) {
+void run_format(bool packed, u64 n, u64 seed) {
   std::printf("%s rings:\n", packed ? "packed" : "split ");
   std::printf("  %-8s %10s %10s %12s %10s\n", "payload", "hw (us)",
               "sw (us)", "total (us)", "p95 (us)");
   for (u64 payload : {u64{64}, u64{256}, u64{1024}}) {
     core::TestbedOptions options;
-    options.seed = 51 + payload;
+    options.seed = seed + payload;
     options.use_packed_rings = packed;
     core::VirtioNetTestbed bed{options};
     stats::SampleSet hw;
@@ -57,14 +58,15 @@ void run_format(bool packed, u64 n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const u64 seed = bench::base_seed(51, argc, argv);
   const u64 n = iterations();
   std::printf("ABL-RING -- split vs packed virtqueue format, %llu round "
               "trips/point\n\n",
               static_cast<unsigned long long>(n));
-  run_format(false, n);
+  run_format(false, n, seed);
   std::puts("");
-  run_format(true, n);
+  run_format(true, n, seed);
   std::puts(
       "\nReading: the packed format removes ~3 non-posted ring reads per\n"
       "echo from the FPGA's critical path (avail-idx, avail-entry and the\n"

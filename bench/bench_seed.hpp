@@ -1,0 +1,34 @@
+// Base-seed override shared by the ablation benches.
+//
+// Each bench hard-codes a base seed so default runs are reproducible;
+// reviewers re-running an experiment with fresh randomness pass
+// `--seed N` (or `--seed=N`), or set VFPGA_BENCH_SEED. The override
+// replaces only the bench's base — per-configuration offsets stay
+// applied on top, so distinct configs keep distinct RNG streams.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::bench {
+
+/// Returns the base seed for a bench run: `--seed` flag, then the
+/// VFPGA_BENCH_SEED environment variable, then `default_seed`.
+inline u64 base_seed(u64 default_seed, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      return static_cast<u64>(std::strtoull(argv[i + 1], nullptr, 0));
+    }
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      return static_cast<u64>(std::strtoull(argv[i] + 7, nullptr, 0));
+    }
+  }
+  if (const char* env = std::getenv("VFPGA_BENCH_SEED")) {
+    return static_cast<u64>(std::strtoull(env, nullptr, 0));
+  }
+  return default_seed;
+}
+
+}  // namespace vfpga::bench

@@ -56,6 +56,8 @@ IQueueEngine::Completion PackedQueueEngine::complete_chain(
   dev_chain.descriptor_count = chain.ring_slots;
   const auto push = vq_.push_used(dev_chain, written, t);
   t = push.issuer_free;
+  // Delivered edge of the completion descriptor write (poll-mode gate).
+  record_completion(push.delivered);
 
   t += timing_.clock.cycles(timing_.irq_decision_cycles);
   u16 flags;

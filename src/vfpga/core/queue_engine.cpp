@@ -116,6 +116,9 @@ IQueueEngine::Completion QueueEngine::complete_chain(
   const u16 new_used_idx = static_cast<u16>(vq_.used_idx() + 1);
   const auto push = vq_.push_used(chain.handle, written, t);
   t = push.issuer_free;
+  // The delivered edge of the posted used-idx write: when a host CPU
+  // spinning on the used ring can first observe this completion.
+  record_completion(push.delivered);
 
   bool interrupt = true;
   t += timing_.clock.cycles(timing_.irq_decision_cycles);

@@ -8,6 +8,7 @@
 // generations — the same property the Intel P-Tile hard IP advertises.
 #pragma once
 
+#include <array>
 #include <optional>
 
 #include "vfpga/fault/fault_plane.hpp"
@@ -77,6 +78,30 @@ class IQueueEngine {
   IQueueEngine& operator=(const IQueueEngine&) = delete;
   virtual ~IQueueEngine() = default;
 
+  /// Completions this engine has published to the used ring (used-ring
+  /// writes the fault plane swallowed are NOT counted — the driver can
+  /// never observe them). Monotonic from queue enable.
+  [[nodiscard]] u64 completions_published() const { return completions_; }
+
+  /// Simulated time at which completion number `seq` (0-based, in
+  /// publish order) became globally visible in host memory — the
+  /// delivered edge of its posted used-ring write. The functional
+  /// simulation writes ring bytes eagerly while computing timestamps, so
+  /// a poll-mode driver must gate its harvests on this time instead of
+  /// on the bytes. Returns nullopt when the completion has not been
+  /// published; completions older than the retention window report
+  /// SimTime{} (visible since long ago).
+  [[nodiscard]] std::optional<sim::SimTime> completion_visible_time(
+      u64 seq) const {
+    if (seq >= completions_) {
+      return std::nullopt;
+    }
+    if (completions_ - seq > kVisibilityWindow) {
+      return sim::SimTime{};
+    }
+    return visible_at_[seq % kVisibilityWindow];
+  }
+
   /// How many chains the driver has published that we have not consumed.
   /// Timed (one DMA read). Split rings report the exact count
   /// (poll_is_exact() == true); packed rings can only see whether the
@@ -108,6 +133,23 @@ class IQueueEngine {
   /// the engine is free.
   virtual sim::SimTime post_drain_update(u16 drained_through,
                                          sim::SimTime start) = 0;
+
+ protected:
+  /// Engines call this from complete_chain once the used-ring write is
+  /// issued, with the write's delivered (globally-visible) timestamp.
+  void record_completion(sim::SimTime delivered) {
+    visible_at_[completions_ % kVisibilityWindow] = delivered;
+    ++completions_;
+  }
+
+ private:
+  /// Retained visibility timestamps. Larger than any queue size we
+  /// configure (max_queue_size caps at 256), so every in-flight
+  /// completion — the only ones a driver can still be waiting on — is
+  /// always inside the window.
+  static constexpr u64 kVisibilityWindow = 1024;
+  std::array<sim::SimTime, kVisibilityWindow> visible_at_{};
+  u64 completions_ = 0;
 };
 
 /// Split-ring engine — the paper's controller FSM.

@@ -128,6 +128,20 @@ class VirtioDeviceFunction : public pcie::Function {
   sim::SimTime bypass_from_host(sim::SimTime start, HostAddr host_addr,
                                 ByteSpan out, FpgaAddr card_addr = 0);
 
+  /// Poll-mode visibility gate: simulated time at which completion
+  /// `seq` (0-based since queue enable) on `queue` became observable in
+  /// host memory, nullopt when it has not been published (or the queue
+  /// is not enabled). A busy-polling driver spins until this time
+  /// before harvesting — the transaction-level stand-in for re-reading
+  /// the used ring until the device's posted write lands.
+  [[nodiscard]] std::optional<sim::SimTime> completion_visible_time(
+      u16 queue, u64 seq) const {
+    if (queue >= engines_.size() || engines_[queue] == nullptr) {
+      return std::nullopt;
+    }
+    return engines_[queue]->completion_visible_time(seq);
+  }
+
   /// Per-queue state the host driver configured (visible for tests).
   struct QueueState {
     u16 size = 0;

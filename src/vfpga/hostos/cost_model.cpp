@@ -39,6 +39,15 @@ CostModelConfig CostModelConfig::fedora_defaults() {
   c.virtio_rx_napi = {nanoseconds(1200), 0.25, nanoseconds(650), {}};
   c.virtio_rx_refill = {nanoseconds(520), 0.20, nanoseconds(250), {}};
 
+  // Busy-poll datapath. One spin iteration is a used-ring cache-line
+  // probe plus loop overhead — the line is resident after the first
+  // miss, so the per-iteration cost is small and tight. Disarm is a
+  // flag write; re-arm writes used_event and re-checks the ring (the
+  // race close Linux's virtqueue_enable_cb performs).
+  c.busy_poll_iteration = {nanoseconds(60), 0.20, nanoseconds(25), {}};
+  c.irq_disarm = {nanoseconds(90), 0.25, nanoseconds(40), {}};
+  c.irq_rearm = {nanoseconds(180), 0.25, nanoseconds(80), {}};
+
   // XDMA character-device driver segments. Submission pins user pages,
   // builds the SG table and descriptors, and flushes them — the
   // per-transfer work VirtIO does not have (§IV-A).
@@ -73,6 +82,30 @@ void HostThread::exec_fixed(sim::Duration d) {
   software_ += d + interference;
 }
 
+void HostThread::exec_poll(const JitteredSegment& segment) {
+  const sim::Duration before = software_;
+  exec_fixed(segment.sample(*rng_));
+  poll_ += software_ - before;  // segment + its interference
+}
+
+sim::SimTime HostThread::spin_until(sim::SimTime t) {
+  // The spinner burns the whole window on-core (software + poll
+  // residency), but the window's wall-clock length is pinned by the
+  // data's arrival at `t`: a preemption that hits mid-window completes
+  // before the data lands and costs nothing beyond the cycles already
+  // burned. Only host-wide rare stalls (SMIs, timer storms) that
+  // overlap the arrival instant delay detection — the same exposure a
+  // sleeping task's wake-up has in block_until().
+  if (t > now_) {
+    const sim::Duration spun = t - now_;
+    now_ = t + noise_->rare_stall(*rng_, spun);
+    const sim::Duration burned = spun + (now_ - t);
+    software_ += burned;
+    poll_ += burned;
+  }
+  return now_;
+}
+
 void HostThread::copy(u64 bytes) {
   const double ns =
       costs_->copy_ns_per_kib * static_cast<double>(bytes) / 1024.0;
@@ -98,6 +131,7 @@ sim::SimTime HostThread::block_until(sim::SimTime t) {
 void HostThread::reset_accounting() {
   software_ = sim::Duration{};
   mmio_stall_ = sim::Duration{};
+  poll_ = sim::Duration{};
 }
 
 }  // namespace vfpga::hostos

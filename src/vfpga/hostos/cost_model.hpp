@@ -35,6 +35,11 @@ struct CostModelConfig {
   sim::JitteredSegment virtio_rx_refill;///< repost RX buffers
   sim::JitteredSegment socket_recv;     ///< recvfrom dequeue + copyout
 
+  // ---- busy-poll datapath (SO_BUSY_POLL / napi_busy_loop model) ----
+  sim::JitteredSegment busy_poll_iteration;  ///< one spin: used-ring probe
+  sim::JitteredSegment irq_disarm;           ///< mask the queue vector
+  sim::JitteredSegment irq_rearm;            ///< re-enable + used_event write
+
   // ---- vendor driver (XDMA path) ----
   sim::JitteredSegment xdma_submit;     ///< pin pages, SG map, build descs
   sim::JitteredSegment xdma_isr_body;   ///< ISR bookkeeping (sans MMIO read)
@@ -66,12 +71,27 @@ class HostThread {
   [[nodiscard]] sim::Duration software_time() const { return software_; }
   /// Total CPU-stalled MMIO wait time (non-posted register reads).
   [[nodiscard]] sim::Duration mmio_stall_time() const { return mmio_stall_; }
+  /// Subset of software_time() spent busy-polling (spin loops). A
+  /// polling thread is runnable the whole time, so the noise model
+  /// charges it interference exactly like any other software segment —
+  /// this accumulator only separates "useful" from "spinning" residency
+  /// for the CPU-cost-vs-latency trade the poll-mode bench reports.
+  [[nodiscard]] sim::Duration poll_time() const { return poll_; }
 
   /// Execute a software segment: sample its cost, add preemption noise.
   void exec(const sim::JitteredSegment& segment);
   void exec(const sim::MixtureSegment& segment);
   /// Execute a fixed-cost software step (already-sampled or derived).
   void exec_fixed(sim::Duration d);
+  /// Execute a segment inside a busy-poll loop: same timeline and noise
+  /// behaviour as exec(), additionally accounted as poll residency.
+  void exec_poll(const sim::JitteredSegment& segment);
+  /// Spin (busy-wait) until `t`: the CPU stays runnable, so the whole
+  /// window counts as software + poll residency — but unlike exec(),
+  /// the wall-clock end is pinned by the awaited event, so only rare
+  /// host-wide stalls (the same exposure block_until() has) delay it
+  /// past `t`. Returns the actual time reached (>= t).
+  sim::SimTime spin_until(sim::SimTime t);
   /// Copy `bytes` across the user/kernel boundary.
   void copy(u64 bytes);
 
@@ -92,6 +112,7 @@ class HostThread {
   sim::SimTime now_;
   sim::Duration software_{};
   sim::Duration mmio_stall_{};
+  sim::Duration poll_{};
 };
 
 }  // namespace vfpga::hostos

@@ -27,6 +27,15 @@ bool InterruptController::pending(u32 vector) const {
   return !queues_[vector].empty();
 }
 
+std::optional<sim::SimTime> InterruptController::next_pending(
+    u32 vector) const {
+  VFPGA_EXPECTS(vector < queues_.size());
+  if (queues_[vector].empty()) {
+    return std::nullopt;
+  }
+  return queues_[vector].front();
+}
+
 sim::SimTime InterruptController::consume(u32 vector) {
   VFPGA_EXPECTS(vector < queues_.size());
   VFPGA_EXPECTS(!queues_[vector].empty());

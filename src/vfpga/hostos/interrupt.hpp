@@ -10,6 +10,7 @@
 #pragma once
 
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "vfpga/pcie/root_complex.hpp"
@@ -33,6 +34,12 @@ class InterruptController {
   /// transaction-level flow the device has already computed its delivery
   /// time, so this never spins.
   sim::SimTime consume(u32 vector);
+
+  /// Arrival time of the oldest pending interrupt without consuming it
+  /// (nullopt when none). A busy-polling driver uses this to retire only
+  /// the interrupts whose completions it actually harvested, leaving a
+  /// future-timestamped delivery queued for the blocking fallback.
+  [[nodiscard]] std::optional<sim::SimTime> next_pending(u32 vector) const;
 
   /// Total interrupts delivered (diagnostics).
   [[nodiscard]] u64 delivered_count() const { return delivered_; }

@@ -21,7 +21,7 @@ void KernelNetstack::configure_fpga_route(net::Ipv4Addr fpga_ip,
 
 bool KernelNetstack::udp_send(HostThread& thread, u16 src_port,
                               net::Ipv4Addr dst, u16 dst_port,
-                              ConstByteSpan payload) {
+                              ConstByteSpan payload, bool more_coming) {
   thread.exec(thread.costs().syscall_entry);
   thread.copy(payload.size());
   thread.exec(thread.costs().udp_tx_stack);
@@ -70,7 +70,7 @@ bool KernelNetstack::udp_send(HostThread& thread, u16 src_port,
   driver_->xmit_frame(thread, frame, offload_csum,
                       /*csum_start=*/net::EthernetHeader::kSize +
                           net::Ipv4Header::kSize,
-                      /*csum_offset=*/6, pair);
+                      /*csum_offset=*/6, pair, more_coming);
   thread.exec(thread.costs().syscall_exit);
   return true;
 }
@@ -226,6 +226,78 @@ std::optional<KernelNetstack::Datagram> KernelNetstack::udp_receive_blocking(
     service_rx_interrupt(thread, irq_->consume(driver_->rx_vector(pair)),
                          pair);
     thread.exec(thread.costs().wakeup);  // scheduler wakes the receiver
+  }
+  if (queue.empty()) {
+    thread.exec(thread.costs().syscall_exit);
+    return std::nullopt;
+  }
+  Datagram dgram = std::move(queue.front());
+  queue.pop_front();
+  thread.exec(thread.costs().socket_recv);
+  thread.copy(dgram.payload.size());
+  thread.exec(thread.costs().syscall_exit);
+  return dgram;
+}
+
+std::optional<KernelNetstack::Datagram> KernelNetstack::udp_receive_busy_poll(
+    HostThread& thread, u16 local_port, sim::Duration budget) {
+  thread.exec(thread.costs().syscall_entry);
+
+  const u16 pair = flow_pair(local_port);
+  auto& queue = socket_queues_[local_port];
+  if (queue.empty()) {
+    // sk_busy_loop: spin in the driver until data lands or the budget
+    // runs out. No irq_entry, no scheduler wakeup on the hit path.
+    if (driver_->busy_poll(thread, pair, budget) > 0) {
+      demux_frames(thread, pair);
+    }
+  }
+  if (queue.empty()) {
+    // Poll missed. busy_poll re-armed the vector on exit, so a
+    // completion it declined to wait for (past the budget) still has —
+    // or will get — its interrupt queued: finish as the blocking path.
+    if (!irq_->pending(driver_->rx_vector(pair))) {
+      thread.exec(thread.costs().syscall_exit);
+      return std::nullopt;
+    }
+    service_rx_interrupt(thread, irq_->consume(driver_->rx_vector(pair)),
+                         pair);
+    thread.exec(thread.costs().wakeup);
+  }
+  if (queue.empty()) {
+    thread.exec(thread.costs().syscall_exit);
+    return std::nullopt;
+  }
+  Datagram dgram = std::move(queue.front());
+  queue.pop_front();
+  thread.exec(thread.costs().socket_recv);
+  thread.copy(dgram.payload.size());
+  thread.exec(thread.costs().syscall_exit);
+  return dgram;
+}
+
+std::optional<KernelNetstack::Datagram> KernelNetstack::udp_receive_adaptive(
+    HostThread& thread, u16 local_port, sim::Duration budget) {
+  const u16 pair = flow_pair(local_port);
+  if (driver_->should_busy_poll(pair)) {
+    return udp_receive_busy_poll(thread, local_port, budget);
+  }
+  // Predicted wait too long to burn a core on: classic interrupt path,
+  // with the observed sleep fed back so the controller can switch to
+  // spinning when the arrival pattern tightens.
+  thread.exec(thread.costs().syscall_entry);
+  const sim::SimTime enter = thread.now();
+  auto& queue = socket_queues_[local_port];
+  if (queue.empty()) {
+    if (!irq_->pending(driver_->rx_vector(pair))) {
+      thread.exec(thread.costs().syscall_exit);
+      return std::nullopt;
+    }
+    const sim::SimTime irq_time = irq_->consume(driver_->rx_vector(pair));
+    driver_->note_rx_wait(
+        pair, irq_time > enter ? irq_time - enter : sim::Duration{});
+    service_rx_interrupt(thread, irq_time, pair);
+    thread.exec(thread.costs().wakeup);
   }
   if (queue.empty()) {
     thread.exec(thread.costs().syscall_exit);

@@ -22,6 +22,16 @@
 
 namespace vfpga::hostos {
 
+/// Receive-path selection for a socket (the SO_BUSY_POLL family):
+/// interrupt = classic sleep-on-IRQ; busy-poll = spin on the used ring
+/// for a budget before falling back; adaptive = the driver's EWMA
+/// controller picks spin vs sleep per call.
+enum class RxMode : u8 {
+  kInterrupt,
+  kBusyPoll,
+  kAdaptive,
+};
+
 struct NetstackConfig {
   net::Ipv4Addr host_ip = net::Ipv4Addr::from_octets(10, 42, 0, 1);
   u8 ip_ttl = 64;
@@ -48,9 +58,12 @@ class KernelNetstack {
                                           net::Ipv4Addr ip);
 
   /// sendto(2) semantics: route, resolve, build, transmit. Returns false
-  /// on EHOSTUNREACH (no route / no neighbour).
+  /// on EHOSTUNREACH (no route / no neighbour). `more_coming` is the
+  /// MSG_MORE hint, forwarded to the driver's xmit_more TX kick
+  /// coalescing.
   bool udp_send(HostThread& thread, u16 src_port, net::Ipv4Addr dst,
-                u16 dst_port, ConstByteSpan payload);
+                u16 dst_port, ConstByteSpan payload,
+                bool more_coming = false);
 
   struct Datagram {
     net::Ipv4Addr src{};
@@ -69,6 +82,23 @@ class KernelNetstack {
   /// Non-blocking variant: only drains already-delivered interrupts.
   std::optional<Datagram> udp_receive_poll(HostThread& thread,
                                            u16 local_port);
+
+  /// SO_BUSY_POLL receive: spin on the flow's RX queue for `budget`
+  /// (zero = the driver's default) harvesting completions as their
+  /// used-ring writes become visible, skipping the IRQ entry and the
+  /// scheduler wakeup entirely on the hit path. Falls back to the
+  /// blocking path when the budget expires with the data still in
+  /// flight (busy_poll re-armed the vector before returning).
+  std::optional<Datagram> udp_receive_busy_poll(
+      HostThread& thread, u16 local_port,
+      sim::Duration budget = sim::Duration{});
+
+  /// Adaptive hybrid: consult the driver's per-pair EWMA controller and
+  /// take the busy-poll path when the predicted wait is short, the
+  /// interrupt path (feeding the observed wait back) otherwise.
+  std::optional<Datagram> udp_receive_adaptive(
+      HostThread& thread, u16 local_port,
+      sim::Duration budget = sim::Duration{});
 
   /// Interrupt-less receive servicing: run the NAPI poll + demux even
   /// when no RX interrupt fired. This is the recovery path for a lost

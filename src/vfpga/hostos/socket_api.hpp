@@ -17,14 +17,39 @@ class UdpSocket {
 
   [[nodiscard]] u16 local_port() const { return local_port_; }
 
-  /// sendto(2): returns false on EHOSTUNREACH.
-  bool sendto(HostThread& thread, net::Ipv4Addr dst, u16 dst_port,
-              ConstByteSpan payload) {
-    return stack_->udp_send(thread, local_port_, dst, dst_port, payload);
+  /// setsockopt(SO_BUSY_POLL) analogue: select the receive path and the
+  /// per-call spin budget (zero budget = driver default). kInterrupt
+  /// keeps recvfrom() on the classic blocking path, byte for byte.
+  void set_rx_mode(RxMode mode) { rx_mode_ = mode; }
+  [[nodiscard]] RxMode rx_mode() const { return rx_mode_; }
+  void set_busy_poll_budget(sim::Duration budget) {
+    busy_poll_budget_ = budget;
+  }
+  [[nodiscard]] sim::Duration busy_poll_budget() const {
+    return busy_poll_budget_;
   }
 
-  /// recvfrom(2), blocking.
+  /// sendto(2): returns false on EHOSTUNREACH. `more_coming` is the
+  /// MSG_MORE flag — a promise of an immediate follow-up send, letting
+  /// the driver coalesce TX doorbells.
+  bool sendto(HostThread& thread, net::Ipv4Addr dst, u16 dst_port,
+              ConstByteSpan payload, bool more_coming = false) {
+    return stack_->udp_send(thread, local_port_, dst, dst_port, payload,
+                            more_coming);
+  }
+
+  /// recvfrom(2), blocking — or busy-polling/adaptive per set_rx_mode.
   std::optional<KernelNetstack::Datagram> recvfrom(HostThread& thread) {
+    switch (rx_mode_) {
+      case RxMode::kBusyPoll:
+        return stack_->udp_receive_busy_poll(thread, local_port_,
+                                             busy_poll_budget_);
+      case RxMode::kAdaptive:
+        return stack_->udp_receive_adaptive(thread, local_port_,
+                                            busy_poll_budget_);
+      case RxMode::kInterrupt:
+        break;
+    }
     return stack_->udp_receive_blocking(thread, local_port_);
   }
 
@@ -37,6 +62,8 @@ class UdpSocket {
  private:
   KernelNetstack* stack_;
   u16 local_port_;
+  RxMode rx_mode_ = RxMode::kInterrupt;
+  sim::Duration busy_poll_budget_{};  ///< zero = driver policy default
 };
 
 }  // namespace vfpga::hostos

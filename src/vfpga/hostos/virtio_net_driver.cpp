@@ -4,6 +4,8 @@
 #include <array>
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/core/virtio_controller.hpp"
+#include "vfpga/hostos/interrupt.hpp"
 #include "vfpga/virtio/net_defs.hpp"
 
 namespace vfpga::hostos {
@@ -73,6 +75,12 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
   configured_pairs_ = pairs_;
   if (pair_state_.size() < pairs_) {
     pair_state_.resize(pairs_);
+  }
+  for (PairState& ps : pair_state_) {
+    // Rings are rebuilt below: the device's completion log restarts at
+    // zero, and any coalesced-but-unpublished TX frames are forfeit.
+    ps.rx_harvest_seq = 0;
+    ps.tx_pending_kick = 0;
   }
 
   // MSI-X: entry 0 = config changes, then per pair RX = 1+2p, TX = 2+2p
@@ -234,6 +242,11 @@ bool VirtioNetDriver::reset_steering(HostThread& thread) {
 VirtioNetDriver::WatchdogAction VirtioNetDriver::tx_watchdog(
     HostThread& thread) {
   VFPGA_EXPECTS(bound());
+  // Flush doorbells still held by TX kick coalescing: a batch whose
+  // final xmit never came must not look like a stall.
+  for (u16 p = 0; p < pairs_; ++p) {
+    flush_tx(thread, p);
+  }
   // Reclaim whatever did complete before judging any queue stuck.
   for (u16 p = 0; p < pairs_; ++p) {
     auto& tx = tx_queue(p);
@@ -288,7 +301,8 @@ VirtioNetDriver::WatchdogAction VirtioNetDriver::tx_watchdog(
 
 bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
                                  bool needs_csum, u16 csum_start,
-                                 u16 csum_offset, u16 pair) {
+                                 u16 csum_offset, u16 pair,
+                                 bool more_coming) {
   VFPGA_EXPECTS(bound());
   VFPGA_EXPECTS(frame.size() <= 1526);
   VFPGA_EXPECTS(pair < pairs_);
@@ -330,8 +344,29 @@ bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
       static_cast<u32>(NetHeader::kSize + frame.size()), false};
   const auto handle = tx.add_chain(std::span{&chain, 1}, slot);
   VFPGA_ASSERT(handle.has_value());
-  tx.publish();
   ++tx_packets_;
+  ++ps.tx_pending_kick;
+
+  if (more_coming && ps.tx_pending_kick < busy_poll_policy_.kick_coalesce) {
+    // xmit_more: hold the publish and the doorbell. The whole batch
+    // becomes one avail-idx update — one EVENT_IDX window, at most one
+    // kick — when the final frame (or an explicit flush_tx) lands.
+    ++tx_kicks_coalesced_;
+    return false;
+  }
+  return flush_tx(thread, pair);
+}
+
+bool VirtioNetDriver::flush_tx(HostThread& thread, u16 pair) {
+  VFPGA_EXPECTS(bound());
+  VFPGA_EXPECTS(pair < pairs_);
+  PairState& ps = pair_state_[pair];
+  if (ps.tx_pending_kick == 0) {
+    return false;
+  }
+  ps.tx_pending_kick = 0;
+  auto& tx = tx_queue(pair);
+  tx.publish();
 
   if (!tx.should_kick()) {
     return false;
@@ -342,28 +377,34 @@ bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
   return true;
 }
 
+void VirtioNetDriver::harvest_one_rx(virtio::DriverRing& rx, PairState& ps) {
+  const auto completion = rx.harvest();
+  VFPGA_ASSERT(completion.has_value());
+  const RxBuffer& buf = ps.rx_buffers[completion->token];
+  VFPGA_ASSERT(completion->written >= NetHeader::kSize);
+  Bytes data = transport_.memory().read_bytes(buf.addr, completion->written);
+  ps.rx_backlog.emplace_back(data.begin() + NetHeader::kSize, data.end());
+  ++rx_packets_;
+  ++ps.rx_packets;
+  ++ps.rx_harvest_seq;
+
+  // Recycle the buffer straight back into the avail ring.
+  const virtio::ChainBuffer chain{buf.addr, buf.len, true};
+  const auto handle = rx.add_chain(std::span{&chain, 1}, completion->token);
+  VFPGA_ASSERT(handle.has_value());
+}
+
 u32 VirtioNetDriver::napi_poll(HostThread& thread, u16 pair) {
   VFPGA_EXPECTS(bound());
   VFPGA_EXPECTS(pair < pairs_);
   thread.exec(thread.costs().virtio_rx_napi);
 
   auto& rx = rx_queue(pair);
-  auto& memory = transport_.memory();
   PairState& ps = pair_state_[pair];
   u32 harvested = 0;
-  while (const auto completion = rx.harvest()) {
-    const RxBuffer& buf = ps.rx_buffers[completion->token];
-    VFPGA_ASSERT(completion->written >= NetHeader::kSize);
-    Bytes data = memory.read_bytes(buf.addr, completion->written);
-    ps.rx_backlog.emplace_back(data.begin() + NetHeader::kSize, data.end());
-    ++rx_packets_;
-    ++ps.rx_packets;
+  while (rx.used_pending()) {
+    harvest_one_rx(rx, ps);
     ++harvested;
-
-    // Recycle the buffer straight back into the avail ring.
-    const virtio::ChainBuffer chain{buf.addr, buf.len, true};
-    const auto handle = rx.add_chain(std::span{&chain, 1}, completion->token);
-    VFPGA_ASSERT(handle.has_value());
   }
   if (harvested > 0) {
     rx.publish();
@@ -380,6 +421,118 @@ u32 VirtioNetDriver::napi_poll(HostThread& thread, u16 pair) {
   tx.disable_interrupts();
 
   return harvested;
+}
+
+u32 VirtioNetDriver::busy_poll(HostThread& thread, u16 pair,
+                               sim::Duration budget) {
+  VFPGA_EXPECTS(bound());
+  VFPGA_EXPECTS(pair < pairs_);
+  if (budget <= sim::Duration{}) {
+    budget = busy_poll_policy_.default_budget;
+  }
+  ++busy_polls_;
+  PairState& ps = pair_state_[pair];
+
+  // A deferred TX doorbell would deadlock the poll: the device has not
+  // seen the frames whose completions we are about to spin for.
+  flush_tx(thread, pair);
+
+  auto& rx = rx_queue(pair);
+  // Disarm the pair's RX vector: poll mode owns this queue now. With
+  // EVENT_IDX this is the used_event push-away write; the device's next
+  // completion then skips the MSI-X message entirely.
+  rx.disable_interrupts();
+  thread.exec(thread.costs().irq_disarm);
+
+  const sim::SimTime enter = thread.now();
+  const sim::SimTime deadline = enter + budget;
+  const u16 rx_index = virtio::net::rx_queue_index(pair);
+  u32 harvested = 0;
+  u64 spins = 0;
+  for (;;) {
+    VFPGA_ASSERT(spins < busy_poll_policy_.max_spin_iterations);
+    ++spins;
+    // One poll iteration: re-read the used ring's idx cache line.
+    thread.exec_poll(thread.costs().busy_poll_iteration);
+    const auto visible = ctx_.device->completion_visible_time(
+        rx_index, ps.rx_harvest_seq);
+    if (!visible.has_value()) {
+      // Nothing further is in flight: with the transaction-level device
+      // (completions are computed synchronously at notify) no amount of
+      // extra spinning can make data appear.
+      break;
+    }
+    if (*visible > deadline) {
+      break;  // will not land within the budget: fall back to interrupts
+    }
+    if (*visible > thread.now()) {
+      // Spin across the arrival gap: the core stays runnable (full
+      // interference accrual) until the used-ring write lands.
+      thread.spin_until(*visible);
+    }
+    if (harvested == 0) {
+      note_rx_wait(pair, thread.now() - enter);
+    }
+    harvest_one_rx(rx, ps);
+    ++harvested;
+  }
+  busy_poll_spins_ += spins;
+  busy_poll_harvested_ += harvested;
+
+  if (harvested > 0) {
+    rx.publish();  // repost the recycled buffers
+    thread.exec(thread.costs().virtio_rx_refill);
+    // Retire the interrupts our harvests made moot: deliveries up to
+    // now correspond to completions already taken above. A pending
+    // delivery with a future timestamp belongs to a completion we chose
+    // to leave (past the budget) — it stays queued so the blocking
+    // fallback still gets its wake.
+    InterruptController& irq = *ctx_.irq;
+    while (const auto at = irq.next_pending(ps.rx_vector)) {
+      if (*at > thread.now()) {
+        break;
+      }
+      irq.consume(ps.rx_vector);
+    }
+  } else {
+    // Budget expired dry: charge the full wait to the EWMA so the
+    // adaptive controller drifts toward sleeping on this pair.
+    note_rx_wait(pair, budget);
+  }
+
+  // TX completions: recycle buffers, keep interrupts suppressed.
+  auto& tx = tx_queue(pair);
+  while (const auto completion = tx.harvest()) {
+    ps.tx_free.push_back(static_cast<u32>(completion->token));
+  }
+  tx.disable_interrupts();
+
+  // Hybrid exit: re-arm so a completion landing after the budget raises
+  // the normal RX interrupt and wakes a sleeper.
+  rx.enable_interrupts();
+  thread.exec(thread.costs().irq_rearm);
+  return harvested;
+}
+
+bool VirtioNetDriver::should_busy_poll(u16 pair) const {
+  const double ewma = pair_state_.at(pair).rx_wait_ewma_us;
+  // No observation yet: optimistically spin — one budget-bounded poll
+  // either pays off or seeds the EWMA with the miss.
+  if (ewma < 0.0) {
+    return true;
+  }
+  return ewma <= busy_poll_policy_.spin_threshold.micros();
+}
+
+void VirtioNetDriver::note_rx_wait(u16 pair, sim::Duration wait) {
+  PairState& ps = pair_state_.at(pair);
+  const double us = wait.micros();
+  if (ps.rx_wait_ewma_us < 0.0) {
+    ps.rx_wait_ewma_us = us;
+  } else {
+    const double a = busy_poll_policy_.ewma_alpha;
+    ps.rx_wait_ewma_us = a * us + (1.0 - a) * ps.rx_wait_ewma_us;
+  }
 }
 
 std::optional<Bytes> VirtioNetDriver::pop_rx_frame(u16 pair) {

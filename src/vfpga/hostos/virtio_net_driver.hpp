@@ -66,14 +66,78 @@ class VirtioNetDriver {
   /// is prepended here, in the driver, as virtio-net does). `needs_csum`
   /// marks a frame whose L4 checksum was left for the device
   /// (VIRTIO_NET_F_CSUM negotiated); csum_start/csum_offset follow the
-  /// UDP convention. Returns true when the device was kicked.
+  /// UDP convention. `more_coming` is the xmit_more/MSG_MORE hint: the
+  /// caller promises another frame (or an explicit flush_tx) on this
+  /// pair immediately, so the driver may defer the avail publish and the
+  /// doorbell to coalesce up to BusyPollPolicy::kick_coalesce frames
+  /// into one kick. Returns true when the device was kicked.
   bool xmit_frame(HostThread& thread, ConstByteSpan frame, bool needs_csum,
-                  u16 csum_start = 0, u16 csum_offset = 0, u16 pair = 0);
+                  u16 csum_start = 0, u16 csum_offset = 0, u16 pair = 0,
+                  bool more_coming = false);
+
+  /// Publish any coalesced-but-unpublished TX chains on `pair` and ring
+  /// the doorbell if the device asked for it (one EVENT_IDX decision for
+  /// the whole batch). Returns true when the device was kicked.
+  bool flush_tx(HostThread& thread, u16 pair = 0);
 
   /// NAPI poll for one pair: harvest RX completions into that pair's
   /// receive backlog and recycle TX completions; refill + re-enable
   /// interrupts. Returns the number of frames harvested.
   u32 napi_poll(HostThread& thread, u16 pair = 0);
+
+  /// Busy-poll knobs (Linux SO_BUSY_POLL / napi_busy_loop semantics in
+  /// the modeled stack) and the adaptive spin-vs-sleep controller.
+  struct BusyPollPolicy {
+    /// Spin budget per busy_poll() call before falling back to
+    /// interrupts (the SO_BUSY_POLL microseconds value).
+    sim::Duration default_budget = sim::microseconds(50);
+    /// TX doorbell coalescing: frames batched per kick under the
+    /// xmit_more hint. 1 = kick per frame (the interrupt path's shape).
+    u32 kick_coalesce = 1;
+    /// EWMA smoothing for the observed data-arrival wait per pair.
+    double ewma_alpha = 0.25;
+    /// Adaptive mode spins when the pair's predicted wait is at or
+    /// below this (like adaptive IRQ coalescing thresholds). Sized to
+    /// cover the device's round-trip spread (~8-20us on the modeled
+    /// link): a budget-expiry observation (default_budget charged on a
+    /// dry poll) still lands above it, so a pair whose traffic stops
+    /// drifts back to sleeping within a few calls.
+    sim::Duration spin_threshold = sim::microseconds(25);
+    /// Hard cap on spin iterations per call: a pathological loop fails
+    /// fast instead of hanging the simulation.
+    u64 max_spin_iterations = 2'000'000;
+  };
+  void set_busy_poll_policy(const BusyPollPolicy& policy) {
+    busy_poll_policy_ = policy;
+  }
+  [[nodiscard]] const BusyPollPolicy& busy_poll_policy() const {
+    return busy_poll_policy_;
+  }
+
+  /// Poll-mode RX for one pair: flush any coalesced TX kicks, disarm
+  /// the pair's RX vector, and spin on the used ring — harvesting
+  /// completions as their used-ring writes become visible — until
+  /// nothing more can land within `budget` (zero = policy default).
+  /// Re-arms interrupts on exit (hybrid fallback: a completion arriving
+  /// after the budget expires raises the normal RX interrupt). Returns
+  /// frames harvested into the backlog.
+  u32 busy_poll(HostThread& thread, u16 pair = 0,
+                sim::Duration budget = sim::Duration{});
+
+  /// Adaptive controller decision for `pair`: spin (true) when the
+  /// EWMA of recently observed waits predicts data within
+  /// spin_threshold, sleep (false) otherwise.
+  [[nodiscard]] bool should_busy_poll(u16 pair = 0) const;
+
+  /// Feed the adaptive EWMA with a wait observed outside busy_poll()
+  /// (the interrupt path's block-until-IRQ duration).
+  void note_rx_wait(u16 pair, sim::Duration wait);
+
+  /// The controller's current prediction for `pair` in microseconds
+  /// (negative = no observation yet). Exposed for tests and diagnostics.
+  [[nodiscard]] double rx_wait_ewma_us(u16 pair = 0) const {
+    return pair_state_.at(pair).rx_wait_ewma_us;
+  }
 
   /// TX watchdog policy: how long a stuck TX queue is tolerated and how
   /// the bounded exponential backoff re-kicks are paced before the
@@ -132,7 +196,18 @@ class VirtioNetDriver {
     return pair_state_.at(pair).rx_packets;
   }
   [[nodiscard]] u64 tx_kicks() const { return tx_kicks_; }
+  /// Doorbells elided by TX kick coalescing (frames that rode a later
+  /// kick): tx_kicks + tx_kicks_coalesced + suppressed-by-EVENT_IDX
+  /// accounts for every transmitted frame.
+  [[nodiscard]] u64 tx_kicks_coalesced() const { return tx_kicks_coalesced_; }
   [[nodiscard]] u64 tx_dropped() const { return tx_dropped_; }
+  /// busy_poll() invocations / frames harvested in poll mode / spin
+  /// iterations spent across all calls.
+  [[nodiscard]] u64 busy_polls() const { return busy_polls_; }
+  [[nodiscard]] u64 busy_poll_harvested() const {
+    return busy_poll_harvested_;
+  }
+  [[nodiscard]] u64 busy_poll_spins() const { return busy_poll_spins_; }
   [[nodiscard]] u64 device_resets() const { return device_resets_; }
   [[nodiscard]] u64 watchdog_kicks() const { return watchdog_kicks_; }
   [[nodiscard]] u64 steering_repairs() const { return steering_repairs_; }
@@ -168,7 +243,20 @@ class VirtioNetDriver {
     u32 kick_retries = 0;
     std::optional<sim::SimTime> tx_stall_since;
     u64 rx_packets = 0;
+    /// RX completions harvested since queue enable — the sequence
+    /// number busy_poll() gates on the device's visibility log with.
+    /// Reset with the rings on (re)initialization.
+    u64 rx_harvest_seq = 0;
+    /// TX frames added but not yet published/kicked (xmit_more).
+    u32 tx_pending_kick = 0;
+    /// Adaptive controller: EWMA of observed data-arrival waits, in
+    /// microseconds (negative = no observation yet -> spin first).
+    double rx_wait_ewma_us = -1.0;
   };
+
+  /// Harvest exactly one RX completion into the backlog and recycle its
+  /// buffer (shared by napi_poll and busy_poll).
+  void harvest_one_rx(virtio::DriverRing& rx, PairState& ps);
 
   [[nodiscard]] virtio::DriverRing& rx_queue(u16 pair);
   [[nodiscard]] virtio::DriverRing& tx_queue(u16 pair);
@@ -192,13 +280,18 @@ class VirtioNetDriver {
   u64 tx_packets_ = 0;
   u64 rx_packets_ = 0;
   u64 tx_kicks_ = 0;
+  u64 tx_kicks_coalesced_ = 0;
   u64 tx_dropped_ = 0;
+  u64 busy_polls_ = 0;
+  u64 busy_poll_harvested_ = 0;
+  u64 busy_poll_spins_ = 0;
   u64 device_resets_ = 0;
   u64 watchdog_kicks_ = 0;
   u64 steering_repairs_ = 0;
   u64 ctrl_commands_sent_ = 0;
 
   WatchdogPolicy watchdog_{};
+  BusyPollPolicy busy_poll_policy_{};
 };
 
 }  // namespace vfpga::hostos

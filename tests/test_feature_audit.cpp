@@ -1,0 +1,177 @@
+// Feature-bit audit: every bit a device model OFFERS must be backed by
+// implemented behavior. features.hpp declares bits the spec defines but
+// this library does not implement (NET_F_MRG_RXBUF, F_NOTIFICATION_DATA,
+// NET_F_SPEED_DUPLEX, F_ACCESS_PLATFORM, ...); offering one would invite
+// a driver to negotiate semantics the device cannot deliver. These tests
+// pin the offered sets to explicit whitelists of implemented bits, over
+// every policy/topology combination that changes an offer.
+#include <gtest/gtest.h>
+
+#include "vfpga/core/blk_device.hpp"
+#include "vfpga/core/console_device.hpp"
+#include "vfpga/core/net_device.hpp"
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/core/virtio_controller.hpp"
+#include "vfpga/virtio/features.hpp"
+
+namespace vfpga::core {
+namespace {
+
+using virtio::FeatureSet;
+namespace feature = virtio::feature;
+
+// Transport bits the controller implements (all policy-gated except
+// VERSION_1).
+FeatureSet implemented_transport() {
+  FeatureSet f;
+  f.set(feature::kVersion1);
+  f.set(feature::kRingEventIdx);
+  f.set(feature::kRingIndirectDesc);
+  f.set(feature::kRingPacked);
+  return f;
+}
+
+// Device-class bits with behavior behind them (see the device logics'
+// process()/config-space implementations).
+FeatureSet implemented_net() {
+  FeatureSet f;
+  f.set(feature::net::kCsum);
+  f.set(feature::net::kGuestCsum);
+  f.set(feature::net::kMtu);
+  f.set(feature::net::kMac);
+  f.set(feature::net::kStatus);
+  f.set(feature::net::kCtrlVq);
+  f.set(feature::net::kMq);
+  return f;
+}
+
+FeatureSet implemented_blk() {
+  FeatureSet f;
+  f.set(feature::blk::kBlkSize);
+  f.set(feature::blk::kFlush);
+  return f;
+}
+
+FeatureSet implemented_console() {
+  FeatureSet f;
+  f.set(feature::console::kSize);
+  return f;
+}
+
+// Bits features.hpp defines but nothing implements: they must never be
+// offered, whatever the configuration. Device-class bit namespaces
+// overlap (net::kGuestCsum and blk::kSizeMax are both bit 1), so the
+// unimplemented set is per class, each including the unimplemented
+// transport bits.
+FeatureSet unimplemented_transport() {
+  FeatureSet f;
+  f.set(feature::kNotificationData);
+  f.set(feature::kAccessPlatform);
+  return f;
+}
+
+FeatureSet unimplemented_net() {
+  FeatureSet f = unimplemented_transport();
+  f.set(feature::net::kMrgRxbuf);
+  f.set(feature::net::kSpeedDuplex);
+  return f;
+}
+
+FeatureSet unimplemented_blk() {
+  FeatureSet f = unimplemented_transport();
+  f.set(feature::blk::kSizeMax);
+  f.set(feature::blk::kSegMax);
+  return f;
+}
+
+FeatureSet unimplemented_console() {
+  FeatureSet f = unimplemented_transport();
+  f.set(feature::console::kMultiport);
+  return f;
+}
+
+TEST(FeatureAudit, NetLogicOffersOnlyImplementedBits) {
+  for (const u16 pairs : {u16{1}, u16{4}, u16{64}}) {
+    for (const bool csum : {false, true}) {
+      NetDeviceConfig config;
+      config.max_queue_pairs = pairs;
+      config.offer_csum = csum;
+      config.offer_guest_csum = csum;
+      NetDeviceLogic logic{config};
+      const FeatureSet offered = logic.device_features();
+      EXPECT_TRUE(offered.subset_of(implemented_net()))
+          << "pairs=" << pairs << " csum=" << csum
+          << " offered=" << std::hex << offered.bits();
+      // MQ + CTRL_VQ come and go together: steering without a control
+      // queue (or vice versa) is not a personality this device has.
+      EXPECT_EQ(offered.has(feature::net::kMq),
+                offered.has(feature::net::kCtrlVq));
+      EXPECT_EQ(offered.has(feature::net::kMq), pairs > 1);
+    }
+  }
+}
+
+TEST(FeatureAudit, BlkAndConsoleOfferOnlyImplementedBits) {
+  BlkDeviceLogic blk;
+  EXPECT_TRUE(blk.device_features().subset_of(implemented_blk()));
+  EXPECT_EQ(blk.device_features().intersect(unimplemented_blk()),
+            FeatureSet{});
+  ConsoleDeviceLogic console;
+  EXPECT_TRUE(console.device_features().subset_of(implemented_console()));
+  EXPECT_EQ(console.device_features().intersect(unimplemented_console()),
+            FeatureSet{});
+}
+
+// The controller adds the transport bits on top of the device-class
+// offer; sweep the policy switches and check the composed set.
+TEST(FeatureAudit, ControllerOfferMatchesPolicyExactly) {
+  for (const bool event_idx : {false, true}) {
+    for (const bool indirect : {false, true}) {
+      for (const bool packed : {false, true}) {
+        NetDeviceLogic logic{{}};
+        ControllerConfig config;
+        config.policy.use_event_idx = event_idx;
+        config.policy.offer_indirect = indirect;
+        config.policy.offer_packed = packed;
+        VirtioDeviceFunction device{logic, config};
+
+        const FeatureSet offered = device.offered_features();
+        const FeatureSet implemented{implemented_transport().bits() |
+                                     implemented_net().bits()};
+        EXPECT_TRUE(offered.subset_of(implemented))
+            << std::hex << offered.bits();
+        EXPECT_TRUE(offered.has(feature::kVersion1));
+        EXPECT_EQ(offered.has(feature::kRingEventIdx), event_idx);
+        EXPECT_EQ(offered.has(feature::kRingIndirectDesc), indirect);
+        EXPECT_EQ(offered.has(feature::kRingPacked), packed);
+        EXPECT_EQ(offered.intersect(unimplemented_net()), FeatureSet{});
+      }
+    }
+  }
+}
+
+// End-to-end: after a real bring-up the NEGOTIATED set is a subset of
+// the offer, contains nothing unimplemented, and the ring-format bit
+// matches the ring format actually in use.
+TEST(FeatureAudit, NegotiatedSetMatchesImplementedBehavior) {
+  for (const bool packed : {false, true}) {
+    TestbedOptions options;
+    options.seed = 0xfea7;
+    options.use_packed_rings = packed;
+    VirtioNetTestbed bed{options};
+
+    const FeatureSet offered = bed.device().offered_features();
+    const FeatureSet negotiated = bed.device().negotiated_features();
+    EXPECT_TRUE(negotiated.subset_of(offered));
+    EXPECT_EQ(negotiated.intersect(unimplemented_net()), FeatureSet{});
+    EXPECT_TRUE(negotiated.has(feature::kVersion1));
+    EXPECT_EQ(negotiated.has(feature::kRingPacked), packed);
+
+    // The negotiated personality must actually move packets.
+    Bytes payload(128, 7);
+    EXPECT_TRUE(bed.udp_round_trip(payload).ok);
+  }
+}
+
+}  // namespace
+}  // namespace vfpga::core

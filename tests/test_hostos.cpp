@@ -46,6 +46,73 @@ TEST_F(ThreadFixture, CopyScalesWithBytes) {
   EXPECT_NEAR(thread.software_time().nanos(), one_kib.nanos() * 64, 1.0);
 }
 
+TEST_F(ThreadFixture, CopyCostTracksConfiguredRate) {
+  CostModelConfig doubled = costs;
+  doubled.copy_ns_per_kib = costs.copy_ns_per_kib * 2.0;
+  HostThread fast{rng, costs, quiet};
+  HostThread slow{rng, doubled, quiet};
+  for (const u64 bytes : {u64{64}, u64{1024}, u64{16 * 1024}}) {
+    fast.reset_accounting();
+    slow.reset_accounting();
+    fast.copy(bytes);
+    slow.copy(bytes);
+    EXPECT_NEAR(slow.software_time().nanos(),
+                fast.software_time().nanos() * 2.0, 1.0)
+        << "bytes=" << bytes;
+  }
+}
+
+TEST_F(ThreadFixture, ResidencyGrowsMonotonicallyAcrossSegments) {
+  // Any mix of segments only ever adds residency, and with noise off
+  // software time equals wall-clock time spent executing (no blocked or
+  // stalled share leaks in).
+  sim::Duration last{};
+  const sim::SimTime start = thread.now();
+  const sim::JitteredSegment* sequence[] = {
+      &costs.syscall_entry, &costs.udp_tx_stack,    &costs.virtio_xmit,
+      &costs.irq_entry,     &costs.virtio_rx_napi,  &costs.socket_recv,
+      &costs.syscall_exit,
+  };
+  for (const sim::JitteredSegment* segment : sequence) {
+    thread.exec(*segment);
+    EXPECT_GT(thread.software_time(), last);
+    last = thread.software_time();
+  }
+  EXPECT_EQ(thread.software_time(), thread.now() - start);
+}
+
+TEST_F(ThreadFixture, PollTimeIsSubsetOfSoftwareTime) {
+  thread.exec(costs.syscall_entry);
+  EXPECT_EQ(thread.poll_time(), sim::Duration{});
+  thread.exec_poll(costs.busy_poll_iteration);
+  const sim::Duration first_poll = thread.poll_time();
+  EXPECT_GT(first_poll, sim::Duration{});
+  EXPECT_LT(first_poll, thread.software_time());
+  thread.exec_poll(costs.busy_poll_iteration);
+  EXPECT_GT(thread.poll_time(), first_poll);
+  EXPECT_LE(thread.poll_time(), thread.software_time());
+}
+
+TEST_F(ThreadFixture, SpinUntilBurnsResidencyBlockUntilDoesNot) {
+  const sim::SimTime target = thread.now() + sim::microseconds(30);
+  EXPECT_EQ(thread.spin_until(target), target);  // quiet noise: exact
+  EXPECT_EQ(thread.software_time(), sim::microseconds(30));
+  EXPECT_EQ(thread.poll_time(), sim::microseconds(30));
+
+  const sim::SimTime wake = thread.now() + sim::microseconds(30);
+  EXPECT_EQ(thread.block_until(wake), wake);
+  EXPECT_EQ(thread.software_time(), sim::microseconds(30));  // unchanged
+}
+
+TEST_F(ThreadFixture, SpinUntilInPastIsFree) {
+  thread.exec_fixed(sim::microseconds(5));
+  const sim::SimTime now = thread.now();
+  const sim::Duration software = thread.software_time();
+  EXPECT_EQ(thread.spin_until(now + sim::microseconds(-3)), now);
+  EXPECT_EQ(thread.software_time(), software);
+  EXPECT_EQ(thread.poll_time(), sim::Duration{});
+}
+
 TEST_F(ThreadFixture, ResetAccountingKeepsClock) {
   thread.exec_fixed(sim::microseconds(5));
   const sim::SimTime now = thread.now();
@@ -68,6 +135,18 @@ TEST(InterruptController, VectorsQueueInArrivalOrder) {
   EXPECT_FALSE(irq.pending(a));
   EXPECT_TRUE(irq.pending(b));
   EXPECT_EQ(irq.delivered_count(), 3u);
+}
+
+TEST(InterruptController, NextPendingPeeksWithoutConsuming) {
+  InterruptController irq;
+  const u32 v = irq.allocate_vector();
+  EXPECT_FALSE(irq.next_pending(v).has_value());
+  irq.deliver(v, sim::SimTime{100});
+  irq.deliver(v, sim::SimTime{200});
+  ASSERT_TRUE(irq.next_pending(v).has_value());
+  EXPECT_EQ(*irq.next_pending(v), sim::SimTime{100});
+  EXPECT_EQ(irq.consume(v), sim::SimTime{100});
+  EXPECT_EQ(*irq.next_pending(v), sim::SimTime{200});
 }
 
 // ---- virtio-net driver + netstack against the real controller ---------------------
