@@ -22,5 +22,10 @@ int main() {
   if (!csv.empty()) {
     std::printf("[csv written to %s]\n", csv.c_str());
   }
+  const std::string json = harness::write_latency_json(
+      config, virtio, xdma, "fig3_roundtrip_latency");
+  if (!json.empty()) {
+    std::printf("[json written to %s]\n", json.c_str());
+  }
   return 0;
 }

@@ -16,6 +16,11 @@ int main() {
   if (!csv.empty()) {
     std::printf("[csv written to %s]\n", csv.c_str());
   }
+  const std::string json =
+      harness::write_latency_json(config, virtio, xdma, "table1_tail_latency");
+  if (!json.empty()) {
+    std::printf("[json written to %s]\n", json.c_str());
+  }
   std::puts(
       "\nPaper Table I (Alinx AX7A200 testbed) for shape comparison:\n"
       "  64B:   95% 35.1/51.3  99% 44.8/70.1  99.9% 66.5/85.8 (V/X)\n"

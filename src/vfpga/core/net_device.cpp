@@ -34,6 +34,9 @@ virtio::FeatureSet NetDeviceLogic::device_features() const {
   if (config_.offer_guest_csum) {
     f.set(virtio::feature::net::kGuestCsum);
   }
+  if (config_.offer_mrg_rxbuf) {
+    f.set(virtio::feature::net::kMrgRxbuf);
+  }
   if (config_.max_queue_pairs > 1) {
     f.set(virtio::feature::net::kMq);
     f.set(virtio::feature::net::kCtrlVq);
@@ -42,6 +45,15 @@ virtio::FeatureSet NetDeviceLogic::device_features() const {
 }
 
 void NetDeviceLogic::on_driver_ready(virtio::FeatureSet negotiated) {
+  // Every negotiated device-class bit must be one we actually offered
+  // (transport bits 24-41 belong to the controller). A bit arriving here
+  // that the logic never advertised means some layer invented a feature
+  // whose behaviour nothing implements — fail loudly at DRIVER_OK
+  // instead of silently dropping its semantics on the wire.
+  constexpr u64 kTransportBits = ((1ull << 42) - 1) & ~((1ull << 24) - 1);
+  VFPGA_EXPECTS(
+      virtio::FeatureSet{negotiated.bits() & ~kTransportBits}.subset_of(
+          device_features()));
   negotiated_ = negotiated;
   // §5.1.5: the device comes up with one active pair regardless of what
   // it supports; more are enabled only by a later

@@ -31,6 +31,11 @@ struct NetDeviceConfig {
   /// Offer VIRTIO_NET_F_GUEST_CSUM (we always produce full checksums, so
   /// offering it is safe).
   bool offer_guest_csum = true;
+  /// Offer VIRTIO_NET_F_MRG_RXBUF: a negotiating driver may post small
+  /// RX buffers and let one frame span several of them, with the header's
+  /// num_buffers carrying the span (§5.1.6.4). Offering costs nothing —
+  /// behaviour changes only when a driver actually accepts the bit.
+  bool offer_mrg_rxbuf = true;
 
   /// RX/TX queue pairs the fabric instantiates. 1 (the paper's device)
   /// keeps the two-queue personality with no control queue; >1 offers

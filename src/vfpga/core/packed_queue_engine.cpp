@@ -27,9 +27,17 @@ virtio::Timed<FetchedChain> PackedQueueEngine::consume_chain(
   FetchedChain chain;
   chain.handle = consumed.value.id;
   chain.ring_slots = consumed.value.descriptor_count;
+  chain.via_indirect = consumed.value.via_indirect;
   chain.descriptors = std::move(consumed.value.descriptors);
   t += timing_.clock.cycles(timing_.per_descriptor_cycles *
                             chain.descriptors.size());
+  if (fault_ != nullptr && chain.via_indirect &&
+      fault_->should_inject(fault::FaultClass::kIndirectCorrupt) &&
+      !chain.descriptors.empty()) {
+    // The one-shot table read returned garbage: poison the head entry
+    // so the bounds check below rejects the whole chain.
+    chain.descriptors.front().addr = 0;
+  }
   if (fault_ != nullptr &&
       fault_->should_inject(fault::FaultClass::kDescCorrupt) &&
       !chain.descriptors.empty()) {
@@ -37,7 +45,8 @@ virtio::Timed<FetchedChain> PackedQueueEngine::consume_chain(
     // rejects.
     chain.descriptors.front().addr = 0;
   }
-  chain.error = !chain_within_bounds(chain, vq_.size());
+  chain.error =
+      consumed.value.error || !chain_within_bounds(chain, vq_.size());
   return virtio::Timed<FetchedChain>{std::move(chain), t};
 }
 

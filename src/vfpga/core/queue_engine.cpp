@@ -56,16 +56,23 @@ virtio::Timed<FetchedChain> QueueEngine::consume_chain(sim::SimTime start) {
       // burst bought nothing — walk it through the indirect path (which
       // re-reads the head; the wasted burst is the realistic penalty).
       auto indirect = vq_.fetch_chain(head, t);
-      chain.descriptors = std::move(indirect.value);
+      chain.descriptors = std::move(indirect.value.descriptors);
+      chain.via_indirect = indirect.value.via_indirect;
       t = indirect.done +
           timing_.clock.cycles(timing_.per_descriptor_cycles *
                                chain.descriptors.size());
+      if (fault_ != nullptr && chain.via_indirect &&
+          fault_->should_inject(fault::FaultClass::kIndirectCorrupt) &&
+          !chain.descriptors.empty()) {
+        chain.descriptors.front().addr = 0;
+      }
       if (fault_ != nullptr &&
           fault_->should_inject(fault::FaultClass::kDescCorrupt) &&
           !chain.descriptors.empty()) {
         chain.descriptors.front().addr = 0;
       }
-      chain.error = !chain_within_bounds(chain, vq_.size());
+      chain.error =
+          indirect.value.error || !chain_within_bounds(chain, vq_.size());
       return virtio::Timed<FetchedChain>{std::move(chain), t};
     }
     chain.descriptors.push_back(first);
@@ -84,13 +91,24 @@ virtio::Timed<FetchedChain> QueueEngine::consume_chain(sim::SimTime start) {
       next = d.value.next;
       more = (d.value.flags & virtio::descflags::kNext) != 0;
     }
-  } else {
+  }
+  bool fetch_error = false;
+  if (!policy_.batched_chain_fetch) {
     auto fetched = vq_.fetch_chain(entry.value, t);
     t = fetched.done;
-    chain.descriptors = std::move(fetched.value);
+    chain.descriptors = std::move(fetched.value.descriptors);
+    chain.via_indirect = fetched.value.via_indirect;
+    fetch_error = fetched.value.error;
   }
   t += timing_.clock.cycles(timing_.per_descriptor_cycles *
                             chain.descriptors.size());
+  if (fault_ != nullptr && chain.via_indirect &&
+      fault_->should_inject(fault::FaultClass::kIndirectCorrupt) &&
+      !chain.descriptors.empty()) {
+    // The one-shot table read returned garbage: poison the head entry
+    // so the bounds check below rejects the whole chain.
+    chain.descriptors.front().addr = 0;
+  }
   if (fault_ != nullptr &&
       fault_->should_inject(fault::FaultClass::kDescCorrupt) &&
       !chain.descriptors.empty()) {
@@ -98,7 +116,7 @@ virtio::Timed<FetchedChain> QueueEngine::consume_chain(sim::SimTime start) {
     // below rejects, as a corrupted descriptor would.
     chain.descriptors.front().addr = 0;
   }
-  chain.error = !chain_within_bounds(chain, vq_.size());
+  chain.error = fetch_error || !chain_within_bounds(chain, vq_.size());
   return virtio::Timed<FetchedChain>{std::move(chain), t};
 }
 
@@ -124,7 +142,8 @@ IQueueEngine::Completion QueueEngine::complete_chain(
   t += timing_.clock.cycles(timing_.irq_decision_cycles);
   if (policy_.use_event_idx) {
     u16 event_value;
-    if (refresh_suppression || !cached_used_event_.has_value()) {
+    const bool fresh = refresh_suppression || !cached_used_event_.has_value();
+    if (fresh) {
       const auto event = vq_.read_used_event(t);
       t = event.done;
       cached_used_event_ = event.value;
@@ -132,8 +151,17 @@ IQueueEngine::Completion QueueEngine::complete_chain(
     } else {
       event_value = *cached_used_event_;
     }
-    // §2.7.10: interrupt iff used_event was passed by this update.
-    const u16 old_used = static_cast<u16>(new_used_idx - 1);
+    // §2.7.10: interrupt iff used_event was passed by this update. A
+    // fresh decision extends the crossing window back over completions
+    // pushed against the stale snapshot (a mergeable RX span can cross
+    // used_event at any of its entries, not just the final one).
+    u16 old_used = static_cast<u16>(new_used_idx - 1);
+    if (fresh) {
+      old_used = static_cast<u16>(old_used - stale_completions_);
+      stale_completions_ = 0;
+    } else {
+      ++stale_completions_;
+    }
     interrupt = static_cast<u16>(new_used_idx - event_value - 1) <
                 static_cast<u16>(new_used_idx - old_used);
   }

@@ -62,6 +62,9 @@ struct FetchedChain {
   /// table): the controller must not touch the chain's buffers and
   /// should enter the error state (DEVICE_NEEDS_RESET).
   bool error = false;
+  /// The chain arrived through an indirect descriptor table (one
+  /// table-sized DMA read) rather than a per-descriptor walk.
+  bool via_indirect = false;
   std::vector<virtio::Descriptor> descriptors;
 };
 
@@ -180,6 +183,11 @@ class QueueEngine final : public IQueueEngine {
   ControllerPolicy policy_;
   fault::FaultPlane* fault_ = nullptr;
   std::optional<u16> cached_used_event_;
+  /// Used entries pushed with a stale suppression snapshot since the
+  /// last fresh used_event read: the next fresh decision widens its
+  /// crossing window over them (a mergeable RX span must interrupt if
+  /// ANY of its entries passed used_event, not just the last).
+  u16 stale_completions_ = 0;
 };
 
 }  // namespace vfpga::core

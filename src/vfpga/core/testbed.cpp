@@ -25,6 +25,14 @@ TestbedOptions with_ring_format(TestbedOptions options) {
   if (options.use_packed_rings) {
     options.controller.policy.offer_packed = true;
   }
+  // Size the driver's buffer pools for the device's MTU unless the
+  // caller picked a capacity explicitly. At the default MTU of 1500 the
+  // derived value is the legacy 1526-byte frame area.
+  using Datapath = hostos::VirtioNetDriver::DatapathOptions;
+  if (options.datapath.frame_capacity == Datapath{}.frame_capacity) {
+    options.datapath.frame_capacity =
+        Datapath::frame_capacity_for_mtu(options.net.mtu);
+  }
   return options;
 }
 
@@ -70,6 +78,7 @@ VirtioNetTestbed::VirtioNetTestbed(TestbedOptions options)
   ctx.enumerated = &enumerated_.front();
   ctx.irq = &irq_;
   ctx.prefer_packed = options_.use_packed_rings;
+  driver_.set_datapath(options_.datapath);
   const bool bound =
       driver_.probe(ctx, *thread_, options_.requested_queue_pairs);
   VFPGA_ASSERT(bound);

@@ -34,6 +34,12 @@ struct TestbedOptions {
   /// Negotiate VIRTIO_F_RING_PACKED end-to-end (device offer + driver
   /// acceptance). Default off: the paper's controller uses split rings.
   bool use_packed_rings = false;
+  /// Driver datapath: TX descriptor strategy (bounce copy vs zero-copy
+  /// scatter-gather vs indirect), mergeable-RX opt-in and pool sizing.
+  /// frame_capacity is auto-derived from net.mtu when left at its
+  /// default; the all-default struct reproduces the legacy driver bit
+  /// for bit.
+  hostos::VirtioNetDriver::DatapathOptions datapath{};
   u16 udp_port = 4791;
   u16 fpga_udp_port = 9000;
   /// RX/TX queue pairs the driver asks for (VIRTIO_NET_F_MQ). Clamped

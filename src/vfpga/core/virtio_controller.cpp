@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/common/endian.hpp"
 #include "vfpga/common/log.hpp"
 #include "vfpga/fault/fault_plane.hpp"
+#include "vfpga/virtio/net_defs.hpp"
 
 namespace vfpga::core {
 namespace {
@@ -476,18 +478,34 @@ void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
 
     // Stage the device-readable payload into BRAM through the DMA
     // engine (Fig. 2: the engine moves data between host memory and
-    // FPGA memory), then hand it to user logic.
+    // FPGA memory), then hand it to user logic. Multi-segment chains
+    // gather as one pipelined read burst; single-buffer chains keep the
+    // plain transfer path.
     Bytes payload;
-    FpgaAddr bram_cursor = 0;
+    std::vector<xdma::DmaChannel::GatherSegment> gather;
     for (const virtio::Descriptor& d : chain.descriptors) {
       if ((d.flags & virtio::descflags::kWrite) != 0) {
         continue;
       }
-      t = h2c_->transfer(t, d.addr, bram_cursor, d.len);
-      const std::size_t old = payload.size();
-      payload.resize(old + d.len);
-      bram_.read(bram_cursor, ByteSpan{payload}.subspan(old));
-      bram_cursor += d.len;
+      gather.push_back({d.addr, d.len});
+    }
+    if (gather.size() > 1) {
+      u64 total = 0;
+      for (const xdma::DmaChannel::GatherSegment& s : gather) {
+        total += s.bytes;
+      }
+      t = h2c_->transfer_gather(t, gather, 0);
+      payload.resize(total);
+      bram_.read(0, ByteSpan{payload});
+    } else {
+      FpgaAddr bram_cursor = 0;
+      for (const xdma::DmaChannel::GatherSegment& s : gather) {
+        t = h2c_->transfer(t, s.host_addr, bram_cursor, s.bytes);
+        const std::size_t old = payload.size();
+        payload.resize(old + s.bytes);
+        bram_.read(bram_cursor, ByteSpan{payload}.subspan(old));
+        bram_cursor += s.bytes;
+      }
     }
     ++frames_processed_;
 
@@ -607,51 +625,97 @@ sim::SimTime VirtioDeviceFunction::deliver_response(
     t = queue_busy_until_[target];
   }
 
-  if (credits_[target] == 0 || !config_.policy.trust_cached_credits) {
-    const auto poll = eng.poll_available(t);
-    t = poll.done;
-    credits_[target] = poll.value;
-    if (credits_[target] == 0) {
-      VFPGA_WARN("virtio-ctl", "no RX buffer available: dropping response");
+  // §5.1.6.4: with VIRTIO_NET_F_MRG_RXBUF negotiated a received frame
+  // may span several RX buffer chains, each getting its own used entry,
+  // with the first chain's net header carrying the span count. Without
+  // the bit the frame must fit one chain.
+  const virtio::FeatureSet negotiated = offered_.intersect(driver_features_);
+  const bool mergeable =
+      negotiated.has(virtio::feature::net::kMrgRxbuf) &&
+      user_logic_->device_type() == virtio::DeviceType::Net &&
+      response.payload.size() >= virtio::net::NetHeader::kSize;
+
+  // Consume chains until their writable capacity covers the payload
+  // (exactly one without MRG_RXBUF).
+  std::vector<FetchedChain> chains;
+  u64 capacity = 0;
+  while (true) {
+    if (credits_[target] == 0 || !config_.policy.trust_cached_credits) {
+      const auto poll = eng.poll_available(t);
+      t = poll.done;
+      credits_[target] = poll.value;
+      if (credits_[target] == 0) {
+        if (chains.empty()) {
+          VFPGA_WARN("virtio-ctl",
+                     "no RX buffer available: dropping response");
+          queue_busy_until_[target] = t;
+          return t;
+        }
+        break;  // partial span: deliver what fits below
+      }
+    }
+    --credits_[target];
+
+    auto fetched = eng.consume_chain(t);
+    t = fetched.done;
+    if (fetched.value.error) {
+      device_error(t);
       queue_busy_until_[target] = t;
       return t;
     }
-  }
-  --credits_[target];
-
-  auto fetched = eng.consume_chain(t);
-  t = fetched.done;
-  const FetchedChain& chain = fetched.value;
-  if (chain.error) {
-    device_error(t);
-    queue_busy_until_[target] = t;
-    return t;
-  }
-
-  // Stage the response in BRAM, then scatter into the chain's writable
-  // buffers via the C2H engine.
-  bram_.write(0, response.payload);
-  u32 written = 0;
-  std::size_t off = 0;
-  for (const virtio::Descriptor& d : chain.descriptors) {
-    if ((d.flags & virtio::descflags::kWrite) == 0) {
-      continue;
+    for (const virtio::Descriptor& d : fetched.value.descriptors) {
+      if ((d.flags & virtio::descflags::kWrite) != 0) {
+        capacity += d.len;
+      }
     }
-    if (off >= response.payload.size()) {
+    chains.push_back(std::move(fetched.value));
+    if (!mergeable || capacity >= response.payload.size()) {
       break;
     }
-    const u32 chunk = static_cast<u32>(
-        std::min<std::size_t>(d.len, response.payload.size() - off));
-    t = c2h_->transfer(t, d.addr, off, chunk);
-    off += chunk;
-    written += chunk;
   }
-  VFPGA_ASSERT(off == response.payload.size());
 
-  const auto completion =
-      eng.complete_chain(chain, written, t, /*refresh_suppression=*/true);
-  t = completion.engine_free;
-  if (completion.interrupt) {
+  // Stage the response in BRAM — patching the span count into the net
+  // header first — then scatter into the chains' writable buffers via
+  // the C2H engine, one used entry per chain.
+  Bytes staged = response.payload;
+  if (mergeable) {
+    store_le16(ByteSpan{staged}, virtio::net::NetHeader::kNumBuffersOffset,
+               static_cast<u16>(chains.size()));
+  }
+  bram_.write(0, staged);
+  std::size_t off = 0;
+  bool want_interrupt = false;
+  for (std::size_t ci = 0; ci < chains.size(); ++ci) {
+    u32 written = 0;
+    for (const virtio::Descriptor& d : chains[ci].descriptors) {
+      if ((d.flags & virtio::descflags::kWrite) == 0) {
+        continue;
+      }
+      if (off >= staged.size()) {
+        break;
+      }
+      const u32 chunk =
+          static_cast<u32>(std::min<std::size_t>(d.len, staged.size() - off));
+      t = c2h_->transfer(t, d.addr, off, chunk);
+      off += chunk;
+      written += chunk;
+    }
+    // Refresh the suppression snapshot only on the frame's last
+    // completion — the one whose interrupt decision is acted on.
+    const bool last = ci + 1 == chains.size();
+    const auto completion =
+        eng.complete_chain(chains[ci], written, t,
+                           /*refresh_suppression=*/last);
+    t = completion.engine_free;
+    want_interrupt = want_interrupt || completion.interrupt;
+  }
+  if (off < staged.size()) {
+    // The ring ran out of buffers mid-span (or a lone chain was too
+    // small without MRG_RXBUF): a NIC truncates/drops rather than
+    // halting — the driver sees the short `written` total.
+    VFPGA_WARN("virtio-ctl", "RX capacity exhausted: response truncated");
+  }
+  if (want_interrupt) {
     fire_queue_interrupt(target, t);
   } else {
     ++interrupts_suppressed_;

@@ -26,6 +26,8 @@ const char* fault_class_name(FaultClass cls) {
       return "steering-corrupt";
     case FaultClass::kQueueIrqLost:
       return "queue-irq-lost";
+    case FaultClass::kIndirectCorrupt:
+      return "indirect-corrupt";
   }
   VFPGA_UNREACHABLE("bad fault class");
 }

@@ -33,9 +33,10 @@ enum class FaultClass : u8 {
   kEngineHalt,        ///< XDMA descriptor magic corrupted -> engine halt
   kSteeringCorrupt,   ///< RSS steering-table entry corrupts on lookup
   kQueueIrqLost,      ///< per-queue MSI-X message dropped at the device
+  kIndirectCorrupt,   ///< indirect descriptor table corrupts on fetch
 };
 
-inline constexpr std::size_t kFaultClassCount = 10;
+inline constexpr std::size_t kFaultClassCount = 11;
 
 /// Control-plane ring traffic (indices, descriptors, used elements, MSI
 /// messages) is 2-32 bytes; only payload-sized TLPs at or above this

@@ -121,16 +121,22 @@ OpOutcome chardev_op(core::XdmaTestbed& bed, const CampaignConfig& config,
   return outcome;
 }
 
-ClassReport run_udp_class(fault::FaultClass cls,
-                          const CampaignConfig& config) {
+ClassReport run_udp_class(fault::FaultClass cls, const CampaignConfig& config,
+                          bool indirect_datapath = false) {
   ClassReport report;
   report.cls = cls;
-  report.workload = "udp-echo";
+  report.workload = indirect_datapath ? "udp-indir" : "udp-echo";
   for (u64 run = 0; run < config.runs_per_class; ++run) {
     core::TestbedOptions options;
     options.seed = config.base_seed + run;
     options.fault.seed = config.base_seed * 7919 + run;
     options.fault.set_rate(cls, config.fault_rate);
+    if (indirect_datapath) {
+      // Put indirect tables on the hot path so the class has
+      // opportunities to fire (the default TX path never posts one).
+      options.datapath.tx_path =
+          hostos::VirtioNetDriver::TxPath::kScatterGatherIndirect;
+    }
     core::VirtioNetTestbed bed{options};
     ++report.runs;
 
@@ -338,6 +344,11 @@ CampaignResult run_fault_campaign(const CampaignConfig& config) {
         FaultClass::kNotifyLost, FaultClass::kNotifyDup}) {
     result.classes.push_back(run_udp_class(cls, config));
   }
+  // Indirect-table corruption against the UDP workload with the
+  // scatter-gather-indirect TX path negotiated (otherwise no indirect
+  // table is ever fetched and the class would trivially pass).
+  result.classes.push_back(run_udp_class(FaultClass::kIndirectCorrupt, config,
+                                         /*indirect_datapath=*/true));
   // The multi-queue-only classes against the 4-pair UDP workload.
   for (const FaultClass cls :
        {FaultClass::kSteeringCorrupt, FaultClass::kQueueIrqLost}) {

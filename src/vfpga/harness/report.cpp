@@ -151,4 +151,50 @@ std::string maybe_export_csv(const SweepResult& virtio,
   return path;
 }
 
+std::string bench_json_path(const std::string& filename) {
+  const char* dir = std::getenv("VFPGA_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return filename;
+  }
+  return std::string(dir) + "/" + filename;
+}
+
+std::string write_latency_json(const ExperimentConfig& config,
+                               const SweepResult& virtio,
+                               const SweepResult& xdma,
+                               const std::string& source) {
+  const std::string path = bench_json_path("BENCH_latency.json");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return {};
+  }
+  std::fprintf(file,
+               "{\n  \"source\": \"%s\",\n  \"iterations\": %llu,\n"
+               "  \"seed\": %llu,\n  \"cells\": [",
+               source.c_str(),
+               static_cast<unsigned long long>(config.iterations),
+               static_cast<unsigned long long>(config.seed));
+  bool first = true;
+  for (const auto* sweep : {&virtio, &xdma}) {
+    for (const CellResult& cell : sweep->cells) {
+      const auto s = stats::LatencySummary::from(cell.total_us);
+      std::fprintf(
+          file,
+          "%s\n    {\"driver\": \"%s\", \"payload_bytes\": %llu, "
+          "\"samples\": %zu, \"mean_us\": %.3f, \"stddev_us\": %.3f, "
+          "\"p50_us\": %.3f, \"p95_us\": %.3f, \"p99_us\": %.3f, "
+          "\"p999_us\": %.3f, \"max_us\": %.3f, \"failures\": %llu}",
+          first ? "" : ",", sweep->driver_name.c_str(),
+          static_cast<unsigned long long>(cell.payload),
+          cell.total_us.count(), s.mean_us, s.stddev_us, s.median_us,
+          s.p95_us, s.p99_us, s.p999_us, s.max_us,
+          static_cast<unsigned long long>(cell.failures));
+      first = false;
+    }
+  }
+  std::fputs("\n  ]\n}\n", file);
+  std::fclose(file);
+  return path;
+}
+
 }  // namespace vfpga::harness

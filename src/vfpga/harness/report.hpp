@@ -36,4 +36,17 @@ std::string maybe_export_csv(const SweepResult& virtio,
                              const SweepResult& xdma,
                              const std::string& name);
 
+/// Where BENCH_*.json CI artifacts land: $VFPGA_JSON_DIR when set, the
+/// current working directory otherwise.
+std::string bench_json_path(const std::string& filename);
+
+/// Machine-readable latency export for CI artifact upload: the full
+/// distribution summary (mean/stddev/p50/p95/p99/p99.9) per (driver,
+/// payload) cell, tagged with the emitting bench. Returns the path
+/// written, or empty on I/O failure.
+std::string write_latency_json(const ExperimentConfig& config,
+                               const SweepResult& virtio,
+                               const SweepResult& xdma,
+                               const std::string& source);
+
 }  // namespace vfpga::harness

@@ -1,0 +1,64 @@
+// Large-payload streaming workload over the zero-copy datapath.
+//
+// Sweeps jumbo UDP payloads (1 KB..60 KB) through the echo testbed in
+// four TX/RX shapes — the legacy bounce-copy path and the zero-copy
+// scatter-gather paths (chained descriptors, one-slot indirect tables,
+// indirect + mergeable RX buffers) — on both ring formats. Each cell
+// reports goodput (Gb/s, both directions) and the round-trip latency
+// distribution; the bench gates on the expected ordering
+// indirect >= chained >= copy at payloads of 4 KB and above.
+#pragma once
+
+#include <vector>
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/stats/summary.hpp"
+
+namespace vfpga::harness {
+
+/// The datapath shapes the streaming sweep compares.
+enum class StreamMode : u8 {
+  kCopy,       ///< bounce-copy TX (copy charged), single-buffer RX
+  kChained,    ///< zero-copy sg TX as a chained descriptor list
+  kIndirect,   ///< zero-copy sg TX via one-slot indirect tables
+  kMergeable,  ///< indirect TX + mergeable RX buffer spans
+};
+
+[[nodiscard]] const char* stream_mode_name(StreamMode mode);
+
+struct StreamingConfig {
+  /// Measured round trips per cell (VFPGA_ITERATIONS overrides).
+  u64 iterations = 400;
+  u64 warmup = 8;
+  u64 seed = 2024;
+  /// Jumbo payload sweep; the top size approaches the IPv4 limit.
+  std::vector<u64> payloads = {1024, 4096, 16384, 61440};
+  /// Device MTU for the jumbo testbed (frame capacity derives from it).
+  u16 mtu = 63000;
+  /// Per-RX-buffer size in the mergeable cell.
+  u32 mrg_buffer_bytes = 4096;
+
+  static StreamingConfig from_env();
+};
+
+struct StreamingCellResult {
+  StreamMode mode = StreamMode::kCopy;
+  bool packed = false;
+  u64 payload = 0;
+  /// Application goodput over the measured window, counting payload
+  /// bytes in both directions.
+  double gbps = 0.0;
+  stats::SampleSet rtt_us;
+  u64 failures = 0;
+  u64 tx_sg_segments = 0;
+  u64 rx_merged_frames = 0;
+  bool mergeable_negotiated = false;
+};
+
+/// Run one (mode, ring format, payload) streaming cell on a fresh
+/// jumbo-MTU testbed.
+StreamingCellResult run_streaming_cell(const StreamingConfig& config,
+                                       StreamMode mode, bool packed,
+                                       u64 payload);
+
+}  // namespace vfpga::harness

@@ -48,6 +48,11 @@ CostModelConfig CostModelConfig::fedora_defaults() {
   c.irq_disarm = {nanoseconds(90), 0.25, nanoseconds(40), {}};
   c.irq_rearm = {nanoseconds(180), 0.25, nanoseconds(80), {}};
 
+  // Mapping one sg segment for device DMA: streaming-DMA map (cache
+  // maintenance is a no-op on x86; the cost is the IOMMU/swiotlb check
+  // plus the sg entry build). Cheap relative to copying a page.
+  c.dma_map_segment = {nanoseconds(80), 0.20, nanoseconds(40), {}};
+
   // XDMA character-device driver segments. Submission pins user pages,
   // builds the SG table and descriptors, and flushes them — the
   // per-transfer work VirtIO does not have (§IV-A).
@@ -107,8 +112,16 @@ sim::SimTime HostThread::spin_until(sim::SimTime t) {
 }
 
 void HostThread::copy(u64 bytes) {
-  const double ns =
-      costs_->copy_ns_per_kib * static_cast<double>(bytes) / 1024.0;
+  double ns = costs_->copy_ns_per_kib * static_cast<double>(bytes) / 1024.0;
+  if (bytes > costs_->copy_cold_threshold_bytes) {
+    // Beyond the cache-resident regime every additional byte also pays
+    // the memory-bandwidth-bound rate. Single exec_fixed either way, so
+    // the RNG draw count (and thus every baseline timeline) is
+    // unchanged by the tier.
+    ns += costs_->copy_cold_extra_ns_per_kib *
+          static_cast<double>(bytes - costs_->copy_cold_threshold_bytes) /
+          1024.0;
+  }
   exec_fixed(from_nanos(ns));
 }
 

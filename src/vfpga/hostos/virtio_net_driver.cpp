@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <vector>
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/common/endian.hpp"
 #include "vfpga/core/virtio_controller.hpp"
 #include "vfpga/hostos/interrupt.hpp"
 #include "vfpga/virtio/net_defs.hpp"
@@ -48,6 +50,9 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
   wanted.set(virtio::feature::net::kMac);
   wanted.set(virtio::feature::net::kMtu);
   wanted.set(virtio::feature::net::kStatus);
+  if (datapath_.want_mrg_rxbuf) {
+    wanted.set(virtio::feature::net::kMrgRxbuf);
+  }
   if (requested_pairs_ > 1) {
     wanted.set(virtio::feature::net::kCtrlVq);
     wanted.set(virtio::feature::net::kMq);
@@ -55,6 +60,15 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
   if (!transport_.begin_probe(ctx_, virtio::DeviceType::Net, wanted, thread)) {
     return false;
   }
+
+  // RX pool sizing: single-buffer layout holds hdr + a full frame;
+  // mergeable posts small buffers and lets frames span several.
+  mrg_active_ = transport_.negotiated().has(virtio::feature::net::kMrgRxbuf);
+  rx_buffer_bytes_ = mrg_active_
+                         ? datapath_.mrg_buffer_bytes
+                         : static_cast<u32>(NetHeader::kSize) +
+                               datapath_.frame_capacity;
+  VFPGA_EXPECTS(rx_buffer_bytes_ > NetHeader::kSize);
 
   // Multiqueue: MQ requires the control queue to enable the pairs
   // (§5.1.5.1.1); without both negotiated, fall back to a single pair.
@@ -78,9 +92,12 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
   }
   for (PairState& ps : pair_state_) {
     // Rings are rebuilt below: the device's completion log restarts at
-    // zero, and any coalesced-but-unpublished TX frames are forfeit.
+    // zero, and any coalesced-but-unpublished TX frames are forfeit —
+    // as is a mergeable span caught mid-reassembly.
     ps.rx_harvest_seq = 0;
     ps.tx_pending_kick = 0;
+    ps.rx_partial.clear();
+    ps.rx_partial_remaining = 0;
   }
 
   // MSI-X: entry 0 = config changes, then per pair RX = 1+2p, TX = 2+2p
@@ -111,7 +128,8 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
     ps.tx_free.clear();
     for (u16 i = 0; i < tx.size(); ++i) {
       if (ps.tx_buffers[i].hdr_addr == 0) {
-        const HostAddr base = memory.allocate(NetHeader::kSize + 1526, 64);
+        const HostAddr base = memory.allocate(
+            NetHeader::kSize + datapath_.frame_capacity, 64);
         ps.tx_buffers[i].hdr_addr = base;
         ps.tx_buffers[i].frame_addr = base + NetHeader::kSize;
       }
@@ -304,7 +322,7 @@ bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
                                  u16 csum_offset, u16 pair,
                                  bool more_coming) {
   VFPGA_EXPECTS(bound());
-  VFPGA_EXPECTS(frame.size() <= 1526);
+  VFPGA_EXPECTS(frame.size() <= datapath_.frame_capacity);
   VFPGA_EXPECTS(pair < pairs_);
   thread.exec(thread.costs().virtio_xmit);
 
@@ -339,11 +357,60 @@ bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
   memory.write(ps.tx_buffers[slot].hdr_addr, hdr_bytes);
   memory.write(ps.tx_buffers[slot].frame_addr, frame);
 
-  const virtio::ChainBuffer chain{
-      ps.tx_buffers[slot].hdr_addr,
-      static_cast<u32>(NetHeader::kSize + frame.size()), false};
-  const auto handle = tx.add_chain(std::span{&chain, 1}, slot);
-  VFPGA_ASSERT(handle.has_value());
+  std::optional<u16> handle;
+  if (datapath_.tx_path == TxPath::kBounceCopy) {
+    // Contiguous bounce buffer, one descriptor. The calibrated
+    // virtio_xmit segment covers the sub-MTU memcpy; jumbo payloads
+    // charge it explicitly when asked to.
+    if (datapath_.charge_tx_copy) {
+      thread.copy(NetHeader::kSize + frame.size());
+    }
+    const virtio::ChainBuffer chain{
+        ps.tx_buffers[slot].hdr_addr,
+        static_cast<u32>(NetHeader::kSize + frame.size()), false};
+    handle = tx.add_chain(std::span{&chain, 1}, slot);
+  } else {
+    // Zero-copy: the header and the frame's pages go out as separate
+    // descriptors — no bounce memcpy; the charge is one DMA mapping per
+    // segment (dma_map_single / sg-entry build).
+    const u32 seg = std::max<u32>(datapath_.sg_segment_bytes, 1);
+    std::vector<virtio::ChainBuffer> sg;
+    sg.reserve(2 + frame.size() / seg);
+    sg.push_back(virtio::ChainBuffer{ps.tx_buffers[slot].hdr_addr,
+                                     static_cast<u32>(NetHeader::kSize),
+                                     false});
+    for (u64 off = 0; off < frame.size(); off += seg) {
+      const u32 chunk =
+          static_cast<u32>(std::min<u64>(seg, frame.size() - off));
+      sg.push_back(virtio::ChainBuffer{ps.tx_buffers[slot].frame_addr + off,
+                                       chunk, false});
+    }
+    for (u64 i = 0; i < sg.size(); ++i) {
+      thread.exec(thread.costs().dma_map_segment);
+    }
+    tx_sg_segments_ += sg.size();
+    const bool indirect =
+        datapath_.tx_path == TxPath::kScatterGatherIndirect &&
+        transport_.negotiated().has(virtio::feature::kRingIndirectDesc);
+    const std::span<const virtio::ChainBuffer> list{sg.data(), sg.size()};
+    handle = indirect ? tx.add_chain_indirect(list, slot)
+                      : tx.add_chain(list, slot);
+    if (!handle.has_value()) {
+      // A chained sg-list needs one ring descriptor per segment, so the
+      // ring can fill before the slot pool does. Reclaim completions and
+      // retry once; drop on a genuinely full ring.
+      while (const auto completion = tx.harvest()) {
+        ps.tx_free.push_back(static_cast<u32>(completion->token));
+      }
+      handle = indirect ? tx.add_chain_indirect(list, slot)
+                        : tx.add_chain(list, slot);
+    }
+  }
+  if (!handle.has_value()) {
+    ps.tx_free.push_front(slot);
+    ++tx_dropped_;
+    return false;
+  }
   ++tx_packets_;
   ++ps.tx_pending_kick;
 
@@ -377,21 +444,49 @@ bool VirtioNetDriver::flush_tx(HostThread& thread, u16 pair) {
   return true;
 }
 
-void VirtioNetDriver::harvest_one_rx(virtio::DriverRing& rx, PairState& ps) {
+bool VirtioNetDriver::harvest_one_rx(virtio::DriverRing& rx, PairState& ps) {
   const auto completion = rx.harvest();
   VFPGA_ASSERT(completion.has_value());
   const RxBuffer& buf = ps.rx_buffers[completion->token];
-  VFPGA_ASSERT(completion->written >= NetHeader::kSize);
-  Bytes data = transport_.memory().read_bytes(buf.addr, completion->written);
-  ps.rx_backlog.emplace_back(data.begin() + NetHeader::kSize, data.end());
-  ++rx_packets_;
-  ++ps.rx_packets;
+  const Bytes data =
+      transport_.memory().read_bytes(buf.addr, completion->written);
+  bool frame_done = false;
+  if (ps.rx_partial_remaining > 0) {
+    // Continuation buffer of a mergeable span: raw frame bytes, no
+    // header (§5.1.6.4 — only the first buffer carries virtio_net_hdr).
+    ps.rx_partial.insert(ps.rx_partial.end(), data.begin(), data.end());
+    if (--ps.rx_partial_remaining == 0) {
+      ps.rx_backlog.push_back(std::move(ps.rx_partial));
+      ps.rx_partial = Bytes{};
+      ++rx_packets_;
+      ++ps.rx_packets;
+      ++rx_merged_frames_;
+      frame_done = true;
+    }
+  } else {
+    VFPGA_ASSERT(completion->written >= NetHeader::kSize);
+    const u16 num_buffers =
+        mrg_active_ ? std::max<u16>(load_le16(ConstByteSpan{data},
+                                              NetHeader::kNumBuffersOffset),
+                                    1)
+                    : u16{1};
+    if (num_buffers <= 1) {
+      ps.rx_backlog.emplace_back(data.begin() + NetHeader::kSize, data.end());
+      ++rx_packets_;
+      ++ps.rx_packets;
+      frame_done = true;
+    } else {
+      ps.rx_partial.assign(data.begin() + NetHeader::kSize, data.end());
+      ps.rx_partial_remaining = static_cast<u16>(num_buffers - 1);
+    }
+  }
   ++ps.rx_harvest_seq;
 
   // Recycle the buffer straight back into the avail ring.
   const virtio::ChainBuffer chain{buf.addr, buf.len, true};
   const auto handle = rx.add_chain(std::span{&chain, 1}, completion->token);
   VFPGA_ASSERT(handle.has_value());
+  return frame_done;
 }
 
 u32 VirtioNetDriver::napi_poll(HostThread& thread, u16 pair) {
@@ -402,11 +497,12 @@ u32 VirtioNetDriver::napi_poll(HostThread& thread, u16 pair) {
   auto& rx = rx_queue(pair);
   PairState& ps = pair_state_[pair];
   u32 harvested = 0;
+  u32 buffers = 0;
   while (rx.used_pending()) {
-    harvest_one_rx(rx, ps);
-    ++harvested;
+    harvested += harvest_one_rx(rx, ps) ? 1u : 0u;
+    ++buffers;
   }
-  if (harvested > 0) {
+  if (buffers > 0) {
     rx.publish();
     thread.exec(thread.costs().virtio_rx_refill);
     // Re-enable RX interrupts: ask for one when the next entry lands.
@@ -448,6 +544,7 @@ u32 VirtioNetDriver::busy_poll(HostThread& thread, u16 pair,
   const sim::SimTime deadline = enter + budget;
   const u16 rx_index = virtio::net::rx_queue_index(pair);
   u32 harvested = 0;
+  u32 buffers = 0;
   u64 spins = 0;
   for (;;) {
     VFPGA_ASSERT(spins < busy_poll_policy_.max_spin_iterations);
@@ -470,16 +567,29 @@ u32 VirtioNetDriver::busy_poll(HostThread& thread, u16 pair,
       // interference accrual) until the used-ring write lands.
       thread.spin_until(*visible);
     }
-    if (harvested == 0) {
+    if (buffers == 0) {
       note_rx_wait(pair, thread.now() - enter);
     }
-    harvest_one_rx(rx, ps);
-    ++harvested;
+    // Batched harvest: the one used-idx read this iteration paid for
+    // covers every completion whose used-ring write is already visible,
+    // not just the one the spin ended on — drain them all before the
+    // next poll charge.
+    harvested += harvest_one_rx(rx, ps) ? 1u : 0u;
+    ++buffers;
+    for (;;) {
+      const auto next = ctx_.device->completion_visible_time(
+          rx_index, ps.rx_harvest_seq);
+      if (!next.has_value() || *next > thread.now()) {
+        break;
+      }
+      harvested += harvest_one_rx(rx, ps) ? 1u : 0u;
+      ++buffers;
+    }
   }
   busy_poll_spins_ += spins;
   busy_poll_harvested_ += harvested;
 
-  if (harvested > 0) {
+  if (buffers > 0) {
     rx.publish();  // repost the recycled buffers
     thread.exec(thread.costs().virtio_rx_refill);
     // Retire the interrupts our harvests made moot: deliveries up to

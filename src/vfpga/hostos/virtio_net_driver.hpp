@@ -32,6 +32,55 @@ class VirtioNetDriver {
  public:
   using BindContext = VirtioPciTransport::BindContext;
 
+  /// TX descriptor strategy.
+  enum class TxPath : u8 {
+    /// The paper's driver: memcpy the frame into a contiguous bounce
+    /// buffer, post one descriptor. Default — exactly the legacy shape.
+    kBounceCopy,
+    /// Zero-copy: describe the header and the frame's pages as a
+    /// descriptor chain. No bounce memcpy; charges per-segment DMA
+    /// mapping instead.
+    kScatterGather,
+    /// Zero-copy with the whole sg-list in a one-slot indirect table
+    /// (VIRTIO_RING_F_INDIRECT_DESC): the ring carries one descriptor
+    /// regardless of segment count and the device fetches the table in
+    /// a single DMA read.
+    kScatterGatherIndirect,
+  };
+
+  /// Datapath configuration. Must be set before probe(); the buffer
+  /// pools and the feature request are derived from it during
+  /// initialization. Defaults reproduce the legacy driver bit for bit.
+  struct DatapathOptions {
+    TxPath tx_path = TxPath::kBounceCopy;
+    /// Model the bounce memcpy explicitly (thread.copy of hdr+frame) on
+    /// the kBounceCopy path. Off by default: the calibrated virtio_xmit
+    /// segment already folds in the sub-MTU memcpy the paper's figures
+    /// run with; jumbo streaming payloads leave that regime and must
+    /// charge the copy to be comparable with the sg paths.
+    bool charge_tx_copy = false;
+    /// Request VIRTIO_NET_F_MRG_RXBUF: post mrg_buffer_bytes RX buffers
+    /// and let one frame span several (§5.1.6.4).
+    bool want_mrg_rxbuf = false;
+    /// Per-RX-buffer size when mergeable is negotiated.
+    u32 mrg_buffer_bytes = 2048;
+    /// Largest Ethernet frame the TX/RX pools are sized for.
+    u32 frame_capacity = 1526;
+    /// Page granularity of zero-copy TX segments (dma_map_single is
+    /// page-granular on real hardware).
+    u32 sg_segment_bytes = 4096;
+
+    /// Pool sizing for a given device MTU. The constant slack matches
+    /// the legacy 1526-byte frame area at the default MTU of 1500.
+    [[nodiscard]] static constexpr u32 frame_capacity_for_mtu(u32 mtu) {
+      return 14 + mtu + 12;
+    }
+  };
+  void set_datapath(const DatapathOptions& options) { datapath_ = options; }
+  [[nodiscard]] const DatapathOptions& datapath() const { return datapath_; }
+  /// True when VIRTIO_NET_F_MRG_RXBUF was negotiated on the last probe.
+  [[nodiscard]] bool mergeable_rx_active() const { return mrg_active_; }
+
   /// Probe and initialize the device (§3.1.1 init sequence). `thread`
   /// pays the MMIO costs. `requested_pairs` > 1 asks for multiqueue;
   /// the result is capped by what the device supports (and falls back
@@ -201,6 +250,11 @@ class VirtioNetDriver {
   /// accounts for every transmitted frame.
   [[nodiscard]] u64 tx_kicks_coalesced() const { return tx_kicks_coalesced_; }
   [[nodiscard]] u64 tx_dropped() const { return tx_dropped_; }
+  /// Descriptor segments posted by the zero-copy TX paths (0 on the
+  /// bounce-copy path, which posts one contiguous buffer per frame).
+  [[nodiscard]] u64 tx_sg_segments() const { return tx_sg_segments_; }
+  /// RX frames that spanned more than one mergeable buffer.
+  [[nodiscard]] u64 rx_merged_frames() const { return rx_merged_frames_; }
   /// busy_poll() invocations / frames harvested in poll mode / spin
   /// iterations spent across all calls.
   [[nodiscard]] u64 busy_polls() const { return busy_polls_; }
@@ -252,11 +306,17 @@ class VirtioNetDriver {
     /// Adaptive controller: EWMA of observed data-arrival waits, in
     /// microseconds (negative = no observation yet -> spin first).
     double rx_wait_ewma_us = -1.0;
+    /// Mergeable-RX reassembly: frame bytes accumulated so far and the
+    /// continuation buffers still outstanding (§5.1.6.4 num_buffers).
+    Bytes rx_partial;
+    u16 rx_partial_remaining = 0;
   };
 
-  /// Harvest exactly one RX completion into the backlog and recycle its
-  /// buffer (shared by napi_poll and busy_poll).
-  void harvest_one_rx(virtio::DriverRing& rx, PairState& ps);
+  /// Harvest exactly one RX completion and recycle its buffer (shared
+  /// by napi_poll and busy_poll). Returns true when a complete frame
+  /// landed in the backlog (a mergeable span completes only on its last
+  /// buffer).
+  bool harvest_one_rx(virtio::DriverRing& rx, PairState& ps);
 
   [[nodiscard]] virtio::DriverRing& rx_queue(u16 pair);
   [[nodiscard]] virtio::DriverRing& tx_queue(u16 pair);
@@ -276,12 +336,16 @@ class VirtioNetDriver {
 
   std::vector<PairState> pair_state_{1};
   u32 rx_buffer_bytes_ = 12 + 1526;  ///< hdr + max frame
+  DatapathOptions datapath_{};
+  bool mrg_active_ = false;
 
   u64 tx_packets_ = 0;
   u64 rx_packets_ = 0;
   u64 tx_kicks_ = 0;
   u64 tx_kicks_coalesced_ = 0;
   u64 tx_dropped_ = 0;
+  u64 tx_sg_segments_ = 0;
+  u64 rx_merged_frames_ = 0;
   u64 busy_polls_ = 0;
   u64 busy_poll_harvested_ = 0;
   u64 busy_poll_spins_ = 0;

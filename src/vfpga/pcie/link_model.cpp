@@ -54,6 +54,14 @@ sim::Duration LinkModel::dma_read_time(u64 bytes) const {
   return total;
 }
 
+sim::Duration LinkModel::dma_read_burst_time(u64 total_bytes,
+                                             u64 segments) const {
+  VFPGA_EXPECTS(segments > 0);
+  return dma_read_time(total_bytes) +
+         (tlp_wire_time(0) + config_.completion_overhead) *
+             static_cast<i64>(segments - 1);
+}
+
 LinkModel::PostedTiming LinkModel::mmio_write_time(u64 bytes) const {
   // The CPU hands the write to the write-combining buffer / root port and
   // continues; a store to UC MMIO space still costs a pipeline drain.

@@ -69,6 +69,15 @@ class LinkModel {
   /// lands in the device.
   [[nodiscard]] sim::Duration dma_read_time(u64 bytes) const;
 
+  /// Device-initiated pipelined read of a scatter list totalling
+  /// `total_bytes` across `segments` host regions: the requester keeps
+  /// one outstanding tag per segment, so the pipeline flight and memory
+  /// access are paid once for the burst while each extra segment adds
+  /// its own request TLP and completion scheduling. Equals
+  /// dma_read_time(total_bytes) for a single segment.
+  [[nodiscard]] sim::Duration dma_read_burst_time(u64 total_bytes,
+                                                  u64 segments) const;
+
   /// CPU MMIO posted write (doorbell/kick): CPU-visible cost and time
   /// until the write reaches device logic.
   [[nodiscard]] PostedTiming mmio_write_time(u64 bytes = 4) const;

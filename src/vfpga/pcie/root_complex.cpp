@@ -14,6 +14,11 @@ DmaPort::WriteTiming DmaPort::write(sim::SimTime start, HostAddr addr,
   return rc_->endpoint_write(*owner_, start, addr, data);
 }
 
+sim::SimTime DmaPort::read_burst(
+    sim::SimTime start, std::span<const ReadSegment> segments) const {
+  return rc_->endpoint_read_burst(*owner_, start, segments);
+}
+
 u32 RootComplex::attach(Function& fn) {
   functions_.push_back(&fn);
   return static_cast<u32>(functions_.size() - 1);
@@ -67,6 +72,23 @@ sim::SimTime RootComplex::endpoint_read(const Function& fn, sim::SimTime start,
   VFPGA_EXPECTS(fn.config().bus_master_enabled());
   memory_->dma_read(addr, out);
   sim::SimTime done = start + link_.dma_read_time(out.size());
+  if (dma_read_jitter_) {
+    done += dma_read_jitter_();
+  }
+  return done;
+}
+
+sim::SimTime RootComplex::endpoint_read_burst(
+    const Function& fn, sim::SimTime start,
+    std::span<const DmaPort::ReadSegment> segs) {
+  VFPGA_EXPECTS(fn.config().bus_master_enabled());
+  VFPGA_EXPECTS(!segs.empty());
+  u64 total = 0;
+  for (const DmaPort::ReadSegment& s : segs) {
+    memory_->dma_read(s.addr, s.out);
+    total += s.out.size();
+  }
+  sim::SimTime done = start + link_.dma_read_burst_time(total, segs.size());
   if (dma_read_jitter_) {
     done += dma_read_jitter_();
   }

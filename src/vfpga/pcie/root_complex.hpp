@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "vfpga/mem/host_memory.hpp"
@@ -39,6 +40,18 @@ class DmaPort {
   /// Timed DMA read: fills `out` from host memory; returns the time the
   /// last completion beat lands in the device.
   sim::SimTime read(sim::SimTime start, HostAddr addr, ByteSpan out) const;
+
+  /// One host region of a pipelined scatter read.
+  struct ReadSegment {
+    HostAddr addr = 0;
+    ByteSpan out;
+  };
+  /// Timed pipelined DMA read of several host regions issued
+  /// back-to-back (one outstanding tag per segment): the link pipeline
+  /// is charged once for the burst. A single-segment burst is identical
+  /// to read().
+  sim::SimTime read_burst(sim::SimTime start,
+                          std::span<const ReadSegment> segments) const;
 
   struct WriteTiming {
     sim::SimTime issuer_free;  ///< engine can issue its next transaction
@@ -122,6 +135,8 @@ class RootComplex {
 
   sim::SimTime endpoint_read(const Function& fn, sim::SimTime start,
                              HostAddr addr, ByteSpan out);
+  sim::SimTime endpoint_read_burst(const Function& fn, sim::SimTime start,
+                                   std::span<const DmaPort::ReadSegment> segs);
   DmaPort::WriteTiming endpoint_write(const Function& fn, sim::SimTime start,
                                       HostAddr addr, ConstByteSpan data);
 

@@ -28,6 +28,10 @@ struct NetHeader {
   u16 num_buffers = 0;
 
   static constexpr u64 kSize = 12;
+  /// Byte offset of num_buffers within the encoded header — the field a
+  /// MRG_RXBUF device patches after it knows how many RX buffers the
+  /// frame consumed (§5.1.6.4).
+  static constexpr u64 kNumBuffersOffset = 10;
 
   /// flags bits.
   static constexpr u8 kNeedsCsum = 1;   ///< csum_start/offset are valid

@@ -1,5 +1,6 @@
 #include "vfpga/virtio/packed_device.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "vfpga/common/contract.hpp"
@@ -11,6 +12,10 @@ namespace vfpga::virtio {
 namespace pk = packed;
 
 namespace {
+
+/// Descriptors fetched per speculative continuation read: one 64-byte
+/// cacheline of the descriptor ring.
+constexpr u16 kDescFetchWindow = 4;
 
 pk::PackedDescriptor decode(ConstByteSpan raw) {
   VFPGA_EXPECTS(raw.size() >= pk::kDescSize);
@@ -60,7 +65,51 @@ PackedVirtqueueDevice::consume_chain(sim::SimTime start) {
   pk::PackedDescriptor current = *cached_head_;
   cached_head_.reset();
 
+  // Speculative window for chain continuations: packed chains occupy
+  // consecutive ring slots by construction, so the FSM fetches follow-on
+  // descriptors a cacheline at a time instead of one dependent read per
+  // slot. The head was already read by peek_available, so
+  // one-descriptor chains see an unchanged transaction stream.
+  Bytes window;
+  std::size_t window_pos = 0;
+
   for (u16 guard = 0; guard < queue_size_; ++guard) {
+    if ((current.desc_flags & pk::flags::kIndirect) != 0) {
+      // §2.8.8: the descriptor points at a table of packed descriptors;
+      // the whole table arrives in one DMA read. An INDIRECT descriptor
+      // must be the chain's only ring slot (never combined with NEXT),
+      // its length a whole number of entries within the queue size.
+      chain.via_indirect = true;
+      chain.id = current.id;
+      ++chain.descriptor_count;
+      ++avail_cursor_;
+      if (avail_cursor_ == queue_size_) {
+        avail_cursor_ = 0;
+        avail_wrap_ = !avail_wrap_;
+      }
+      const u32 len = current.len;
+      if (!chain.descriptors.empty() ||
+          (current.desc_flags & pk::flags::kNext) != 0 || len == 0 ||
+          len % pk::kDescSize != 0 || len / pk::kDescSize > queue_size_) {
+        chain.error = true;
+        return virtio::Timed<Chain>{std::move(chain), t};
+      }
+      Bytes raw(len);
+      t = port_.read(t, current.addr, raw);
+      const u16 count = static_cast<u16>(len / pk::kDescSize);
+      for (u16 i = 0; i < count; ++i) {
+        const pk::PackedDescriptor entry = decode(ConstByteSpan{raw}.subspan(
+            static_cast<std::size_t>(i) * pk::kDescSize));
+        Descriptor view;
+        view.addr = entry.addr;
+        view.len = entry.len;
+        view.flags = (entry.desc_flags & pk::flags::kWrite) != 0
+                         ? descflags::kWrite
+                         : u16{0};
+        chain.descriptors.push_back(view);
+      }
+      return virtio::Timed<Chain>{std::move(chain), t};
+    }
     Descriptor view;
     view.addr = current.addr;
     view.len = current.len;
@@ -78,12 +127,22 @@ PackedVirtqueueDevice::consume_chain(sim::SimTime start) {
     if ((current.desc_flags & pk::flags::kNext) == 0) {
       return virtio::Timed<Chain>{std::move(chain), t};
     }
-    // Chains occupy consecutive slots: fetch the continuation.
-    std::array<u8, pk::kDescSize> raw{};
-    t = port_.read(t, addrs_.desc + pk::desc_offset(avail_cursor_), raw);
-    current = decode(raw);
+    // Chains occupy consecutive slots: fetch the continuation, pulling
+    // a fresh window when the previous one is exhausted (windows never
+    // span the ring-wrap boundary).
+    if (window_pos >= window.size()) {
+      const u16 count = std::min<u16>(
+          kDescFetchWindow, static_cast<u16>(queue_size_ - avail_cursor_));
+      window.resize(static_cast<std::size_t>(count) * pk::kDescSize);
+      t = port_.read(t, addrs_.desc + pk::desc_offset(avail_cursor_),
+                     ByteSpan{window});
+      window_pos = 0;
+    }
+    current = decode(ConstByteSpan{window}.subspan(window_pos));
+    window_pos += pk::kDescSize;
   }
-  VFPGA_UNREACHABLE("packed chain longer than queue size");
+  chain.error = true;  // chain longer than the queue: corrupted ring
+  return virtio::Timed<Chain>{std::move(chain), t};
 }
 
 pcie::DmaPort::WriteTiming PackedVirtqueueDevice::push_used(

@@ -42,7 +42,14 @@ class PackedVirtqueueDevice {
   /// the cursor. peek_available must have returned true.
   struct Chain {
     u16 id = 0;
-    u16 descriptor_count = 0;
+    u16 descriptor_count = 0;  ///< ring slots consumed (indirect: 1)
+    /// The chain arrived through an indirect table (§2.8.8): one
+    /// table-sized DMA read instead of one read per descriptor.
+    bool via_indirect = false;
+    /// The walk tripped a structural check (INDIRECT mid-chain or with
+    /// NEXT, bad table length, endless chain) — the controller must not
+    /// touch the buffers and should enter the error state.
+    bool error = false;
     std::vector<Descriptor> descriptors;  ///< format-independent view
   };
   virtio::Timed<Chain> consume_chain(sim::SimTime start);

@@ -11,8 +11,11 @@ PackedVirtqueueDriver::PackedVirtqueueDriver(mem::HostMemory& memory,
                                              FeatureSet negotiated)
     : memory_(&memory),
       queue_size_(queue_size),
+      negotiated_(negotiated),
       id_desc_count_(queue_size, 0),
       id_token_(queue_size, 0),
+      indirect_table_(queue_size, 0),
+      indirect_capacity_(queue_size, 0),
       num_free_(queue_size) {
   VFPGA_EXPECTS(queue_size != 0);
   VFPGA_EXPECTS(negotiated.has(feature::kRingPacked));
@@ -69,6 +72,58 @@ std::optional<u16> PackedVirtqueueDriver::add_chain(
   next_avail_slot_ = slot;
   avail_wrap_ = wrap;
   num_free_ = static_cast<u16>(num_free_ - buffers.size());
+  ++pending_publish_;
+  return id;
+}
+
+std::optional<u16> PackedVirtqueueDriver::add_chain_indirect(
+    std::span<const ChainBuffer> buffers, u64 token) {
+  VFPGA_EXPECTS(!buffers.empty());
+  VFPGA_EXPECTS(buffers.size() <= queue_size_);  // §2.8.8 table cap
+  VFPGA_EXPECTS(negotiated_.has(feature::kRingIndirectDesc));
+  if (num_free_ == 0 || free_ids_.empty()) {
+    return std::nullopt;
+  }
+  const u16 id = free_ids_.front();
+  free_ids_.pop_front();
+  id_desc_count_[id] = 1;  // only the INDIRECT slot occupies the ring
+  id_token_[id] = token;
+
+  // Recycle the id's table across uses; grow only when this chain needs
+  // more entries than any previous occupant — steady-state adds are
+  // allocation-free.
+  if (indirect_capacity_[id] < buffers.size()) {
+    indirect_table_[id] =
+        memory_->allocate(pk::kDescSize * buffers.size(), 16);
+    indirect_capacity_[id] = static_cast<u32>(buffers.size());
+  }
+  const HostAddr table = indirect_table_[id];
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const ChainBuffer& b = buffers[i];
+    const HostAddr entry = table + pk::kDescSize * i;
+    memory_->write_le64(entry + pk::kDescAddrOffset, b.addr);
+    memory_->write_le32(entry + pk::kDescLenOffset, b.len);
+    // §2.8.8: WRITE is the only flag valid inside an indirect table;
+    // the id field of table entries is reserved.
+    memory_->write_le16(entry + pk::kDescIdOffset, 0);
+    memory_->write_le16(entry + pk::kDescFlagsOffset,
+                        b.device_writable ? pk::flags::kWrite : u16{0});
+  }
+
+  const HostAddr entry = addrs_.desc + pk::desc_offset(next_avail_slot_);
+  memory_->write_le64(entry + pk::kDescAddrOffset, table);
+  memory_->write_le32(entry + pk::kDescLenOffset,
+                      static_cast<u32>(pk::kDescSize * buffers.size()));
+  memory_->write_le16(entry + pk::kDescIdOffset, id);
+  memory_->write_le16(entry + pk::kDescFlagsOffset,
+                      static_cast<u16>(pk::avail_flags(avail_wrap_) |
+                                       pk::flags::kIndirect));
+  ++next_avail_slot_;
+  if (next_avail_slot_ == queue_size_) {
+    next_avail_slot_ = 0;
+    avail_wrap_ = !avail_wrap_;
+  }
+  --num_free_;
   ++pending_publish_;
   return id;
 }

@@ -30,6 +30,12 @@ class PackedVirtqueueDriver final : public DriverRing {
   [[nodiscard]] u16 free_descriptors() const override { return num_free_; }
   std::optional<u16> add_chain(std::span<const ChainBuffer> buffers,
                                u64 token) override;
+  /// Expose a chain through an indirect table (§2.8.8, requires
+  /// VIRTIO_F_INDIRECT_DESC): the buffers are written into a per-id
+  /// recycled table and a single INDIRECT ring slot carries the whole
+  /// chain — the device discovers any chain length in two DMA reads.
+  std::optional<u16> add_chain_indirect(std::span<const ChainBuffer> buffers,
+                                        u64 token) override;
   u16 publish() override;
   [[nodiscard]] bool should_kick() const override;
   std::optional<Completion> harvest() override;
@@ -54,11 +60,14 @@ class PackedVirtqueueDriver final : public DriverRing {
 
   mem::HostMemory* memory_;
   u16 queue_size_;
+  FeatureSet negotiated_;
   RingAddresses addrs_;  ///< desc = ring, avail = driver evt, used = device evt
 
   std::deque<u16> free_ids_;
   std::vector<u16> id_desc_count_;
   std::vector<u64> id_token_;
+  std::vector<HostAddr> indirect_table_;  ///< recycled table per buffer id
+  std::vector<u32> indirect_capacity_;    ///< entries each table can hold
   u16 num_free_;  ///< free descriptor slots
 
   u16 next_avail_slot_ = 0;

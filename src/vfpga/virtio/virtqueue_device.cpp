@@ -10,6 +10,10 @@
 namespace vfpga::virtio {
 namespace {
 
+/// Descriptors fetched per speculative continuation read: one 64-byte
+/// cacheline of the descriptor table.
+constexpr u16 kDescFetchWindow = 4;
+
 Descriptor decode_descriptor(ConstByteSpan raw) {
   VFPGA_EXPECTS(raw.size() >= kDescSize);
   Descriptor d;
@@ -81,38 +85,71 @@ Timed<std::vector<Descriptor>> VirtqueueDevice::fetch_descriptors(
   return Timed<std::vector<Descriptor>>{std::move(out), done};
 }
 
-Timed<std::vector<Descriptor>> VirtqueueDevice::fetch_chain(
-    u16 head, sim::SimTime start) const {
-  std::vector<Descriptor> chain;
+Timed<ChainFetch> VirtqueueDevice::fetch_chain(u16 head,
+                                               sim::SimTime start) const {
+  ChainFetch out;
   sim::SimTime t = start;
   u16 index = head;
-  // A conformant driver never builds a chain longer than the queue.
+  // Speculative window for chain continuations: free-list drivers lay
+  // chains out as contiguous runs, so once a chain continues the FSM
+  // fetches the next descriptors a cacheline at a time instead of one
+  // dependent read per entry. The head is always a single-descriptor
+  // read, so one-descriptor chains see an unchanged transaction stream.
+  std::vector<Descriptor> window;
+  u16 window_first = 0;
+  // A conformant driver never builds a chain longer than the queue; a
+  // longer walk means the table is corrupt (or loops) and the FSM bails
+  // with the error flag rather than spinning forever.
   for (u16 guard = 0; guard < queue_size_; ++guard) {
-    const Timed<Descriptor> fetched = fetch_descriptor(index, t);
-    t = fetched.done;
+    Timed<Descriptor> fetched{Descriptor{}, t};
+    const bool in_window =
+        !window.empty() && index >= window_first &&
+        static_cast<std::size_t>(index - window_first) < window.size();
+    if (in_window) {
+      fetched.value = window[static_cast<std::size_t>(index - window_first)];
+    } else if (guard == 0) {
+      fetched = fetch_descriptor(index, t);
+      t = fetched.done;
+    } else {
+      const u16 count = std::min<u16>(
+          kDescFetchWindow, static_cast<u16>(queue_size_ - index));
+      auto burst = fetch_descriptors(index, count, t);
+      t = burst.done;
+      window = std::move(burst.value);
+      window_first = index;
+      fetched.value = window.front();
+    }
     if ((fetched.value.flags & descflags::kIndirect) != 0) {
       // §2.7.5.3: the descriptor points at a table of descriptors; the
       // whole table arrives in one DMA read. An indirect descriptor is
-      // never chained and the table entries use table-relative `next`
-      // indices, which for our drivers are laid out sequentially.
-      VFPGA_EXPECTS(chain.empty());
-      VFPGA_EXPECTS(fetched.value.len % kDescSize == 0);
-      const u16 count = static_cast<u16>(fetched.value.len / kDescSize);
-      Bytes raw(fetched.value.len);
+      // never chained, its length must be a whole number of descriptor
+      // entries, and the table must not exceed the queue size; the
+      // table entries use table-relative `next` indices, which for our
+      // drivers are laid out sequentially.
+      out.via_indirect = true;
+      const u32 len = fetched.value.len;
+      if (!out.descriptors.empty() || len == 0 || len % kDescSize != 0 ||
+          len / kDescSize > queue_size_) {
+        out.error = true;
+        return Timed<ChainFetch>{std::move(out), t};
+      }
+      const u16 count = static_cast<u16>(len / kDescSize);
+      Bytes raw(len);
       t = port_.read(t, fetched.value.addr, raw);
       for (u16 i = 0; i < count; ++i) {
-        chain.push_back(decode_descriptor(ConstByteSpan{raw}.subspan(
+        out.descriptors.push_back(decode_descriptor(ConstByteSpan{raw}.subspan(
             static_cast<std::size_t>(i) * kDescSize)));
       }
-      return Timed<std::vector<Descriptor>>{std::move(chain), t};
+      return Timed<ChainFetch>{std::move(out), t};
     }
-    chain.push_back(fetched.value);
+    out.descriptors.push_back(fetched.value);
     if ((fetched.value.flags & descflags::kNext) == 0) {
-      return Timed<std::vector<Descriptor>>{std::move(chain), t};
+      return Timed<ChainFetch>{std::move(out), t};
     }
     index = fetched.value.next;
   }
-  VFPGA_UNREACHABLE("descriptor chain longer than queue size");
+  out.error = true;  // chain longer than the queue: corrupted table
+  return Timed<ChainFetch>{std::move(out), t};
 }
 
 sim::SimTime VirtqueueDevice::gather_payload(std::span<const Descriptor> chain,

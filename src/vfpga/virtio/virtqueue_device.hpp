@@ -25,6 +25,20 @@ struct Timed {
   sim::SimTime done{};
 };
 
+/// Result of a device-side chain walk: the decoded descriptors, whether
+/// they arrived through an indirect table (one table-sized DMA read
+/// instead of one read per descriptor), and whether the walk tripped a
+/// structural check — an indirect descriptor mid-chain, a table length
+/// that is not a multiple of the descriptor size or exceeds the queue
+/// size, or a chain that never terminates. A malformed walk is driver
+/// (or fault-plane) misbehaviour the hardware FSM must survive, so it
+/// is reported instead of asserted.
+struct ChainFetch {
+  std::vector<Descriptor> descriptors;
+  bool via_indirect = false;
+  bool error = false;
+};
+
 class VirtqueueDevice {
  public:
   explicit VirtqueueDevice(pcie::DmaPort port) : port_(port) {}
@@ -53,9 +67,10 @@ class VirtqueueDevice {
                                                    sim::SimTime start) const;
 
   /// Walk a chain starting at `head`, one DMA read per descriptor
-  /// (the paper controller's behaviour). Returns the decoded chain.
-  Timed<std::vector<Descriptor>> fetch_chain(u16 head,
-                                             sim::SimTime start) const;
+  /// (the paper controller's behaviour); an INDIRECT head instead
+  /// fetches its whole table in one read. Malformed structure is
+  /// reported via ChainFetch::error, never asserted.
+  Timed<ChainFetch> fetch_chain(u16 head, sim::SimTime start) const;
 
   /// DMA the contents of a device-readable chain out of host memory.
   /// Appends to `out`; returns completion time.

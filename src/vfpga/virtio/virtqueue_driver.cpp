@@ -16,7 +16,9 @@ VirtqueueDriver::VirtqueueDriver(mem::HostMemory& memory, u16 queue_size,
       queue_size_(queue_size),
       negotiated_(negotiated),
       tokens_(queue_size, 0),
-      chain_len_(queue_size, 0) {
+      chain_len_(queue_size, 0),
+      indirect_table_(queue_size, 0),
+      indirect_capacity_(queue_size, 0) {
   VFPGA_EXPECTS(is_pow2(queue_size));
 
   addrs_.desc = memory.allocate(desc_table_bytes(queue_size), kDescAlign);
@@ -111,14 +113,21 @@ std::optional<u16> VirtqueueDriver::add_chain(
 std::optional<u16> VirtqueueDriver::add_chain_indirect(
     std::span<const ChainBuffer> buffers, u64 token) {
   VFPGA_EXPECTS(!buffers.empty());
+  VFPGA_EXPECTS(buffers.size() <= queue_size_);  // §2.7.5.3.1 table cap
   VFPGA_EXPECTS(negotiated_.has(feature::kRingIndirectDesc));
   if (num_free_ == 0) {
     return std::nullopt;
   }
-  // Build the one-shot table. A real driver recycles these from a slab;
-  // the bump allocator stands in for that (tables are tiny).
-  const HostAddr table =
-      memory_->allocate(kDescSize * buffers.size(), kDescAlign);
+  // Recycle the head's table across uses (a driver's slab of indirect
+  // tables); grow it only when this chain needs more entries than any
+  // previous occupant of the slot — steady-state adds are allocation-free.
+  const u16 head = free_head_;
+  if (indirect_capacity_[head] < buffers.size()) {
+    indirect_table_[head] =
+        memory_->allocate(kDescSize * buffers.size(), kDescAlign);
+    indirect_capacity_[head] = static_cast<u32>(buffers.size());
+  }
+  const HostAddr table = indirect_table_[head];
   for (std::size_t i = 0; i < buffers.size(); ++i) {
     const ChainBuffer& b = buffers[i];
     const HostAddr entry = table + kDescSize * i;
@@ -135,7 +144,6 @@ std::optional<u16> VirtqueueDriver::add_chain_indirect(
   }
 
   // One ring descriptor points at the table.
-  const u16 head = free_head_;
   Descriptor d = read_descriptor(head);
   const u16 next_free = d.next;
   d.addr = table;

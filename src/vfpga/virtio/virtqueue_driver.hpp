@@ -42,11 +42,12 @@ class VirtqueueDriver final : public DriverRing {
 
   /// Expose a chain through an indirect descriptor table (§2.7.5.3.1,
   /// requires VIRTIO_F_INDIRECT_DESC): the buffers are written into a
-  /// one-shot table in host memory and a single INDIRECT descriptor
-  /// occupies the ring — constant ring-slot cost for any chain length,
-  /// and the device can fetch the whole table in one DMA read.
+  /// per-head recycled table in host memory and a single INDIRECT
+  /// descriptor occupies the ring — constant ring-slot cost for any
+  /// chain length, and the device can fetch the whole table in one DMA
+  /// read.
   std::optional<u16> add_chain_indirect(std::span<const ChainBuffer> buffers,
-                                        u64 token);
+                                        u64 token) override;
 
   /// Publish all chains added since the last publish: write avail.idx.
   /// Returns the number of chains published.
@@ -109,6 +110,8 @@ class VirtqueueDriver final : public DriverRing {
 
   std::vector<u64> tokens_;       ///< token per head descriptor
   std::vector<u16> chain_len_;    ///< descriptors per chain, by head
+  std::vector<HostAddr> indirect_table_;  ///< recycled table per head
+  std::vector<u32> indirect_capacity_;    ///< entries each table can hold
   u16 free_head_ = 0;             ///< head of the free-descriptor list
   u16 num_free_ = 0;
   u16 avail_idx_shadow_ = 0;      ///< next avail.idx value to publish

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "vfpga/common/contract.hpp"
 
@@ -101,6 +102,40 @@ DmaChannel::RunResult DmaChannel::run(sim::SimTime start) {
     on_complete(t);
   }
   return result;
+}
+
+sim::SimTime DmaChannel::transfer_gather(
+    sim::SimTime start, std::span<const GatherSegment> segments,
+    FpgaAddr card_addr) {
+  VFPGA_EXPECTS(direction_ == Direction::H2C);
+  VFPGA_EXPECTS(!segments.empty());
+  status_ = regs::kStatusBusy;
+  capture("issue", start);
+  sim::SimTime t = start + config_.clock.cycles(config_.per_descriptor_cycles *
+                                                segments.size());
+  t += config_.clock.cycles(config_.datapath_fixed_cycles);
+
+  u64 total = 0;
+  for (const GatherSegment& s : segments) {
+    VFPGA_EXPECTS(s.bytes > 0);
+    total += s.bytes;
+  }
+  Bytes buffer(total);
+  std::vector<pcie::DmaPort::ReadSegment> reads;
+  reads.reserve(segments.size());
+  u64 offset = 0;
+  for (const GatherSegment& s : segments) {
+    reads.push_back({s.host_addr, ByteSpan{buffer}.subspan(offset, s.bytes)});
+    offset += s.bytes;
+  }
+  t = port_.read_burst(t, reads);
+  card_memory_->write(card_addr, buffer);
+  t += config_.clock.cycles(card_memory_->beats_for(total));
+
+  status_ = regs::kStatusDescCompleted | regs::kStatusDescStopped;
+  ++completed_count_;
+  capture("transfer_done", t);
+  return t;
 }
 
 sim::SimTime DmaChannel::transfer(sim::SimTime start, HostAddr host_addr,

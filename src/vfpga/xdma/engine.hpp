@@ -20,6 +20,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 
 #include "vfpga/fault/fault_plane.hpp"
 #include "vfpga/fpga/clock.hpp"
@@ -92,6 +93,21 @@ class DmaChannel {
   /// delivered to host memory).
   sim::SimTime transfer(sim::SimTime start, HostAddr host_addr,
                         FpgaAddr card_addr, u32 bytes);
+
+  /// One host region of a gathered H2C transfer.
+  struct GatherSegment {
+    HostAddr host_addr = 0;
+    u32 bytes = 0;
+  };
+  /// Fabric-driven H2C scatter-gather: pull every segment into card
+  /// memory (contiguous at `card_addr`) as one pipelined read burst —
+  /// the engine keeps one outstanding read tag per segment, so the link
+  /// pipeline fill and store-and-forward fill are paid once while each
+  /// segment still pays its descriptor decode and request/completion
+  /// handling.
+  sim::SimTime transfer_gather(sim::SimTime start,
+                               std::span<const GatherSegment> segments,
+                               FpgaAddr card_addr);
 
   // ---- status (read by the driver over MMIO) ----------------------------------
 

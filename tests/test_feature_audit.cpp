@@ -1,10 +1,12 @@
 // Feature-bit audit: every bit a device model OFFERS must be backed by
 // implemented behavior. features.hpp declares bits the spec defines but
-// this library does not implement (NET_F_MRG_RXBUF, F_NOTIFICATION_DATA,
+// this library does not implement (F_NOTIFICATION_DATA,
 // NET_F_SPEED_DUPLEX, F_ACCESS_PLATFORM, ...); offering one would invite
 // a driver to negotiate semantics the device cannot deliver. These tests
 // pin the offered sets to explicit whitelists of implemented bits, over
-// every policy/topology combination that changes an offer.
+// every policy/topology combination that changes an offer, and verify
+// that a bit sneaking into the negotiated set without an offer behind it
+// fails loudly at DRIVER_OK rather than silently dropping semantics.
 #include <gtest/gtest.h>
 
 #include "vfpga/core/blk_device.hpp"
@@ -39,6 +41,7 @@ FeatureSet implemented_net() {
   f.set(feature::net::kGuestCsum);
   f.set(feature::net::kMtu);
   f.set(feature::net::kMac);
+  f.set(feature::net::kMrgRxbuf);
   f.set(feature::net::kStatus);
   f.set(feature::net::kCtrlVq);
   f.set(feature::net::kMq);
@@ -72,7 +75,6 @@ FeatureSet unimplemented_transport() {
 
 FeatureSet unimplemented_net() {
   FeatureSet f = unimplemented_transport();
-  f.set(feature::net::kMrgRxbuf);
   f.set(feature::net::kSpeedDuplex);
   return f;
 }
@@ -107,6 +109,9 @@ TEST(FeatureAudit, NetLogicOffersOnlyImplementedBits) {
       EXPECT_EQ(offered.has(feature::net::kMq),
                 offered.has(feature::net::kCtrlVq));
       EXPECT_EQ(offered.has(feature::net::kMq), pairs > 1);
+      // Mergeable RX buffers ride the default personality (the zero-copy
+      // datapath depends on the offer being present).
+      EXPECT_TRUE(offered.has(feature::net::kMrgRxbuf));
     }
   }
 }
@@ -171,6 +176,40 @@ TEST(FeatureAudit, NegotiatedSetMatchesImplementedBehavior) {
     Bytes payload(128, 7);
     EXPECT_TRUE(bed.udp_round_trip(payload).ok);
   }
+}
+
+// The new datapath features are offered AND negotiable end-to-end: a
+// driver asking for MRG_RXBUF + INDIRECT_DESC gets both, and traffic
+// still flows through the mergeable/indirect paths.
+TEST(FeatureAudit, ZeroCopyFeaturesNegotiateEndToEnd) {
+  for (const bool packed : {false, true}) {
+    TestbedOptions options;
+    options.seed = 0xfea8;
+    options.use_packed_rings = packed;
+    options.datapath.tx_path =
+        hostos::VirtioNetDriver::TxPath::kScatterGatherIndirect;
+    options.datapath.want_mrg_rxbuf = true;
+    VirtioNetTestbed bed{options};
+
+    const FeatureSet negotiated = bed.device().negotiated_features();
+    EXPECT_TRUE(negotiated.has(feature::net::kMrgRxbuf));
+    EXPECT_TRUE(negotiated.has(feature::kRingIndirectDesc));
+    EXPECT_TRUE(bed.driver().mergeable_rx_active());
+
+    Bytes payload(128, 9);
+    EXPECT_TRUE(bed.udp_round_trip(payload).ok);
+  }
+}
+
+// A negotiated-but-unoffered device-class bit must abort at DRIVER_OK:
+// some layer invented a feature nothing implements, and the device
+// logic's audit is the last line of defense.
+TEST(FeatureAuditDeathTest, UnofferedNegotiatedBitFailsLoudly) {
+  NetDeviceLogic logic{{}};
+  FeatureSet bogus = logic.device_features();
+  ASSERT_FALSE(logic.device_features().has(feature::net::kSpeedDuplex));
+  bogus.set(feature::net::kSpeedDuplex);
+  EXPECT_DEATH(logic.on_driver_ready(bogus), "");
 }
 
 }  // namespace

@@ -38,17 +38,36 @@ TEST_F(ThreadFixture, BlockUntilNeverGoesBackward) {
             now + sim::microseconds(7));
 }
 
-TEST_F(ThreadFixture, CopyScalesWithBytes) {
+TEST_F(ThreadFixture, CopyScalesLinearlyBelowColdThreshold) {
+  ASSERT_GE(costs.copy_cold_threshold_bytes, u64{1024});
+  thread.copy(256);
+  const sim::Duration quarter_kib = thread.software_time();
+  thread.reset_accounting();
+  thread.copy(1024);
+  EXPECT_NEAR(thread.software_time().nanos(), quarter_kib.nanos() * 4, 1.0);
+}
+
+TEST_F(ThreadFixture, CopyChargesColdTierBeyondThreshold) {
+  // Past the cache-resident threshold every extra byte pays both rates;
+  // a 64 KiB copy therefore costs strictly more than 64x a 1 KiB copy.
   thread.copy(1024);
   const sim::Duration one_kib = thread.software_time();
   thread.reset_accounting();
-  thread.copy(64 * 1024);
-  EXPECT_NEAR(thread.software_time().nanos(), one_kib.nanos() * 64, 1.0);
+  const u64 bytes = 64 * 1024;
+  thread.copy(bytes);
+  const double expected =
+      costs.copy_ns_per_kib * static_cast<double>(bytes) / 1024.0 +
+      costs.copy_cold_extra_ns_per_kib *
+          static_cast<double>(bytes - costs.copy_cold_threshold_bytes) /
+          1024.0;
+  EXPECT_NEAR(thread.software_time().nanos(), expected, 1.0);
+  EXPECT_GT(thread.software_time().nanos(), one_kib.nanos() * 64);
 }
 
 TEST_F(ThreadFixture, CopyCostTracksConfiguredRate) {
   CostModelConfig doubled = costs;
   doubled.copy_ns_per_kib = costs.copy_ns_per_kib * 2.0;
+  doubled.copy_cold_extra_ns_per_kib = costs.copy_cold_extra_ns_per_kib * 2.0;
   HostThread fast{rng, costs, quiet};
   HostThread slow{rng, doubled, quiet};
   for (const u64 bytes : {u64{64}, u64{1024}, u64{16 * 1024}}) {

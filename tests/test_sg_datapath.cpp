@@ -1,0 +1,374 @@
+// Edge cases of the zero-copy scatter-gather datapath, on both ring
+// formats: zero-length segments, chains that exceed the queue, indirect
+// tables with out-of-bounds geometry, and mergeable RX frames that span
+// exactly N buffers (the off-by-one magnet of §5.1.6.4).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/pcie/root_complex.hpp"
+#include "vfpga/virtio/ids.hpp"
+#include "vfpga/virtio/packed_device.hpp"
+#include "vfpga/virtio/packed_driver.hpp"
+#include "vfpga/virtio/ring_layout.hpp"
+#include "vfpga/virtio/virtqueue_device.hpp"
+#include "vfpga/virtio/virtqueue_driver.hpp"
+
+namespace vfpga::virtio {
+namespace {
+
+namespace pk = packed;
+
+/// Dummy endpoint so the device side has a bus-master DMA port.
+class DummyFunction : public pcie::Function {
+ public:
+  DummyFunction() {
+    config().set_ids(0x1af4, 0x1041, 0x1af4, 1);
+    config().define_bar(0, pcie::BarDefinition{4096, false, false});
+    config().write16(pcie::cfg::kCommand,
+                     pcie::cfg::kCommandMemoryEnable |
+                         pcie::cfg::kCommandBusMaster);
+  }
+  u64 bar_read(u32, BarOffset, u32, sim::SimTime) override { return 0; }
+  void bar_write(u32, BarOffset, u64, u32, sim::SimTime) override {}
+};
+
+struct SplitSgFixture : ::testing::Test {
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  DummyFunction fn;
+  FeatureSet features{(1ull << feature::kVersion1) |
+                      (1ull << feature::kRingIndirectDesc)};
+
+  VirtqueueDriver make_driver(u16 size = 8) {
+    return VirtqueueDriver{memory, size, features};
+  }
+  VirtqueueDevice make_device(const VirtqueueDriver& drv) {
+    VirtqueueDevice vq{rc.dma_port(fn)};
+    vq.configure(drv.addresses(), drv.size(), features);
+    return vq;
+  }
+};
+
+TEST_F(SplitSgFixture, ZeroLengthWritableSegmentRoundTrips) {
+  // A zero-length writable segment in the middle of a chain is legal
+  // (length is only a capacity): the device must skip it when
+  // scattering, not write through it or bail out.
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+  const HostAddr empty_buf = memory.allocate(8);
+  const HostAddr data_buf = memory.allocate(64);
+  const std::array<ChainBuffer, 3> chain{
+      ChainBuffer{memory.allocate(8), 8, true},
+      ChainBuffer{empty_buf, 0, true},
+      ChainBuffer{data_buf, 64, true},
+  };
+  const auto head = drv.add_chain(chain, 7);
+  ASSERT_TRUE(head.has_value());
+  drv.publish();
+
+  const auto entry = dev.fetch_avail_entry(0, sim::SimTime{});
+  dev.advance_avail_cursor();
+  const auto fetched = dev.fetch_chain(entry.value, entry.done);
+  ASSERT_FALSE(fetched.value.error);
+  ASSERT_EQ(fetched.value.descriptors.size(), 3u);
+  EXPECT_EQ(fetched.value.descriptors[1].len, 0u);
+
+  Bytes message(72, 0xab);
+  u32 written = 0;
+  const auto timing = dev.scatter_payload(fetched.value.descriptors, message,
+                                          fetched.done, written);
+  EXPECT_EQ(written, 72u);
+  dev.push_used(entry.value, written, timing.issuer_free);
+
+  const auto completion = drv.harvest_used();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_EQ(completion->written, 72u);
+  EXPECT_EQ(memory.read_bytes(data_buf, 64), Bytes(64, 0xab));
+  EXPECT_EQ(drv.free_descriptors(), 8);
+}
+
+TEST_F(SplitSgFixture, ZeroLengthSegmentInsideIndirectTable) {
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+  const HostAddr data_buf = memory.allocate(32);
+  const std::array<ChainBuffer, 3> chain{
+      ChainBuffer{memory.allocate(8), 8, true},
+      ChainBuffer{memory.allocate(8), 0, true},
+      ChainBuffer{data_buf, 32, true},
+  };
+  const auto head = drv.add_chain_indirect(chain, 8);
+  ASSERT_TRUE(head.has_value());
+  drv.publish();
+
+  const auto entry = dev.fetch_avail_entry(0, sim::SimTime{});
+  dev.advance_avail_cursor();
+  const auto fetched = dev.fetch_chain(entry.value, entry.done);
+  ASSERT_FALSE(fetched.value.error);
+  EXPECT_TRUE(fetched.value.via_indirect);
+  ASSERT_EQ(fetched.value.descriptors.size(), 3u);
+
+  Bytes message(40, 0x5d);
+  u32 written = 0;
+  const auto timing = dev.scatter_payload(fetched.value.descriptors, message,
+                                          fetched.done, written);
+  EXPECT_EQ(written, 40u);
+  dev.push_used(entry.value, written, timing.issuer_free);
+  const auto completion = drv.harvest_used();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_EQ(memory.read_bytes(data_buf, 32), Bytes(32, 0x5d));
+}
+
+TEST_F(SplitSgFixture, ChainLongerThanQueueIsRefusedByDriver) {
+  auto drv = make_driver(4);
+  std::vector<ChainBuffer> chain(5, ChainBuffer{memory.allocate(8), 8, false});
+  EXPECT_FALSE(drv.add_chain(chain, 9).has_value());
+  EXPECT_EQ(drv.free_descriptors(), 4);
+  // A chain that fits the queue but not the current free list is also
+  // refused without consuming descriptors.
+  std::vector<ChainBuffer> fits(3, ChainBuffer{memory.allocate(8), 8, false});
+  ASSERT_TRUE(drv.add_chain(fits, 1).has_value());
+  EXPECT_FALSE(drv.add_chain(fits, 2).has_value());
+  EXPECT_EQ(drv.free_descriptors(), 1);
+}
+
+TEST_F(SplitSgFixture, DeviceFlagsEndlessChainAsError) {
+  // A descriptor whose NEXT points back at itself models a corrupted
+  // table: the walk must terminate with the error flag, not spin.
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+  const HostAddr d0 = drv.addresses().desc + desc_offset(0);
+  memory.write_le64(d0 + kDescAddrOffset, memory.allocate(8));
+  memory.write_le32(d0 + kDescLenOffset, 8);
+  memory.write_le16(d0 + kDescFlagsOffset, descflags::kNext);
+  memory.write_le16(d0 + kDescNextOffset, 0);
+
+  const auto fetched = dev.fetch_chain(0, sim::SimTime{});
+  EXPECT_TRUE(fetched.value.error);
+}
+
+TEST_F(SplitSgFixture, IndirectTableWithBadGeometryIsError) {
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+  const HostAddr table = memory.allocate(kDescSize * 16, kDescAlign);
+  const HostAddr d0 = drv.addresses().desc + desc_offset(0);
+  memory.write_le64(d0 + kDescAddrOffset, table);
+  memory.write_le16(d0 + kDescFlagsOffset, descflags::kIndirect);
+
+  // Length not a whole number of descriptor entries.
+  memory.write_le32(d0 + kDescLenOffset, kDescSize + 4);
+  EXPECT_TRUE(dev.fetch_chain(0, sim::SimTime{}).value.error);
+  // Zero-length table.
+  memory.write_le32(d0 + kDescLenOffset, 0);
+  EXPECT_TRUE(dev.fetch_chain(0, sim::SimTime{}).value.error);
+  // More entries than the queue size (§2.7.5.3.1 cap).
+  memory.write_le32(d0 + kDescLenOffset,
+                    static_cast<u32>(kDescSize * (drv.size() + 1)));
+  EXPECT_TRUE(dev.fetch_chain(0, sim::SimTime{}).value.error);
+  // Sanity: a one-entry table with the same ring descriptor is fine.
+  memory.write_le64(table + kDescAddrOffset, memory.allocate(8));
+  memory.write_le32(table + kDescLenOffset, 8);
+  memory.write_le16(table + kDescFlagsOffset, 0);
+  memory.write_le32(d0 + kDescLenOffset, static_cast<u32>(kDescSize));
+  EXPECT_FALSE(dev.fetch_chain(0, sim::SimTime{}).value.error);
+}
+
+struct PackedSgFixture : ::testing::Test {
+  mem::HostMemory memory;
+  pcie::RootComplex rc{memory, pcie::LinkModel{}};
+  DummyFunction fn;
+  FeatureSet features{(1ull << feature::kVersion1) |
+                      (1ull << feature::kRingPacked) |
+                      (1ull << feature::kRingIndirectDesc)};
+
+  PackedVirtqueueDriver make_driver(u16 size = 8) {
+    return PackedVirtqueueDriver{memory, size, features};
+  }
+  PackedVirtqueueDevice make_device(const PackedVirtqueueDriver& drv) {
+    PackedVirtqueueDevice vq{rc.dma_port(fn)};
+    vq.configure(drv.ring_addresses(), drv.size(), features);
+    return vq;
+  }
+
+  /// Write one raw packed descriptor straight into the ring (for
+  /// crafting corrupt geometries the driver would never produce).
+  void write_raw(const PackedVirtqueueDriver& drv, u16 slot, u64 addr,
+                 u32 len, u16 id, u16 flags) {
+    const HostAddr base = drv.ring_addresses().desc + pk::desc_offset(slot);
+    memory.write_le64(base + pk::kDescAddrOffset, addr);
+    memory.write_le32(base + pk::kDescLenOffset, len);
+    memory.write_le16(base + pk::kDescIdOffset, id);
+    memory.write_le16(base + pk::kDescFlagsOffset, flags);
+  }
+};
+
+TEST_F(PackedSgFixture, ZeroLengthWritableSegmentRoundTrips) {
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+  const std::array<ChainBuffer, 3> chain{
+      ChainBuffer{memory.allocate(8), 8, true},
+      ChainBuffer{memory.allocate(8), 0, true},
+      ChainBuffer{memory.allocate(64), 64, true},
+  };
+  ASSERT_TRUE(drv.add_chain(chain, 3).has_value());
+  drv.publish();
+
+  const auto avail = dev.peek_available(sim::SimTime{});
+  ASSERT_TRUE(avail.value);
+  const auto consumed = dev.consume_chain(avail.done);
+  ASSERT_FALSE(consumed.value.error);
+  ASSERT_EQ(consumed.value.descriptors.size(), 3u);
+  EXPECT_EQ(consumed.value.descriptors[1].len, 0u);
+
+  dev.push_used(consumed.value, 72, consumed.done);
+  const auto completion = drv.harvest();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_EQ(completion->token, 3u);
+  EXPECT_EQ(completion->written, 72u);
+  EXPECT_EQ(drv.free_descriptors(), 8);
+}
+
+TEST_F(PackedSgFixture, ChainLongerThanFreeSlotsIsRefusedByDriver) {
+  auto drv = make_driver(4);
+  std::vector<ChainBuffer> chain(5, ChainBuffer{memory.allocate(8), 8, false});
+  EXPECT_FALSE(drv.add_chain(chain, 1).has_value());
+  EXPECT_EQ(drv.free_descriptors(), 4);
+}
+
+TEST_F(PackedSgFixture, DeviceFlagsEndlessChainAsError) {
+  // Every slot claims a continuation: the walk must stop at queue_size
+  // with the error flag (a conformant driver can never produce this).
+  auto drv = make_driver();
+  auto dev = make_device(drv);
+  const HostAddr buf = memory.allocate(8);
+  for (u16 slot = 0; slot < drv.size(); ++slot) {
+    write_raw(drv, slot, buf, 8, slot,
+              static_cast<u16>(pk::flags::kNext | pk::avail_flags(true)));
+  }
+  const auto avail = dev.peek_available(sim::SimTime{});
+  ASSERT_TRUE(avail.value);
+  const auto consumed = dev.consume_chain(avail.done);
+  EXPECT_TRUE(consumed.value.error);
+}
+
+TEST_F(PackedSgFixture, IndirectTableWithBadGeometryIsError) {
+  auto drv = make_driver();
+  const HostAddr table = memory.allocate(pk::kDescSize * 16, 16);
+  const u16 indirect_avail =
+      static_cast<u16>(pk::flags::kIndirect | pk::avail_flags(true));
+
+  // Length not a whole number of entries.
+  {
+    auto dev = make_device(drv);
+    write_raw(drv, 0, table, static_cast<u32>(pk::kDescSize + 4), 0,
+              indirect_avail);
+    const auto avail = dev.peek_available(sim::SimTime{});
+    ASSERT_TRUE(avail.value);
+    EXPECT_TRUE(dev.consume_chain(avail.done).value.error);
+  }
+  // More entries than the queue size.
+  {
+    auto dev = make_device(drv);
+    write_raw(drv, 0, table,
+              static_cast<u32>(pk::kDescSize * (drv.size() + 1)), 0,
+              indirect_avail);
+    const auto avail = dev.peek_available(sim::SimTime{});
+    ASSERT_TRUE(avail.value);
+    EXPECT_TRUE(dev.consume_chain(avail.done).value.error);
+  }
+  // INDIRECT combined with NEXT (§2.8.8 forbids chaining them).
+  {
+    auto dev = make_device(drv);
+    write_raw(drv, 0, table, static_cast<u32>(pk::kDescSize), 0,
+              static_cast<u16>(indirect_avail | pk::flags::kNext));
+    const auto avail = dev.peek_available(sim::SimTime{});
+    ASSERT_TRUE(avail.value);
+    EXPECT_TRUE(dev.consume_chain(avail.done).value.error);
+  }
+}
+
+// ---- mergeable RX spanning exactly N buffers (end-to-end) --------------------
+
+/// Frame bytes preceding the UDP payload as the RX completion sees it:
+/// virtio-net header + Ethernet + IPv4 + UDP.
+constexpr u64 kRxOverhead = 12 + 14 + 20 + 8;
+
+class MergeableSpanTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MergeableSpanTest, FrameSpanningExactlyNBuffersReassembles) {
+  const bool packed = GetParam();
+  core::TestbedOptions options;
+  options.seed = 0x3a9 + (packed ? 1 : 0);
+  options.use_packed_rings = packed;
+  options.net.mtu = 4000;
+  options.datapath.tx_path =
+      hostos::VirtioNetDriver::TxPath::kScatterGatherIndirect;
+  options.datapath.want_mrg_rxbuf = true;
+  options.datapath.mrg_buffer_bytes = 1024;
+  core::VirtioNetTestbed bed{options};
+  ASSERT_TRUE(bed.driver().mergeable_rx_active());
+
+  // Payload sized so the RX completion is an exact multiple of the
+  // buffer size: the device must report exactly N buffers, not N+1 with
+  // a zero-length tail, and the driver must finish reassembly at N.
+  const u64 exact2 = 2 * 1024 - kRxOverhead;
+  Bytes payload(exact2);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<u8>(i * 131 + 5);
+  }
+  const u64 merged_before = bed.driver().rx_merged_frames();
+  EXPECT_TRUE(bed.udp_round_trip(payload).ok);
+  EXPECT_EQ(bed.driver().rx_merged_frames(), merged_before + 1);
+
+  // One byte past the boundary spans one more buffer; one byte short
+  // stays at two. Both must reassemble bit-exactly.
+  payload.push_back(0x7e);
+  EXPECT_TRUE(bed.udp_round_trip(payload).ok);
+  payload.resize(exact2 - 1);
+  EXPECT_TRUE(bed.udp_round_trip(payload).ok);
+
+  // A frame that fits one buffer is not a merged frame.
+  const u64 merged_mid = bed.driver().rx_merged_frames();
+  Bytes small(1024 - kRxOverhead, 0x42);
+  EXPECT_TRUE(bed.udp_round_trip(small).ok);
+  EXPECT_EQ(bed.driver().rx_merged_frames(), merged_mid);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingFormats, MergeableSpanTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& p) {
+                           return p.param ? "packed" : "split";
+                         });
+
+// ---- zero-length iovec segments through the socket surface -------------------
+
+TEST(SgSocketTest, ZeroLengthIovSegmentsSendAndReceive) {
+  core::TestbedOptions options;
+  options.datapath.tx_path = hostos::VirtioNetDriver::TxPath::kScatterGather;
+  core::VirtioNetTestbed bed{options};
+
+  Bytes a(100, 0x11);
+  Bytes b(200, 0x22);
+  const std::array<ConstByteSpan, 4> iov{
+      ConstByteSpan{a}, ConstByteSpan{}, ConstByteSpan{b}, ConstByteSpan{}};
+  ASSERT_TRUE(bed.socket().sendmsg(bed.thread(), bed.fpga_ip(),
+                                   bed.options().fpga_udp_port, iov,
+                                   /*more_coming=*/false, /*zerocopy=*/true));
+
+  Bytes head(100);
+  Bytes hole;
+  Bytes tail(300);
+  std::array<ByteSpan, 3> rx_iov{ByteSpan{head}, ByteSpan{hole},
+                                 ByteSpan{tail}};
+  const auto msg = bed.socket().recvmsg(bed.thread(), rx_iov);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->bytes, 300u);
+  EXPECT_EQ(msg->datagram_bytes, 300u);
+  EXPECT_EQ(head, Bytes(100, 0x11));
+  EXPECT_EQ(Bytes(tail.begin(), tail.begin() + 200), Bytes(200, 0x22));
+}
+
+}  // namespace
+}  // namespace vfpga::virtio

@@ -127,12 +127,14 @@ TEST_F(RingFixture, DeviceSeesDriverDescriptorsThroughDma) {
   EXPECT_EQ(entry.value, *head);
 
   const auto chain = dev.fetch_chain(entry.value, entry.done);
-  ASSERT_EQ(chain.value.size(), 1u);
-  EXPECT_EQ(chain.value[0].addr, buf);
-  EXPECT_EQ(chain.value[0].len, 32u);
+  EXPECT_FALSE(chain.value.error);
+  ASSERT_EQ(chain.value.descriptors.size(), 1u);
+  EXPECT_EQ(chain.value.descriptors[0].addr, buf);
+  EXPECT_EQ(chain.value.descriptors[0].len, 32u);
 
   Bytes payload;
-  const auto done = dev.gather_payload(chain.value, payload, chain.done);
+  const auto done =
+      dev.gather_payload(chain.value.descriptors, payload, chain.done);
   EXPECT_EQ(payload, Bytes(32, 0x77));
   EXPECT_GT(done, chain.done);
 }
@@ -153,8 +155,8 @@ TEST_F(RingFixture, FullProtocolRoundTrip) {
   const auto chain = dev.fetch_chain(entry.value, entry.done);
   const Bytes message{'v', 'i', 'r', 't', 'i', 'o'};
   u32 written = 0;
-  const auto scatter =
-      dev.scatter_payload(chain.value, message, chain.done, written);
+  const auto scatter = dev.scatter_payload(chain.value.descriptors, message,
+                                           chain.done, written);
   EXPECT_EQ(written, message.size());
   dev.push_used(entry.value, written, scatter.issuer_free);
 
