@@ -13,12 +13,14 @@
 // Exits non-zero on any gate violation.
 //
 //   --smoke                trimmed sweep for CI
+//   --seed N               base seed override (also VFPGA_BENCH_SEED)
 //   VFPGA_ITERATIONS=300   measured echoes per flow
 //   VFPGA_SEED=45073       base seed
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "bench_seed.hpp"
 #include "vfpga/harness/busy_poll_bench.hpp"
 
 namespace {
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
   }
 
   harness::BusyPollBenchConfig base = harness::BusyPollBenchConfig::from_env();
+  base.seed = bench::base_seed(base.seed, argc, argv);
   std::vector<u16> flow_counts = {1, 4};
   if (smoke) {
     base.payloads = {64, 256, 1024};

@@ -9,6 +9,7 @@
 // lost or steered to the wrong pair — exits non-zero otherwise.
 //
 //   --smoke                  trimmed sweep for CI
+//   --seed N                 base seed override (also VFPGA_BENCH_SEED)
 //   VFPGA_MQ_TRIALS=4        independent trials per cell
 //   VFPGA_MQ_PACKETS=200     measured echoes per flow
 //   VFPGA_SEED=2025          base seed
@@ -16,6 +17,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench_seed.hpp"
 #include "vfpga/harness/multi_flow.hpp"
 
 namespace {
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
   }
 
   harness::MultiFlowConfig base = harness::MultiFlowConfig::from_env();
+  base.seed = bench::base_seed(base.seed, argc, argv);
   std::vector<u16> pair_counts = {1, 2, 4, 8};
   std::vector<u16> flow_counts = {8, 16};
   std::vector<u64> payloads = {64, 256, 1024};

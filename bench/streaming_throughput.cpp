@@ -2,17 +2,24 @@
 //
 // Sweeps jumbo UDP payloads (1 KB..60 KB) x ring format x datapath
 // shape {copy, chained, indirect, mergeable} through the echo testbed,
-// reporting goodput (Gb/s, both directions) and p50/p99 round-trip
-// latency. Acceptance gates, per ring format at payloads >= 4 KB:
-//   - indirect >= chained  (one-slot tables cut the device's
-//     per-descriptor ring reads to a single table fetch);
-//   - chained >= copy      (per-segment DMA mapping beats the
-//     per-byte bounce memcpy once payloads leave the cache);
-// with a 2% near-tie tolerance at 4 KB where the two costs cross.
-// The mergeable cell must negotiate MRG_RXBUF and reassemble spans.
+// plus two wire-MTU segmentation cells {seg-sw, tso} where the datagram
+// no longer fits one frame: seg-sw slices it on the host (software GSO,
+// per-segment header/checksum work on the CPU), tso hands the device
+// ONE superframe (HOST_UFO) and receives the echo GRO-coalesced
+// (GUEST_UFO). Reports goodput (Gb/s, both directions) and p50/p99
+// round-trip latency. Acceptance gates, per ring format:
+//   - indirect >= chained >= copy at payloads >= 4 KB (as before);
+//   - tso >= seg-sw at payloads >= 4 KB (the offload must beat the
+//     software fallback it replaces);
+//   - tso >= indirect at payloads >= 16 KB (segmentation offload at
+//     wire MTU must at least match the jumbo-MTU zero-copy path);
+// with a near-tie tolerance where costs cross. The mergeable cell must
+// negotiate MRG_RXBUF and reassemble spans; the tso cell must negotiate
+// the offload, submit superframes and see GRO coalescing end to end.
 // Exits non-zero on any gate violation.
 //
 //   --smoke                trimmed sweep for CI
+//   --seed N               base seed override (also VFPGA_BENCH_SEED)
 //   VFPGA_ITERATIONS=200   measured round trips per cell
 //   VFPGA_SEED=2024        base seed
 #include <cstdio>
@@ -20,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_seed.hpp"
 #include "vfpga/harness/report.hpp"
 #include "vfpga/harness/streaming.hpp"
 
@@ -33,6 +41,7 @@ int main(int argc, char** argv) {
   }
 
   harness::StreamingConfig config = harness::StreamingConfig::from_env();
+  config.seed = bench::base_seed(config.seed, argc, argv);
   if (smoke) {
     config.payloads = {4096, 16384};
     config.iterations = std::min<u64>(config.iterations, 120);
@@ -40,32 +49,34 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<harness::StreamMode> modes = {
-      harness::StreamMode::kCopy, harness::StreamMode::kChained,
-      harness::StreamMode::kIndirect, harness::StreamMode::kMergeable};
+      harness::StreamMode::kCopy,      harness::StreamMode::kChained,
+      harness::StreamMode::kIndirect,  harness::StreamMode::kMergeable,
+      harness::StreamMode::kSegmentedSw, harness::StreamMode::kOffload};
 
   std::printf(
-      "streaming_throughput: %llu round trips/cell, mtu %u%s\n\n"
-      "%6s %10s %8s | %8s %8s %8s | %9s %7s\n",
+      "streaming_throughput: %llu round trips/cell, mtu %u (wire %u)%s\n\n"
+      "%6s %10s %8s | %8s %8s %8s | %9s %7s %7s\n",
       static_cast<unsigned long long>(config.iterations), config.mtu,
-      smoke ? " (smoke)" : "", "ring", "mode", "payload", "Gb/s", "p50 us",
-      "p99 us", "sg segs", "merged");
+      config.wire_mtu, smoke ? " (smoke)" : "", "ring", "mode", "payload",
+      "Gb/s", "p50 us", "p99 us", "sg segs", "merged", "gro");
 
   bool ok = true;
   std::vector<harness::StreamingCellResult> cells;
   for (const bool packed : {false, true}) {
     for (const u64 payload : config.payloads) {
-      harness::StreamingCellResult row[4];
+      harness::StreamingCellResult row[6];
       for (std::size_t m = 0; m < modes.size(); ++m) {
         row[m] = harness::run_streaming_cell(config, modes[m], packed,
                                              payload);
         const harness::StreamingCellResult& r = row[m];
-        std::printf("%6s %10s %8llu | %8.2f %8.1f %8.1f | %9llu %7llu\n",
-                    packed ? "packed" : "split",
-                    harness::stream_mode_name(r.mode),
-                    static_cast<unsigned long long>(payload), r.gbps,
-                    r.rtt_us.percentile(50), r.rtt_us.percentile(99),
-                    static_cast<unsigned long long>(r.tx_sg_segments),
-                    static_cast<unsigned long long>(r.rx_merged_frames));
+        std::printf(
+            "%6s %10s %8llu | %8.2f %8.1f %8.1f | %9llu %7llu %7llu\n",
+            packed ? "packed" : "split", harness::stream_mode_name(r.mode),
+            static_cast<unsigned long long>(payload), r.gbps,
+            r.rtt_us.percentile(50), r.rtt_us.percentile(99),
+            static_cast<unsigned long long>(r.tx_sg_segments),
+            static_cast<unsigned long long>(r.rx_merged_frames),
+            static_cast<unsigned long long>(r.gro_coalesced));
         if (r.failures != 0) {
           std::printf("  FAIL: %llu round trips failed (%s)\n",
                       static_cast<unsigned long long>(r.failures),
@@ -79,6 +90,8 @@ int main(int argc, char** argv) {
       const harness::StreamingCellResult& chained = row[1];
       const harness::StreamingCellResult& indirect = row[2];
       const harness::StreamingCellResult& mergeable = row[3];
+      const harness::StreamingCellResult& seg_sw = row[4];
+      const harness::StreamingCellResult& tso = row[5];
       if (payload >= 4096) {
         // Near-tie tolerance where the copy and mapping costs cross.
         const double tol = payload <= 4096 ? 0.02 : 0.01;
@@ -94,6 +107,26 @@ int main(int argc, char** argv) {
           std::printf("  FAIL: chained %.2f Gb/s < copy %.2f Gb/s "
                       "(%s, payload %llu)\n",
                       chained.gbps, copy.gbps, packed ? "packed" : "split",
+                      static_cast<unsigned long long>(payload));
+          ok = false;
+        }
+        if (tso.gbps < seg_sw.gbps * (1.0 - tol)) {
+          std::printf("  FAIL: tso %.2f Gb/s < seg-sw %.2f Gb/s "
+                      "(%s, payload %llu)\n",
+                      tso.gbps, seg_sw.gbps, packed ? "packed" : "split",
+                      static_cast<unsigned long long>(payload));
+          ok = false;
+        }
+      }
+      if (payload >= 16384) {
+        // The headline gate: at large payloads the offloaded wire-MTU
+        // path must at least match the jumbo-MTU indirect-sg path the
+        // previous sweep crowned (one superframe each way, segmentation
+        // on the fabric, one interrupt, one stack traversal).
+        if (tso.gbps < indirect.gbps * (1.0 - 0.01)) {
+          std::printf("  FAIL: tso %.2f Gb/s < indirect %.2f Gb/s "
+                      "(%s, payload %llu)\n",
+                      tso.gbps, indirect.gbps, packed ? "packed" : "split",
                       static_cast<unsigned long long>(payload));
           ok = false;
         }
@@ -115,6 +148,41 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(copy.tx_sg_segments));
         ok = false;
       }
+      if (!tso.tso_negotiated) {
+        std::printf("  FAIL: HOST_UFO did not negotiate (%s)\n",
+                    packed ? "packed" : "split");
+        ok = false;
+      }
+      const u64 wire_payload = static_cast<u64>(config.wire_mtu) - 28;
+      if (payload > wire_payload) {
+        if (tso.tx_superframes == 0 || tso.gro_coalesced == 0 ||
+            tso.rx_gro_frames == 0) {
+          std::printf("  FAIL: tso cell saw no offload traffic "
+                      "(superframes %llu, gro %llu/%llu) (%s, payload "
+                      "%llu)\n",
+                      static_cast<unsigned long long>(tso.tx_superframes),
+                      static_cast<unsigned long long>(tso.gro_coalesced),
+                      static_cast<unsigned long long>(tso.rx_gro_frames),
+                      packed ? "packed" : "split",
+                      static_cast<unsigned long long>(payload));
+          ok = false;
+        }
+        if (seg_sw.sw_gso_segments == 0) {
+          std::printf("  FAIL: seg-sw cell produced no software segments "
+                      "(%s, payload %llu)\n",
+                      packed ? "packed" : "split",
+                      static_cast<unsigned long long>(payload));
+          ok = false;
+        }
+        if (tso.sw_gso_segments != 0) {
+          std::printf("  FAIL: tso cell fell back to software GSO "
+                      "(%llu segments) (%s, payload %llu)\n",
+                      static_cast<unsigned long long>(tso.sw_gso_segments),
+                      packed ? "packed" : "split",
+                      static_cast<unsigned long long>(payload));
+          ok = false;
+        }
+      }
     }
     std::printf("\n");
   }
@@ -124,9 +192,10 @@ int main(int argc, char** argv) {
   if (std::FILE* file = std::fopen(path.c_str(), "w")) {
     std::fprintf(file,
                  "{\n  \"source\": \"streaming_throughput\",\n"
-                 "  \"iterations\": %llu,\n  \"mtu\": %u,\n  \"cells\": [",
+                 "  \"iterations\": %llu,\n  \"mtu\": %u,\n"
+                 "  \"wire_mtu\": %u,\n  \"cells\": [",
                  static_cast<unsigned long long>(config.iterations),
-                 config.mtu);
+                 config.mtu, config.wire_mtu);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const harness::StreamingCellResult& r = cells[i];
       std::fprintf(
@@ -134,13 +203,19 @@ int main(int argc, char** argv) {
           "%s\n    {\"ring\": \"%s\", \"mode\": \"%s\", "
           "\"payload_bytes\": %llu, \"gbps\": %.4f, \"p50_us\": %.3f, "
           "\"p99_us\": %.3f, \"tx_sg_segments\": %llu, "
-          "\"rx_merged_frames\": %llu, \"failures\": %llu}",
+          "\"rx_merged_frames\": %llu, \"tx_superframes\": %llu, "
+          "\"sw_gso_segments\": %llu, \"gro_coalesced\": %llu, "
+          "\"rx_gro_frames\": %llu, \"failures\": %llu}",
           i == 0 ? "" : ",", r.packed ? "packed" : "split",
           harness::stream_mode_name(r.mode),
           static_cast<unsigned long long>(r.payload), r.gbps,
           r.rtt_us.percentile(50), r.rtt_us.percentile(99),
           static_cast<unsigned long long>(r.tx_sg_segments),
           static_cast<unsigned long long>(r.rx_merged_frames),
+          static_cast<unsigned long long>(r.tx_superframes),
+          static_cast<unsigned long long>(r.sw_gso_segments),
+          static_cast<unsigned long long>(r.gro_coalesced),
+          static_cast<unsigned long long>(r.rx_gro_frames),
           static_cast<unsigned long long>(r.failures));
     }
     std::fputs("\n  ]\n}\n", file);

@@ -5,6 +5,7 @@
 #include "vfpga/common/contract.hpp"
 #include "vfpga/fault/fault_plane.hpp"
 #include "vfpga/net/arp.hpp"
+#include "vfpga/net/gso.hpp"
 #include "vfpga/net/icmp.hpp"
 #include "vfpga/net/ethernet.hpp"
 #include "vfpga/net/ipv4.hpp"
@@ -37,8 +38,22 @@ virtio::FeatureSet NetDeviceLogic::device_features() const {
   if (config_.offer_mrg_rxbuf) {
     f.set(virtio::feature::net::kMrgRxbuf);
   }
+  if (config_.offer_gso && config_.offer_csum) {
+    // The segmenter writes per-segment checksums, so the HOST offloads
+    // ride the CSUM offer (§5.1.3.1: HOST_TSO/UFO require CSUM).
+    f.set(virtio::feature::net::kHostTso4);
+    f.set(virtio::feature::net::kHostUfo);
+  }
+  if (config_.offer_gso && config_.offer_guest_csum) {
+    f.set(virtio::feature::net::kGuestTso4);
+    f.set(virtio::feature::net::kGuestUfo);
+  }
   if (config_.max_queue_pairs > 1) {
     f.set(virtio::feature::net::kMq);
+    f.set(virtio::feature::net::kCtrlVq);
+  }
+  if (config_.offer_notf_coal) {
+    f.set(virtio::feature::net::kNotfCoal);
     f.set(virtio::feature::net::kCtrlVq);
   }
   return f;
@@ -54,7 +69,21 @@ void NetDeviceLogic::on_driver_ready(virtio::FeatureSet negotiated) {
   VFPGA_EXPECTS(
       virtio::FeatureSet{negotiated.bits() & ~kTransportBits}.subset_of(
           device_features()));
+  // Spec feature dependencies (§5.1.3.1): a driver accepting a
+  // segmentation offload without the matching checksum offload — or
+  // notification coalescing without a control queue — negotiated a
+  // combination whose RX/ctrl semantics are undefined. Fail loudly.
+  namespace nf = virtio::feature::net;
+  VFPGA_EXPECTS(!negotiated.has(nf::kGuestTso4) ||
+                negotiated.has(nf::kGuestCsum));
+  VFPGA_EXPECTS(!negotiated.has(nf::kGuestUfo) ||
+                negotiated.has(nf::kGuestCsum));
+  VFPGA_EXPECTS(!negotiated.has(nf::kHostTso4) || negotiated.has(nf::kCsum));
+  VFPGA_EXPECTS(!negotiated.has(nf::kHostUfo) || negotiated.has(nf::kCsum));
+  VFPGA_EXPECTS(!negotiated.has(nf::kNotfCoal) ||
+                negotiated.has(nf::kCtrlVq));
   negotiated_ = negotiated;
+  rx_coal_ = {};  // moderation defaults to immediate interrupts
   // §5.1.5: the device comes up with one active pair regardless of what
   // it supports; more are enabled only by a later
   // VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET on the control queue.
@@ -97,19 +126,52 @@ std::optional<UserLogic::Response> NetDeviceLogic::process_ctrl(
     return std::nullopt;
   }
   const u64 cycles = config_.fixed_cycles;
-  if (payload.size() < 4 || payload[0] != virtio::net::kCtrlClassMq ||
-      payload[1] != virtio::net::kCtrlMqVqPairsSet) {
+  if (payload.size() < 2) {
     ++ctrl_rejected_;
     return ctrl_response(queue, virtio::net::kCtrlErr, cycles);
   }
-  const u16 pairs = load_le16(payload, 2);
-  if (pairs < virtio::net::kMqPairsMin || pairs > config_.max_queue_pairs) {
-    ++ctrl_rejected_;
-    return ctrl_response(queue, virtio::net::kCtrlErr, cycles);
+  if (payload[0] == virtio::net::kCtrlClassMq &&
+      payload[1] == virtio::net::kCtrlMqVqPairsSet && payload.size() >= 4) {
+    const u16 pairs = load_le16(payload, 2);
+    if (pairs < virtio::net::kMqPairsMin ||
+        pairs > config_.max_queue_pairs ||
+        !negotiated_.has(virtio::feature::net::kMq)) {
+      ++ctrl_rejected_;
+      return ctrl_response(queue, virtio::net::kCtrlErr, cycles);
+    }
+    active_pairs_ = pairs;
+    reset_steering_table();
+    return ctrl_response(queue, virtio::net::kCtrlOk, cycles);
   }
-  active_pairs_ = pairs;
-  reset_steering_table();
-  return ctrl_response(queue, virtio::net::kCtrlOk, cycles);
+  if (payload[0] == virtio::net::kCtrlClassNotfCoal &&
+      payload[1] == virtio::net::kCtrlNotfCoalRxSet &&
+      payload.size() >= 2 + virtio::net::CoalRxParams::kSize) {
+    if (!negotiated_.has(virtio::feature::net::kNotfCoal)) {
+      ++ctrl_rejected_;
+      return ctrl_response(queue, virtio::net::kCtrlErr, cycles);
+    }
+    rx_coal_.max_usecs = load_le32(payload, 2);
+    rx_coal_.max_packets = load_le32(payload, 6);
+    return ctrl_response(queue, virtio::net::kCtrlOk, cycles);
+  }
+  ++ctrl_rejected_;
+  return ctrl_response(queue, virtio::net::kCtrlErr, cycles);
+}
+
+UserLogic::InterruptModeration NetDeviceLogic::interrupt_moderation(
+    u16 queue) const {
+  // Moderation applies to RX deliveries only; TX/ctrl completions keep
+  // immediate interrupts, as does everything until the driver actually
+  // negotiates NOTF_COAL and programs a window.
+  if (!negotiated_.has(virtio::feature::net::kNotfCoal) ||
+      virtio::net::is_tx_queue(queue) ||
+      (has_ctrl_queue() && queue == ctrl_queue())) {
+    return {};
+  }
+  InterruptModeration m;
+  m.max_frames = std::max<u32>(1, rx_coal_.max_packets);
+  m.holdoff_ns = static_cast<u64>(rx_coal_.max_usecs) * 1000;
+  return m;
 }
 
 u8 NetDeviceLogic::device_config_read(u32 offset) const {
@@ -151,7 +213,7 @@ u64 NetDeviceLogic::processing_cycles(u64 frame_bytes,
 
 std::optional<UserLogic::Response> NetDeviceLogic::process(
     u16 queue, ConstByteSpan payload, u32 writable_capacity) {
-  if (config_.max_queue_pairs > 1 && queue == ctrl_queue()) {
+  if (has_ctrl_queue() && queue == ctrl_queue()) {
     return process_ctrl(queue, payload, writable_capacity);
   }
   VFPGA_EXPECTS(virtio::net::is_tx_queue(queue) &&
@@ -164,6 +226,10 @@ std::optional<UserLogic::Response> NetDeviceLogic::process(
   }
   const NetHeader vhdr = NetHeader::decode(payload);
   Bytes frame(payload.begin() + NetHeader::kSize, payload.end());
+
+  if (vhdr.gso_type != NetHeader::kGsoNone) {
+    return process_gso_udp(vhdr, frame);
+  }
 
   const auto parsed_eth = net::parse_ethernet_frame(frame);
   if (!parsed_eth.has_value()) {
@@ -331,6 +397,114 @@ std::optional<UserLogic::Response> NetDeviceLogic::process(
       processing_cycles(echo_frame.size(), device_checksummed);
   ++udp_echoes_;
   ++pair_echoes_[echo_pair];
+  return response;
+}
+
+std::optional<UserLogic::Response> NetDeviceLogic::process_gso_udp(
+    const NetHeader& vhdr, const Bytes& frame) {
+  // Fixed frame layout (no IP options): eth 0..13, IP 14..33, UDP 34..41.
+  constexpr u64 kIpSrcOff = 26;
+  constexpr u64 kIpDstOff = 30;
+  constexpr u64 kUdpSrcPortOff = 34;
+  constexpr u64 kUdpDstPortOff = 36;
+
+  // Only the UDP (USO) segmenter exists; a TSO_TCPV4 frame — or a
+  // gso_type arriving without the negotiated HOST offload / the
+  // NEEDS_CSUM flag §5.1.6.2 mandates — is garbage in, drop.
+  if (vhdr.gso_type != NetHeader::kGsoUdp ||
+      !negotiated_.has(virtio::feature::net::kHostUfo) ||
+      (vhdr.flags & NetHeader::kNeedsCsum) == 0 ||
+      frame.size() < kUdpDstPortOff + 2) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  std::vector<Bytes> segments =
+      net::gso_segment_udp(frame, vhdr.gso_size, /*fill_checksums=*/true);
+  if (segments.empty()) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  ++gso_superframes_;
+  gso_segments_out_ += segments.size();
+  checksums_offloaded_ += segments.size();
+
+  // Steer by the symmetric flow hash of the original 4-tuple, exactly
+  // like the per-packet path.
+  const u16 echo_pair = steer_flow(net::rss_flow_hash(
+      net::Ipv4Addr{load_be32(frame, kIpSrcOff)},
+      load_be16(frame, kUdpSrcPortOff),
+      net::Ipv4Addr{load_be32(frame, kIpDstOff)},
+      load_be16(frame, kUdpDstPortOff)));
+  const u16 rx_queue = virtio::net::rx_queue_index(echo_pair);
+
+  // Echo transform: swap MACs, IP addresses and UDP ports in place.
+  // Ones'-complement sums are term-order-invariant, so the IP header
+  // checksum and the per-segment UDP checksums survive the swaps — the
+  // echo rewrite costs no checksum passes.
+  for (Bytes& seg : segments) {
+    for (u64 i = 0; i < 6; ++i) {
+      std::swap(seg[i], seg[6 + i]);
+    }
+    for (u64 i = 0; i < 4; ++i) {
+      std::swap(seg[kIpSrcOff + i], seg[kIpDstOff + i]);
+    }
+    for (u64 i = 0; i < 2; ++i) {
+      std::swap(seg[kUdpSrcPortOff + i], seg[kUdpDstPortOff + i]);
+    }
+  }
+
+  // Single shared pass over the payload (the checksum unit is fused
+  // into the segmenter) plus a per-segment header-rewrite stage.
+  const u64 beats = (frame.size() + 7) / 8;
+  u64 cycles = config_.fixed_cycles + beats * config_.cycles_per_beat +
+               segments.size() * config_.gso_segment_cycles;
+
+  udp_echoes_ += segments.size();
+  pair_echoes_[echo_pair] += segments.size();
+
+  if (negotiated_.has(virtio::feature::net::kGuestUfo)) {
+    // GRO: merge the echoed train back into one superframe; the driver
+    // sees a single large frame with a device-vouched checksum.
+    auto gro = net::gro_coalesce_udp(segments);
+    if (gro.has_value()) {
+      cycles += segments.size() * config_.gro_merge_cycles;
+      ++gro_coalesced_;
+      Response response;
+      response.payload.resize(NetHeader::kSize + gro->frame.size());
+      NetHeader out_hdr;
+      out_hdr.flags = NetHeader::kDataValid;  // each segment was verified
+      out_hdr.gso_type = NetHeader::kGsoUdp;
+      out_hdr.gso_size = gro->gso_size;
+      out_hdr.num_buffers = 1;
+      out_hdr.encode(response.payload);
+      std::copy(gro->frame.begin(), gro->frame.end(),
+                response.payload.begin() + NetHeader::kSize);
+      response.target_queue = rx_queue;
+      response.processing_cycles = cycles;
+      return response;
+    }
+  }
+
+  // No GUEST offload (or an incoherent train): deliver the wire frames
+  // individually — first one in the Response, the rest trailing.
+  Response response;
+  response.target_queue = rx_queue;
+  response.processing_cycles = cycles;
+  const bool data_valid = negotiated_.has(virtio::feature::net::kGuestCsum);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    Bytes out(NetHeader::kSize + segments[i].size(), 0);
+    NetHeader out_hdr;
+    out_hdr.flags = data_valid ? NetHeader::kDataValid : u8{0};
+    out_hdr.num_buffers = 1;
+    out_hdr.encode(out);
+    std::copy(segments[i].begin(), segments[i].end(),
+              out.begin() + NetHeader::kSize);
+    if (i == 0) {
+      response.payload = std::move(out);
+    } else {
+      response.trailing_frames.push_back(std::move(out));
+    }
+  }
   return response;
 }
 

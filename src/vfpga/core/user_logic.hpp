@@ -69,7 +69,27 @@ class UserLogic {
     /// "time to generate the response packet", measured by its own
     /// perf counter and deducted from the latency breakdown (§IV-B).
     u64 processing_cycles = 0;
+    /// Additional frames to deliver on `target_queue` after `payload`
+    /// (each a full response including the device-type header). A GSO
+    /// device answering one offloaded superframe with a wire-MTU
+    /// segment train emits the train here; the controller delivers the
+    /// frames back-to-back with no extra user-logic dispatch.
+    std::vector<Bytes> trailing_frames;
   };
+
+  /// Per-queue interrupt-moderation window (VIRTIO_NET_CTRL_NOTF_COAL
+  /// model): the controller withholds a completion interrupt until
+  /// `max_frames` deliveries accumulate or `holdoff_ns` elapses from the
+  /// first withheld one. The default {1, 0} fires every interrupt
+  /// immediately — bit-identical to a device without the feature.
+  struct InterruptModeration {
+    u32 max_frames = 1;
+    u64 holdoff_ns = 0;
+  };
+  [[nodiscard]] virtual InterruptModeration interrupt_moderation(
+      u16 /*queue*/) const {
+    return {};
+  }
 
   /// Process one buffer the host made available on `queue`. `payload`
   /// is the gathered device-readable bytes of the chain;

@@ -57,7 +57,8 @@ VirtioDeviceFunction::VirtioDeviceFunction(UserLogic& user_logic,
       engines_(user_logic.queue_count()),
       credits_(user_logic.queue_count(), 0),
       total_drained_(user_logic.queue_count(), 0),
-      queue_busy_until_(user_logic.queue_count()) {
+      queue_busy_until_(user_logic.queue_count()),
+      moderation_(user_logic.queue_count()) {
   const virtio::DeviceType type = user_logic.device_type();
   auto& cfg = this->config();
   cfg.set_ids(virtio::kVirtioPciVendorId, virtio::modern_pci_device_id(type),
@@ -392,8 +393,10 @@ void VirtioDeviceFunction::device_reset() {
   std::fill(total_drained_.begin(), total_drained_.end(), u16{0});
   std::fill(queue_busy_until_.begin(), queue_busy_until_.end(),
             sim::SimTime{});
+  std::fill(moderation_.begin(), moderation_.end(), ModerationState{});
   frames_processed_ = 0;
   interrupts_suppressed_ = 0;
+  interrupts_moderated_ = 0;
   ++config_generation_;
 }
 
@@ -433,6 +436,43 @@ void VirtioDeviceFunction::fire_queue_interrupt(u16 queue, sim::SimTime at) {
   isr_status_ |= virtio::isr::kQueueInterrupt;
   msix_->fire(vector, at, *port_);
   counters_.capture("irq_sent", at);
+}
+
+void VirtioDeviceFunction::moderated_queue_interrupt(u16 queue,
+                                                     sim::SimTime at) {
+  const UserLogic::InterruptModeration window =
+      user_logic_->interrupt_moderation(queue);
+  if (window.max_frames <= 1 && window.holdoff_ns == 0) {
+    fire_queue_interrupt(queue, at);
+    return;
+  }
+  ModerationState& st = moderation_[queue];
+  if (!st.armed) {
+    st.armed = true;
+    st.withheld = 0;
+    st.deadline = at + sim::nanoseconds(static_cast<i64>(window.holdoff_ns));
+  }
+  ++st.withheld;
+  if (st.withheld >= window.max_frames || at >= st.deadline) {
+    st = ModerationState{};
+    fire_queue_interrupt(queue, at);
+  } else {
+    ++interrupts_moderated_;
+  }
+}
+
+void VirtioDeviceFunction::flush_moderated_interrupts(sim::SimTime now) {
+  for (u16 q = 0; q < moderation_.size(); ++q) {
+    ModerationState& st = moderation_[q];
+    if (st.armed && st.withheld > 0) {
+      // The holdoff timer expires on its own in real hardware; here the
+      // burst that opened the window has drained, so close it at the
+      // deadline (never earlier than now's ordering allows).
+      const sim::SimTime fire_at = std::max(now, st.deadline);
+      st = ModerationState{};
+      fire_queue_interrupt(q, fire_at);
+    }
+  }
 }
 
 void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
@@ -577,10 +617,10 @@ void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
         ++interrupts_suppressed_;
       }
       if (response.has_value()) {
-        t = deliver_response(*response, chain, queue, t);
+        t = deliver_response_train(*response, chain, queue, t);
       }
     } else {
-      t = deliver_response(*response, chain, queue, t);
+      t = deliver_response_train(*response, chain, queue, t);
       const auto completion = eng.complete_chain(
           chain, 0, t, /*refresh_suppression=*/false);
       t = completion.engine_free;
@@ -592,6 +632,7 @@ void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
     }
     t = replenish_credits(eng, queue, t);
   }
+  flush_moderated_interrupts(t);
   queue_busy_until_[queue] = t;
 }
 
@@ -716,11 +757,24 @@ sim::SimTime VirtioDeviceFunction::deliver_response(
     VFPGA_WARN("virtio-ctl", "RX capacity exhausted: response truncated");
   }
   if (want_interrupt) {
-    fire_queue_interrupt(target, t);
+    moderated_queue_interrupt(target, t);
   } else {
     ++interrupts_suppressed_;
   }
   queue_busy_until_[target] = t;
+  return t;
+}
+
+sim::SimTime VirtioDeviceFunction::deliver_response_train(
+    const UserLogic::Response& response, const FetchedChain& source_chain,
+    u16 source_queue, sim::SimTime t) {
+  t = deliver_response(response, source_chain, source_queue, t);
+  for (const Bytes& frame : response.trailing_frames) {
+    UserLogic::Response follow;
+    follow.payload = frame;
+    follow.target_queue = response.target_queue;
+    t = deliver_response(follow, source_chain, source_queue, t);
+  }
   return t;
 }
 

@@ -116,6 +116,13 @@ class VirtioDeviceFunction : public pcie::Function {
   [[nodiscard]] u64 interrupts_suppressed() const {
     return interrupts_suppressed_;
   }
+  /// RX deliveries whose interrupt was withheld by the NOTF_COAL
+  /// moderation window (fired later, batched, or at the holdoff
+  /// deadline) — distinct from EVENT_IDX suppression, where the driver
+  /// asked for no interrupt at all.
+  [[nodiscard]] u64 interrupts_moderated() const {
+    return interrupts_moderated_;
+  }
   /// Per-queue MSI-X messages dropped by the fault plane.
   [[nodiscard]] u64 queue_irqs_lost() const { return queue_irqs_lost_; }
 
@@ -165,7 +172,22 @@ class VirtioDeviceFunction : public pcie::Function {
   sim::SimTime deliver_response(const UserLogic::Response& response,
                                 const FetchedChain& source_chain,
                                 u16 source_queue, sim::SimTime t);
+  /// Deliver the primary response plus any trailing frames (a device
+  /// GSO engine emitting a segment train) back-to-back on its target.
+  sim::SimTime deliver_response_train(const UserLogic::Response& response,
+                                      const FetchedChain& source_chain,
+                                      u16 source_queue, sim::SimTime t);
   void fire_queue_interrupt(u16 queue, sim::SimTime at);
+  /// Interrupt-moderation gate for RX deliveries: consult the user
+  /// logic's per-queue window and withhold the MSI-X message until the
+  /// batch count or the holdoff deadline is reached.
+  void moderated_queue_interrupt(u16 queue, sim::SimTime at);
+  /// Fire any still-withheld interrupts at their holdoff deadline. The
+  /// notify-driven simulation has no free-running timer, so the window
+  /// closes when the burst that opened it finishes processing — no
+  /// wakeup is ever lost, and cross-burst traffic degenerates to one
+  /// (deadline-delayed) interrupt per burst.
+  void flush_moderated_interrupts(sim::SimTime now);
   /// Packed rings: re-peek for more work when the drain estimate runs
   /// out (split polls are exact and never replenish here).
   sim::SimTime replenish_credits(IQueueEngine& eng, u16 queue,
@@ -201,10 +223,19 @@ class VirtioDeviceFunction : public pcie::Function {
   /// still busy waits for it, while other queues proceed in parallel —
   /// the contention model the multi-queue scaling bench measures.
   std::vector<sim::SimTime> queue_busy_until_;
+  /// Per-queue NOTF_COAL window state: how many interrupt-worthy
+  /// deliveries are withheld and when the holdoff expires.
+  struct ModerationState {
+    bool armed = false;
+    u32 withheld = 0;
+    sim::SimTime deadline{};
+  };
+  std::vector<ModerationState> moderation_;
 
   sim::Duration last_response_generation_{};
   u64 frames_processed_ = 0;
   u64 interrupts_suppressed_ = 0;
+  u64 interrupts_moderated_ = 0;
   u64 queue_irqs_lost_ = 0;
   u64 device_errors_ = 0;
   fault::FaultPlane* fault_ = nullptr;

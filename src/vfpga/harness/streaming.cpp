@@ -19,6 +19,10 @@ const char* stream_mode_name(StreamMode mode) {
       return "indirect";
     case StreamMode::kMergeable:
       return "mergeable";
+    case StreamMode::kSegmentedSw:
+      return "seg-sw";
+    case StreamMode::kOffload:
+      return "tso";
   }
   return "?";
 }
@@ -65,6 +69,18 @@ StreamingCellResult run_streaming_cell(const StreamingConfig& config,
       opts.datapath.want_mrg_rxbuf = true;
       opts.datapath.mrg_buffer_bytes = config.mrg_buffer_bytes;
       break;
+    case StreamMode::kSegmentedSw:
+    case StreamMode::kOffload:
+      // Both segmentation cells run at the wire MTU: the datagram no
+      // longer fits one frame and SOMETHING must slice it — the host's
+      // software GSO loop or the device's HOST_UFO engine. Identical
+      // ring shape (indirect sg, single-buffer RX) so the delta is the
+      // offload alone; the tso cell's GUEST_UFO switches the RX pool to
+      // "big packets" buffers sized for the coalesced superframe.
+      opts.net.mtu = config.wire_mtu;
+      opts.datapath.tx_path = hostos::VirtioNetDriver::TxPath::kScatterGatherIndirect;
+      opts.datapath.want_offload = mode == StreamMode::kOffload;
+      break;
   }
 
   core::VirtioNetTestbed bed(opts);
@@ -78,6 +94,18 @@ StreamingCellResult run_streaming_cell(const StreamingConfig& config,
   result.packed = packed;
   result.payload = payload;
   result.mergeable_negotiated = bed.driver().mergeable_rx_active();
+  result.tso_negotiated = bed.driver().tso_active();
+
+  // Datagrams per round trip: one everywhere except software GSO, where
+  // an over-MTU send goes out — and comes back — as a train of
+  // independent wire-MTU datagrams the application must reassemble.
+  // (The tso cell's train is GRO-coalesced by the device, so the
+  // application still sees a single datagram.)
+  const u64 seg_payload = static_cast<u64>(bed.driver().mtu()) - 28;
+  const u64 expected_datagrams =
+      (mode == StreamMode::kSegmentedSw && payload > seg_payload)
+          ? (payload + seg_payload - 1) / seg_payload
+          : 1;
 
   Bytes pattern(payload);
   for (u64 i = 0; i < payload; ++i) {
@@ -111,17 +139,36 @@ StreamingCellResult run_streaming_cell(const StreamingConfig& config,
       ++result.failures;
       continue;
     }
-    std::array<ByteSpan, 2> rx_iov = {
-        ByteSpan{rx_buf.data(), rx_buf.size() / 2},
-        ByteSpan{rx_buf.data() + rx_buf.size() / 2,
-                 rx_buf.size() - rx_buf.size() / 2}};
-    const auto msg = socket.recvmsg(t, std::span{rx_iov.data(),
-                                                 rx_iov.size()});
+    bool ok;
+    if (expected_datagrams == 1) {
+      std::array<ByteSpan, 2> rx_iov = {
+          ByteSpan{rx_buf.data(), rx_buf.size() / 2},
+          ByteSpan{rx_buf.data() + rx_buf.size() / 2,
+                   rx_buf.size() - rx_buf.size() / 2}};
+      const auto msg = socket.recvmsg(t, std::span{rx_iov.data(),
+                                                   rx_iov.size()});
+      ok = msg.has_value() && msg->datagram_bytes == payload &&
+           msg->bytes == payload;
+    } else {
+      // Reassemble the echoed segment train: the flow is FIFO on one
+      // queue, so the slices arrive in transmit order.
+      u64 received = 0;
+      ok = true;
+      for (u64 d = 0; d < expected_datagrams && ok; ++d) {
+        std::array<ByteSpan, 1> rx_iov = {
+            ByteSpan{rx_buf.data() + received, rx_buf.size() - received}};
+        const auto msg = socket.recvmsg(t, std::span{rx_iov.data(),
+                                                     rx_iov.size()});
+        ok = msg.has_value() && msg->bytes == msg->datagram_bytes &&
+             msg->bytes > 0;
+        if (ok) {
+          received += msg->bytes;
+        }
+      }
+      ok = ok && received == payload;
+    }
     const sim::Duration rtt = t.now() - start;
-    const bool ok = msg.has_value() && msg->datagram_bytes == payload &&
-                    msg->bytes == payload &&
-                    std::equal(pattern.begin(), pattern.end(),
-                               rx_buf.begin());
+    ok = ok && std::equal(pattern.begin(), pattern.end(), rx_buf.begin());
     if (!ok) {
       ++result.failures;
       continue;
@@ -139,6 +186,10 @@ StreamingCellResult run_streaming_cell(const StreamingConfig& config,
   }
   result.tx_sg_segments = bed.driver().tx_sg_segments();
   result.rx_merged_frames = bed.driver().rx_merged_frames();
+  result.tx_superframes = bed.stack().tx_superframes();
+  result.sw_gso_segments = bed.stack().sw_gso_segments();
+  result.gro_coalesced = bed.net_logic().gro_coalesced();
+  result.rx_gro_frames = bed.driver().rx_gro_frames();
   return result;
 }
 

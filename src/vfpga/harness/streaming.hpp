@@ -1,12 +1,14 @@
 // Large-payload streaming workload over the zero-copy datapath.
 //
 // Sweeps jumbo UDP payloads (1 KB..60 KB) through the echo testbed in
-// four TX/RX shapes — the legacy bounce-copy path and the zero-copy
+// six TX/RX shapes — the legacy bounce-copy path, the zero-copy
 // scatter-gather paths (chained descriptors, one-slot indirect tables,
-// indirect + mergeable RX buffers) — on both ring formats. Each cell
-// reports goodput (Gb/s, both directions) and the round-trip latency
-// distribution; the bench gates on the expected ordering
-// indirect >= chained >= copy at payloads of 4 KB and above.
+// indirect + mergeable RX buffers), and two wire-MTU segmentation cells
+// (software GSO vs the HOST_UFO/GUEST_UFO device offload) — on both
+// ring formats. Each cell reports goodput (Gb/s, both directions) and
+// the round-trip latency distribution; the bench gates on the expected
+// orderings indirect >= chained >= copy and tso >= seg-sw at 4 KB and
+// above, plus tso >= indirect from 16 KB.
 #pragma once
 
 #include <vector>
@@ -22,6 +24,14 @@ enum class StreamMode : u8 {
   kChained,    ///< zero-copy sg TX as a chained descriptor list
   kIndirect,   ///< zero-copy sg TX via one-slot indirect tables
   kMergeable,  ///< indirect TX + mergeable RX buffer spans
+  /// Wire-MTU software GSO: the host slices every over-MTU datagram
+  /// into MTU-sized wire frames (per-segment header/checksum work on
+  /// the CPU) and the application reassembles the echoed train.
+  kSegmentedSw,
+  /// Wire-MTU device offload: HOST_UFO superframe TX (the device's GSO
+  /// engine segments on the fabric) + GUEST_UFO GRO RX (the echoed
+  /// train returns as one coalesced superframe with DATA_VALID).
+  kOffload,
 };
 
 [[nodiscard]] const char* stream_mode_name(StreamMode mode);
@@ -35,6 +45,9 @@ struct StreamingConfig {
   std::vector<u64> payloads = {1024, 4096, 16384, 61440};
   /// Device MTU for the jumbo testbed (frame capacity derives from it).
   u16 mtu = 63000;
+  /// Wire MTU for the segmentation-offload cells: seg-sw and tso run at
+  /// the paper's 1500 instead of lifting the MTU out of the way.
+  u16 wire_mtu = 1500;
   /// Per-RX-buffer size in the mergeable cell.
   u32 mrg_buffer_bytes = 4096;
 
@@ -53,6 +66,15 @@ struct StreamingCellResult {
   u64 tx_sg_segments = 0;
   u64 rx_merged_frames = 0;
   bool mergeable_negotiated = false;
+  bool tso_negotiated = false;
+  /// GSO superframes the stack handed the device / wire frames the
+  /// software fallback produced on the host.
+  u64 tx_superframes = 0;
+  u64 sw_gso_segments = 0;
+  /// Device-side: segment trains the GRO engine coalesced back; driver
+  /// side: superframes that arrived with GSO metadata on RX.
+  u64 gro_coalesced = 0;
+  u64 rx_gro_frames = 0;
 };
 
 /// Run one (mode, ring format, payload) streaming cell on a fresh

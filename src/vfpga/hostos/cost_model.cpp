@@ -53,6 +53,11 @@ CostModelConfig CostModelConfig::fedora_defaults() {
   // plus the sg entry build). Cheap relative to copying a page.
   c.dma_map_segment = {nanoseconds(80), 0.20, nanoseconds(40), {}};
 
+  // Software GSO: per-segment header clone + fixup + checksum slice
+  // (~MTU of payload summed per segment dominates; cf. the kernel's
+  // skb_segment + csum_partial on a 1500-byte slice).
+  c.gso_segment_host = {nanoseconds(650), 0.18, nanoseconds(300), {}};
+
   // XDMA character-device driver segments. Submission pins user pages,
   // builds the SG table and descriptors, and flushes them — the
   // per-transfer work VirtIO does not have (§IV-A).

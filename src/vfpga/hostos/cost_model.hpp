@@ -46,6 +46,13 @@ struct CostModelConfig {
   /// trades one memcpy for one of these per descriptor segment.
   sim::JitteredSegment dma_map_segment;
 
+  // ---- segmentation offload ----
+  /// Per-wire-frame cost of the software-GSO fallback: clone the
+  /// header, rewrite IP length/id, slice the payload and compute the
+  /// segment's UDP checksum. This is exactly the per-segment host work
+  /// HOST_UFO moves onto the fabric.
+  sim::JitteredSegment gso_segment_host;
+
   // ---- vendor driver (XDMA path) ----
   sim::JitteredSegment xdma_submit;     ///< pin pages, SG map, build descs
   sim::JitteredSegment xdma_isr_body;   ///< ISR bookkeeping (sans MMIO read)

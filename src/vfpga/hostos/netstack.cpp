@@ -5,8 +5,10 @@
 #include "vfpga/common/contract.hpp"
 #include "vfpga/common/endian.hpp"
 #include "vfpga/net/ethernet.hpp"
+#include "vfpga/net/gso.hpp"
 #include "vfpga/net/ipv4.hpp"
 #include "vfpga/net/rss.hpp"
+#include "vfpga/virtio/net_defs.hpp"
 
 namespace vfpga::hostos {
 
@@ -134,6 +136,49 @@ bool KernelNetstack::send_built(HostThread& thread, u16 src_port,
       driver_->queue_pairs());
   flow_affinity_[src_port] = pair;
 
+  const u16 mtu = driver_->mtu();
+  const u16 seg_payload =
+      static_cast<u16>(mtu - net::Ipv4Header::kSize - net::UdpHeader::kSize);
+  if (payload.size() > seg_payload) {
+    // Over-MTU datagram. With HOST_UFO the whole thing goes down as ONE
+    // superframe and the device's GSO engine segments it on the fabric;
+    // otherwise fall back to software GSO — the host slices, fixes up
+    // headers and checksums per wire frame, and transmits the train.
+    if (driver_->tso_active()) {
+      VirtioNetDriver::TxOffload off;
+      off.needs_csum = true;
+      off.csum_start = net::EthernetHeader::kSize + net::Ipv4Header::kSize;
+      off.csum_offset = 6;
+      off.gso_type = virtio::net::NetHeader::kGsoUdp;
+      off.gso_size = seg_payload;
+      off.hdr_len = static_cast<u16>(net::EthernetHeader::kSize +
+                                     net::Ipv4Header::kSize +
+                                     net::UdpHeader::kSize);
+      ++tx_superframes_;
+      driver_->xmit_frame(thread, frame, off, pair, more_coming);
+      // The device's segmenter stamps consecutive IP ids; keep the
+      // stack's counter in step (as the kernel does for GSO skbs).
+      next_ip_id_ = static_cast<u16>(
+          next_ip_id_ + (payload.size() + seg_payload - 1) / seg_payload - 1);
+    } else {
+      const std::vector<Bytes> segments =
+          net::gso_segment_udp(frame, seg_payload, /*fill_checksums=*/true);
+      for (u64 i = 0; i < segments.size(); ++i) {
+        // Per-segment host cost: header clone + fixup + checksum slice
+        // (the work the device's segmenter absorbs on the TSO path).
+        thread.exec(thread.costs().gso_segment_host);
+        const bool more = more_coming || i + 1 < segments.size();
+        driver_->xmit_frame(thread, segments[i], /*needs_csum=*/false,
+                            0, 0, pair, more);
+      }
+      sw_gso_segments_ += segments.size();
+      next_ip_id_ =
+          static_cast<u16>(next_ip_id_ + segments.size() - 1);
+    }
+    thread.exec(thread.costs().syscall_exit);
+    return true;
+  }
+
   driver_->xmit_frame(thread, frame, offload_csum,
                       /*csum_start=*/net::EthernetHeader::kSize +
                           net::Ipv4Header::kSize,
@@ -181,14 +226,15 @@ void KernelNetstack::service_rx_interrupt(HostThread& thread,
 }
 
 void KernelNetstack::demux_frames(HostThread& thread, u16 pair) {
-  while (const auto frame = driver_->pop_rx_frame(pair)) {
-    const auto eth = net::parse_ethernet_frame(*frame);
+  while (const auto rx = driver_->pop_rx_frame(pair)) {
+    const Bytes& raw = rx->frame;
+    const auto eth = net::parse_ethernet_frame(raw);
     if (!eth.has_value()) {
       ++frames_dropped_;
       continue;
     }
     if (eth->header.type == net::EtherType::Arp) {
-      const auto arp = net::parse_arp_message(ConstByteSpan{*frame}.subspan(
+      const auto arp = net::parse_arp_message(ConstByteSpan{raw}.subspan(
           eth->payload_offset, eth->payload_length));
       if (arp.has_value()) {
         arp_.observe(*arp, config_.host_ip, driver_->mac());
@@ -199,7 +245,7 @@ void KernelNetstack::demux_frames(HostThread& thread, u16 pair) {
       continue;
     }
     thread.exec(thread.costs().udp_rx_stack);
-    const auto ip = net::parse_ipv4_packet(ConstByteSpan{*frame}.subspan(
+    const auto ip = net::parse_ipv4_packet(ConstByteSpan{raw}.subspan(
         eth->payload_offset, eth->payload_length));
     if (!ip.has_value() || !ip->checksum_ok ||
         ip->header.dst != config_.host_ip) {
@@ -207,7 +253,7 @@ void KernelNetstack::demux_frames(HostThread& thread, u16 pair) {
       continue;
     }
     if (ip->header.protocol == net::IpProtocol::Icmp) {
-      const auto icmp_span = ConstByteSpan{*frame}.subspan(
+      const auto icmp_span = ConstByteSpan{raw}.subspan(
           eth->payload_offset + ip->payload_offset, ip->payload_length);
       const auto icmp = net::parse_icmp_echo(icmp_span);
       if (!icmp.has_value() || !icmp->checksum_ok ||
@@ -234,13 +280,24 @@ void KernelNetstack::demux_frames(HostThread& thread, u16 pair) {
       continue;
     }
     const auto ip_payload =
-        ConstByteSpan{*frame}.subspan(eth->payload_offset + ip->payload_offset,
-                                      ip->payload_length);
+        ConstByteSpan{raw}.subspan(eth->payload_offset + ip->payload_offset,
+                                   ip->payload_length);
     const auto udp =
         net::parse_udp_datagram(ip_payload, ip->header.src, ip->header.dst);
-    if (!udp.has_value() || !udp->checksum_ok) {
+    if (!udp.has_value()) {
       ++frames_dropped_;
       continue;
+    }
+    if (!udp->checksum_ok) {
+      // VIRTIO_NET_HDR_F_DATA_VALID: the device already verified the L4
+      // checksum. A GRO-coalesced superframe legitimately carries the
+      // first segment's (now stale) checksum, so the promise — not the
+      // wire field — is what admits it.
+      if (!rx->csum_valid) {
+        ++frames_dropped_;
+        continue;
+      }
+      ++csum_rescued_;
     }
     if (driver_->queue_pairs() > 1) {
       // Steering check: the flow bound to this port hashed to a specific

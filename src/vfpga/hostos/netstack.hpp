@@ -140,6 +140,16 @@ class KernelNetstack {
 
   [[nodiscard]] u64 frames_demuxed() const { return frames_demuxed_; }
   [[nodiscard]] u64 frames_dropped() const { return frames_dropped_; }
+  /// Over-MTU sends handed to the device as one GSO superframe
+  /// (HOST_UFO negotiated) instead of a pre-segmented packet train.
+  [[nodiscard]] u64 tx_superframes() const { return tx_superframes_; }
+  /// Wire frames produced by the software-GSO fallback (the host-side
+  /// segmentation loop that runs when the device offload is absent).
+  [[nodiscard]] u64 sw_gso_segments() const { return sw_gso_segments_; }
+  /// Datagrams accepted on the device's DATA_VALID promise although the
+  /// on-wire checksum did not verify (GRO superframes keep the first
+  /// segment's checksum, so this is the coalescing path's fingerprint).
+  [[nodiscard]] u64 csum_rescued() const { return csum_rescued_; }
   /// UDP datagrams that arrived on a different queue pair than the one
   /// the flow's hash steers to — the symptom of device steering-table
   /// corruption.
@@ -186,6 +196,9 @@ class KernelNetstack {
   std::deque<IcmpReply> icmp_replies_;
   u64 frames_demuxed_ = 0;
   u64 frames_dropped_ = 0;
+  u64 tx_superframes_ = 0;
+  u64 sw_gso_segments_ = 0;
+  u64 csum_rescued_ = 0;
 };
 
 }  // namespace vfpga::hostos

@@ -53,6 +53,16 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
   if (datapath_.want_mrg_rxbuf) {
     wanted.set(virtio::feature::net::kMrgRxbuf);
   }
+  if (datapath_.want_offload) {
+    wanted.set(virtio::feature::net::kHostTso4);
+    wanted.set(virtio::feature::net::kHostUfo);
+    wanted.set(virtio::feature::net::kGuestTso4);
+    wanted.set(virtio::feature::net::kGuestUfo);
+  }
+  if (datapath_.want_rx_moderation) {
+    wanted.set(virtio::feature::net::kCtrlVq);
+    wanted.set(virtio::feature::net::kNotfCoal);
+  }
   if (requested_pairs_ > 1) {
     wanted.set(virtio::feature::net::kCtrlVq);
     wanted.set(virtio::feature::net::kMq);
@@ -62,18 +72,37 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
   }
 
   // RX pool sizing: single-buffer layout holds hdr + a full frame;
-  // mergeable posts small buffers and lets frames span several.
+  // mergeable posts small buffers and lets frames span several. With a
+  // GUEST_* offload but no MRG_RXBUF the device may hand us a coalesced
+  // superframe, so single-buffer mode sizes for it (virtio-net's
+  // "big packets" mode).
   mrg_active_ = transport_.negotiated().has(virtio::feature::net::kMrgRxbuf);
+  const bool guest_gso =
+      transport_.negotiated().has(virtio::feature::net::kGuestTso4) ||
+      transport_.negotiated().has(virtio::feature::net::kGuestUfo);
+  const u32 rx_frame_area =
+      guest_gso ? std::max(datapath_.frame_capacity, datapath_.gso_max_bytes)
+                : datapath_.frame_capacity;
   rx_buffer_bytes_ = mrg_active_
                          ? datapath_.mrg_buffer_bytes
-                         : static_cast<u32>(NetHeader::kSize) +
-                               datapath_.frame_capacity;
+                         : static_cast<u32>(NetHeader::kSize) + rx_frame_area;
   VFPGA_EXPECTS(rx_buffer_bytes_ > NetHeader::kSize);
+
+  // Offload state: the device segments our UDP superframes only with
+  // HOST_UFO (and CSUM, which the segmenter's per-segment checksums
+  // depend on); coalesced RX superframes additionally need GUEST_UFO,
+  // but that only affects what lands in the backlog.
+  tso_active_ = transport_.negotiated().has(virtio::feature::net::kHostUfo) &&
+                transport_.negotiated().has(virtio::feature::net::kCsum);
+  rx_moderation_active_ =
+      transport_.negotiated().has(virtio::feature::net::kNotfCoal) &&
+      transport_.negotiated().has(virtio::feature::net::kCtrlVq);
 
   // Multiqueue: MQ requires the control queue to enable the pairs
   // (§5.1.5.1.1); without both negotiated, fall back to a single pair.
   mq_active_ = transport_.negotiated().has(virtio::feature::net::kMq) &&
                transport_.negotiated().has(virtio::feature::net::kCtrlVq);
+  ctrl_active_ = mq_active_ || rx_moderation_active_;
   if (mq_active_) {
     max_device_pairs_ = transport_.device_config_read16(
         virtio::net::NetConfigLayout::kMaxPairsOffset, thread);
@@ -85,6 +114,11 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
   } else {
     max_device_pairs_ = 1;
     pairs_ = 1;
+    if (ctrl_active_) {
+      // NOTF_COAL without MQ: the control queue still sits after the
+      // last pair (§5.1.2) — index 2 on the single-pair personality.
+      ctrl_queue_index_ = virtio::net::ctrl_queue_index(1);
+    }
   }
   configured_pairs_ = pairs_;
   if (pair_state_.size() < pairs_) {
@@ -98,6 +132,10 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
     ps.tx_pending_kick = 0;
     ps.rx_partial.clear();
     ps.rx_partial_remaining = 0;
+    ps.rx_partial_meta = RxFrame{};
+    // A reset device forgets its NOTF_COAL window; start the DIM
+    // controller from the low-latency profile again.
+    ps.dim_profile_high = false;
   }
 
   // MSI-X: entry 0 = config changes, then per pair RX = 1+2p, TX = 2+2p
@@ -120,16 +158,20 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
                                       static_cast<u16>(2 + 2 * p), thread);
 
     // TX buffers, one per ring slot: virtio_net_hdr headroom immediately
-    // followed by the frame area (single-buffer transmission). Allocated
+    // followed by the frame area (single-buffer transmission; sized for
+    // a full GSO superframe when the offload is requested). Allocated
     // once; a recovery cycle reuses the same memory and just rebuilds
     // the free list.
+    const u32 tx_area = datapath_.want_offload
+                            ? std::max(datapath_.frame_capacity,
+                                       datapath_.gso_max_bytes)
+                            : datapath_.frame_capacity;
     PairState& ps = pair_state_[p];
     ps.tx_buffers.resize(tx.size());
     ps.tx_free.clear();
     for (u16 i = 0; i < tx.size(); ++i) {
       if (ps.tx_buffers[i].hdr_addr == 0) {
-        const HostAddr base = memory.allocate(
-            NetHeader::kSize + datapath_.frame_capacity, 64);
+        const HostAddr base = memory.allocate(NetHeader::kSize + tx_area, 64);
         ps.tx_buffers[i].hdr_addr = base;
         ps.tx_buffers[i].frame_addr = base + NetHeader::kSize;
       }
@@ -137,7 +179,7 @@ bool VirtioNetDriver::initialize_device(HostThread& thread) {
     }
   }
 
-  if (mq_active_) {
+  if (ctrl_active_) {
     // The control queue is polled, not interrupt-driven: no MSI-X entry.
     auto& ctrl =
         transport_.setup_queue(ctrl_queue_index_, virtio::kNoVector, thread);
@@ -197,25 +239,26 @@ void VirtioNetDriver::post_initial_rx_buffers(u16 pair) {
   rx.publish();
 }
 
-std::optional<u8> VirtioNetDriver::set_queue_pairs(HostThread& thread,
-                                                   u16 pairs) {
-  if (!mq_active_) {
-    return std::nullopt;
-  }
+std::optional<u8> VirtioNetDriver::send_ctrl(HostThread& thread, u8 cls,
+                                             u8 cmd, ConstByteSpan payload) {
+  VFPGA_EXPECTS(payload.size() + 2 <= 16);  // ctrl_cmd_addr_ allocation
   auto& ctrl = transport_.queue(ctrl_queue_index_);
   auto& memory = transport_.memory();
 
-  // Command layout (§5.1.6.5): {class, command, le16 pairs} readable,
-  // one writable ack byte on the same chain.
-  const std::array<u8, 4> cmd = {
-      virtio::net::kCtrlClassMq, virtio::net::kCtrlMqVqPairsSet,
-      static_cast<u8>(pairs & 0xff), static_cast<u8>(pairs >> 8)};
-  memory.write(ctrl_cmd_addr_, cmd);
+  // Command layout (§5.1.6.5): {class, command, payload} readable, one
+  // writable ack byte on the same chain.
+  Bytes request;
+  request.reserve(2 + payload.size());
+  request.push_back(cls);
+  request.push_back(cmd);
+  request.insert(request.end(), payload.begin(), payload.end());
+  memory.write(ctrl_cmd_addr_, request);
   const std::array<u8, 1> ack_seed = {0xff};  // neither OK nor ERR
   memory.write(ctrl_ack_addr_, ack_seed);
 
   const std::array<virtio::ChainBuffer, 2> chain = {
-      virtio::ChainBuffer{ctrl_cmd_addr_, 4, /*device_writable=*/false},
+      virtio::ChainBuffer{ctrl_cmd_addr_, static_cast<u32>(request.size()),
+                          /*device_writable=*/false},
       virtio::ChainBuffer{ctrl_ack_addr_, 1, /*device_writable=*/true}};
   const auto handle =
       ctrl.add_chain(std::span{chain.data(), chain.size()}, 0);
@@ -238,14 +281,63 @@ std::optional<u8> VirtioNetDriver::set_queue_pairs(HostThread& thread,
   if (!completed) {
     return std::nullopt;
   }
-  const u8 ack = memory.read_bytes(ctrl_ack_addr_, 1)[0];
+  return memory.read_bytes(ctrl_ack_addr_, 1)[0];
+}
+
+std::optional<u8> VirtioNetDriver::set_queue_pairs(HostThread& thread,
+                                                   u16 pairs) {
+  if (!mq_active_) {
+    return std::nullopt;
+  }
+  const std::array<u8, 2> arg = {static_cast<u8>(pairs & 0xff),
+                                 static_cast<u8>(pairs >> 8)};
+  const auto ack = send_ctrl(thread, virtio::net::kCtrlClassMq,
+                             virtio::net::kCtrlMqVqPairsSet, arg);
   // Track the device's accepted count, but never beyond the pairs this
   // driver actually built rings and vectors for.
-  if (ack == virtio::net::kCtrlOk && pairs >= 1 &&
+  if (ack.has_value() && *ack == virtio::net::kCtrlOk && pairs >= 1 &&
       pairs <= configured_pairs_) {
     pairs_ = pairs;
   }
   return ack;
+}
+
+bool VirtioNetDriver::send_rx_coalesce(HostThread& thread, u32 max_usecs,
+                                       u32 max_frames) {
+  if (!rx_moderation_active_) {
+    return false;
+  }
+  std::array<u8, virtio::net::CoalRxParams::kSize> arg{};
+  store_le32(arg, 0, max_usecs);
+  store_le32(arg, 4, max_frames);
+  const auto ack = send_ctrl(thread, virtio::net::kCtrlClassNotfCoal,
+                             virtio::net::kCtrlNotfCoalRxSet, arg);
+  return ack.has_value() && *ack == virtio::net::kCtrlOk;
+}
+
+void VirtioNetDriver::update_dim(HostThread& thread, u16 pair, u32 batch) {
+  PairState& ps = pair_state_.at(pair);
+  if (ps.rx_rate_ewma < 0.0) {
+    ps.rx_rate_ewma = batch;
+  } else {
+    const double a = dim_.ewma_alpha;
+    ps.rx_rate_ewma = a * batch + (1.0 - a) * ps.rx_rate_ewma;
+  }
+  // Hysteretic profile switch: reprogramming the device costs a control
+  // command round-trip, so only threshold crossings act. The NOTF_COAL
+  // window is device-global in this personality; with several pairs the
+  // first pair to cross a watermark reprograms it for all of them.
+  if (!ps.dim_profile_high && ps.rx_rate_ewma >= dim_.high_watermark) {
+    if (send_rx_coalesce(thread, dim_.coalesce_usecs, dim_.coalesce_frames)) {
+      ps.dim_profile_high = true;
+      ++dim_updates_;
+    }
+  } else if (ps.dim_profile_high && ps.rx_rate_ewma <= dim_.low_watermark) {
+    if (send_rx_coalesce(thread, 0, 1)) {
+      ps.dim_profile_high = false;
+      ++dim_updates_;
+    }
+  }
 }
 
 bool VirtioNetDriver::reset_steering(HostThread& thread) {
@@ -321,8 +413,26 @@ bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
                                  bool needs_csum, u16 csum_start,
                                  u16 csum_offset, u16 pair,
                                  bool more_coming) {
+  TxOffload offload;
+  offload.needs_csum = needs_csum;
+  offload.csum_start = csum_start;
+  offload.csum_offset = csum_offset;
+  return xmit_frame(thread, frame, offload, pair, more_coming);
+}
+
+bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
+                                 const TxOffload& offload, u16 pair,
+                                 bool more_coming) {
   VFPGA_EXPECTS(bound());
-  VFPGA_EXPECTS(frame.size() <= datapath_.frame_capacity);
+  const bool gso = offload.gso_type != NetHeader::kGsoNone;
+  // Superframes need the device-side segmenter: submitting one without
+  // the negotiated offload (or the mandatory checksum request,
+  // §5.1.6.2) is a driver bug, not a runtime condition.
+  VFPGA_EXPECTS(!gso || (tso_active_ && offload.needs_csum));
+  VFPGA_EXPECTS(frame.size() <=
+                (gso ? std::max(datapath_.frame_capacity,
+                                datapath_.gso_max_bytes)
+                     : datapath_.frame_capacity));
   VFPGA_EXPECTS(pair < pairs_);
   thread.exec(thread.costs().virtio_xmit);
 
@@ -345,11 +455,17 @@ bool VirtioNetDriver::xmit_frame(HostThread& thread, ConstByteSpan frame,
   ps.tx_free.pop_front();
 
   NetHeader hdr;
-  if (needs_csum &&
+  if (offload.needs_csum &&
       transport_.negotiated().has(virtio::feature::net::kCsum)) {
     hdr.flags = NetHeader::kNeedsCsum;
-    hdr.csum_start = csum_start;
-    hdr.csum_offset = csum_offset;
+    hdr.csum_start = offload.csum_start;
+    hdr.csum_offset = offload.csum_offset;
+  }
+  if (gso) {
+    hdr.gso_type = offload.gso_type;
+    hdr.gso_size = offload.gso_size;
+    hdr.hdr_len = offload.hdr_len;
+    ++tx_gso_frames_;
   }
   std::array<u8, NetHeader::kSize> hdr_bytes{};
   hdr.encode(hdr_bytes);
@@ -456,8 +572,14 @@ bool VirtioNetDriver::harvest_one_rx(virtio::DriverRing& rx, PairState& ps) {
     // header (§5.1.6.4 — only the first buffer carries virtio_net_hdr).
     ps.rx_partial.insert(ps.rx_partial.end(), data.begin(), data.end());
     if (--ps.rx_partial_remaining == 0) {
-      ps.rx_backlog.push_back(std::move(ps.rx_partial));
+      RxFrame done = std::move(ps.rx_partial_meta);
+      done.frame = std::move(ps.rx_partial);
+      if (done.gso_type != NetHeader::kGsoNone) {
+        ++rx_gro_frames_;
+      }
+      ps.rx_backlog.push_back(std::move(done));
       ps.rx_partial = Bytes{};
+      ps.rx_partial_meta = RxFrame{};
       ++rx_packets_;
       ++ps.rx_packets;
       ++rx_merged_frames_;
@@ -465,19 +587,26 @@ bool VirtioNetDriver::harvest_one_rx(virtio::DriverRing& rx, PairState& ps) {
     }
   } else {
     VFPGA_ASSERT(completion->written >= NetHeader::kSize);
+    const NetHeader vhdr = NetHeader::decode(data);
+    RxFrame meta;
+    meta.csum_valid = (vhdr.flags & NetHeader::kDataValid) != 0;
+    meta.gso_type = vhdr.gso_type;
+    meta.gso_size = vhdr.gso_size;
     const u16 num_buffers =
-        mrg_active_ ? std::max<u16>(load_le16(ConstByteSpan{data},
-                                              NetHeader::kNumBuffersOffset),
-                                    1)
-                    : u16{1};
+        mrg_active_ ? std::max<u16>(vhdr.num_buffers, 1) : u16{1};
     if (num_buffers <= 1) {
-      ps.rx_backlog.emplace_back(data.begin() + NetHeader::kSize, data.end());
+      meta.frame.assign(data.begin() + NetHeader::kSize, data.end());
+      if (meta.gso_type != NetHeader::kGsoNone) {
+        ++rx_gro_frames_;
+      }
+      ps.rx_backlog.push_back(std::move(meta));
       ++rx_packets_;
       ++ps.rx_packets;
       frame_done = true;
     } else {
       ps.rx_partial.assign(data.begin() + NetHeader::kSize, data.end());
       ps.rx_partial_remaining = static_cast<u16>(num_buffers - 1);
+      ps.rx_partial_meta = std::move(meta);
     }
   }
   ++ps.rx_harvest_seq;
@@ -516,6 +645,12 @@ u32 VirtioNetDriver::napi_poll(HostThread& thread, u16 pair) {
   }
   tx.disable_interrupts();
 
+  // DIM step: this poll's batch size is the arrival-rate sample. Only
+  // non-empty polls count — NAPI runs off an interrupt, so an empty
+  // harvest is a spurious wake, not a rate observation.
+  if (rx_moderation_active_ && harvested > 0) {
+    update_dim(thread, pair, harvested);
+  }
   return harvested;
 }
 
@@ -645,12 +780,13 @@ void VirtioNetDriver::note_rx_wait(u16 pair, sim::Duration wait) {
   }
 }
 
-std::optional<Bytes> VirtioNetDriver::pop_rx_frame(u16 pair) {
+std::optional<VirtioNetDriver::RxFrame> VirtioNetDriver::pop_rx_frame(
+    u16 pair) {
   PairState& ps = pair_state_.at(pair);
   if (ps.rx_backlog.empty()) {
     return std::nullopt;
   }
-  Bytes frame = std::move(ps.rx_backlog.front());
+  RxFrame frame = std::move(ps.rx_backlog.front());
   ps.rx_backlog.pop_front();
   return frame;
 }

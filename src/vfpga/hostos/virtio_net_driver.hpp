@@ -69,6 +69,20 @@ class VirtioNetDriver {
     /// Page granularity of zero-copy TX segments (dma_map_single is
     /// page-granular on real hardware).
     u32 sg_segment_bytes = 4096;
+    /// Request the segmentation offloads (HOST_TSO4/HOST_UFO on TX,
+    /// GUEST_TSO4/GUEST_UFO on RX). When negotiated, xmit_frame accepts
+    /// GSO superframes up to gso_max_bytes and the RX backlog carries
+    /// the device's DATA_VALID / coalescing metadata.
+    bool want_offload = false;
+    /// Request VIRTIO_NET_F_NOTF_COAL (+ CTRL_VQ) and run the DIM-style
+    /// adaptive interrupt-moderation controller: napi_poll tracks a
+    /// per-pair EWMA of the completion batch size and reprograms the
+    /// device's RX coalescing window on threshold crossings.
+    bool want_rx_moderation = false;
+    /// Largest GSO superframe (hdr excluded) the TX pool is sized for
+    /// when want_offload is set. 65535 mirrors the kernel's
+    /// GSO_LEGACY_MAX_SIZE.
+    u32 gso_max_bytes = 65535;
 
     /// Pool sizing for a given device MTU. The constant slack matches
     /// the legacy 1526-byte frame area at the default MTU of 1500.
@@ -124,6 +138,35 @@ class VirtioNetDriver {
                   u16 csum_start = 0, u16 csum_offset = 0, u16 pair = 0,
                   bool more_coming = false);
 
+  /// Full virtio_net_hdr control block for one transmission — the
+  /// skb_shared_info fields virtio-net copies into the header. A
+  /// gso_type other than kGsoNone marks a superframe the device must
+  /// segment (needs_csum is then mandatory per §5.1.6.2).
+  struct TxOffload {
+    bool needs_csum = false;
+    u16 csum_start = 0;
+    u16 csum_offset = 0;
+    u8 gso_type = 0;  ///< virtio::net::NetHeader::kGso*
+    u16 gso_size = 0;
+    u16 hdr_len = 0;
+  };
+
+  /// Transmit with the full offload control block. Superframes (gso_type
+  /// set) may exceed frame_capacity up to gso_max_bytes when the offload
+  /// was negotiated.
+  bool xmit_frame(HostThread& thread, ConstByteSpan frame,
+                  const TxOffload& offload, u16 pair = 0,
+                  bool more_coming = false);
+
+  /// True when the device segments UDP superframes for us (HOST_UFO +
+  /// CSUM negotiated on the last probe).
+  [[nodiscard]] bool tso_active() const { return tso_active_; }
+  /// True when NOTF_COAL was negotiated and the DIM controller may
+  /// reprogram the device's RX interrupt-moderation window.
+  [[nodiscard]] bool rx_moderation_active() const {
+    return rx_moderation_active_;
+  }
+
   /// Publish any coalesced-but-unpublished TX chains on `pair` and ring
   /// the doorbell if the device asked for it (one EVENT_IDX decision for
   /// the whole batch). Returns true when the device was kicked.
@@ -162,6 +205,26 @@ class VirtioNetDriver {
   [[nodiscard]] const BusyPollPolicy& busy_poll_policy() const {
     return busy_poll_policy_;
   }
+
+  /// DIM-style adaptive interrupt moderation (cf. Linux net_dim): track
+  /// an EWMA of completions harvested per napi_poll and flip the
+  /// device's NOTF_COAL RX window between a low-latency and a batching
+  /// profile on (hysteretic) threshold crossings.
+  struct DimPolicy {
+    /// EWMA smoothing for the per-poll batch size.
+    double ewma_alpha = 0.25;
+    /// EWMA at or above this arms the batching profile.
+    double high_watermark = 4.0;
+    /// EWMA at or below this returns to the low-latency profile
+    /// (< high_watermark: the gap is the hysteresis band).
+    double low_watermark = 1.5;
+    /// Batching profile: fire after this many withheld completions ...
+    u32 coalesce_frames = 8;
+    /// ... or when the holdoff window (microseconds) expires.
+    u32 coalesce_usecs = 32;
+  };
+  void set_dim_policy(const DimPolicy& policy) { dim_ = policy; }
+  [[nodiscard]] const DimPolicy& dim_policy() const { return dim_; }
 
   /// Poll-mode RX for one pair: flush any coalesced TX kicks, disarm
   /// the pair's RX vector, and spin on the used ring — harvesting
@@ -231,9 +294,21 @@ class VirtioNetDriver {
   /// recovery without a device reset).
   bool reset_steering(HostThread& thread);
 
+  /// One received frame plus the virtio_net_hdr metadata the device
+  /// attached to it. csum_valid mirrors VIRTIO_NET_HDR_F_DATA_VALID:
+  /// the device vouches for the L4 checksum, so the stack may skip
+  /// verification even when the on-wire checksum field is stale (a
+  /// GRO-coalesced superframe keeps the first segment's checksum).
+  struct RxFrame {
+    Bytes frame;
+    bool csum_valid = false;
+    u8 gso_type = 0;   ///< kGso* of a coalesced RX superframe
+    u16 gso_size = 0;  ///< segment size the coalesced train used
+  };
+
   /// Pop one received frame from `pair`'s backlog (after napi_poll
   /// queued it).
-  std::optional<Bytes> pop_rx_frame(u16 pair = 0);
+  std::optional<RxFrame> pop_rx_frame(u16 pair = 0);
   [[nodiscard]] bool rx_backlog_empty(u16 pair = 0) const {
     return pair_state_.at(pair).rx_backlog.empty();
   }
@@ -266,10 +341,31 @@ class VirtioNetDriver {
   [[nodiscard]] u64 watchdog_kicks() const { return watchdog_kicks_; }
   [[nodiscard]] u64 steering_repairs() const { return steering_repairs_; }
   [[nodiscard]] u64 ctrl_commands_sent() const { return ctrl_commands_sent_; }
+  /// GSO superframes handed to the device for segmentation.
+  [[nodiscard]] u64 tx_gso_frames() const { return tx_gso_frames_; }
+  /// RX frames that arrived as device-coalesced (GRO) superframes.
+  [[nodiscard]] u64 rx_gro_frames() const { return rx_gro_frames_; }
+  /// NOTF_COAL RX_SET commands the DIM controller issued.
+  [[nodiscard]] u64 dim_updates() const { return dim_updates_; }
+  /// The DIM controller's current per-pair batch-size EWMA (negative =
+  /// no observation yet). Exposed for tests and diagnostics.
+  [[nodiscard]] double rx_rate_ewma(u16 pair = 0) const {
+    return pair_state_.at(pair).rx_rate_ewma;
+  }
 
  private:
   bool initialize_device(HostThread& thread);
   void post_initial_rx_buffers(u16 pair);
+  /// Submit one {class, command, payload} chain on the control queue and
+  /// poll for the device's ack byte (shared by MQ and NOTF_COAL).
+  std::optional<u8> send_ctrl(HostThread& thread, u8 cls, u8 cmd,
+                              ConstByteSpan payload);
+  /// DIM step after a poll harvested `batch` frames on `pair`: update
+  /// the rate EWMA and reprogram the device's RX coalescing window when
+  /// a watermark is crossed.
+  void update_dim(HostThread& thread, u16 pair, u32 batch);
+  /// Program the device's RX NOTF_COAL window for the current profile.
+  bool send_rx_coalesce(HostThread& thread, u32 max_usecs, u32 max_frames);
 
   /// RX buffer bookkeeping: token -> buffer address (single-buffer
   /// layout: virtio_net_hdr + frame in one descriptor, as modern
@@ -291,7 +387,7 @@ class VirtioNetDriver {
     std::vector<RxBuffer> rx_buffers;
     std::vector<TxBuffer> tx_buffers;
     std::deque<u32> tx_free;
-    std::deque<Bytes> rx_backlog;
+    std::deque<RxFrame> rx_backlog;
     u32 rx_vector = 0;
     u32 tx_vector = 0;
     u32 kick_retries = 0;
@@ -308,8 +404,15 @@ class VirtioNetDriver {
     double rx_wait_ewma_us = -1.0;
     /// Mergeable-RX reassembly: frame bytes accumulated so far and the
     /// continuation buffers still outstanding (§5.1.6.4 num_buffers).
+    /// The header metadata (csum_valid/gso) comes from the span's first
+    /// buffer and is held in rx_partial_meta until the frame completes.
     Bytes rx_partial;
     u16 rx_partial_remaining = 0;
+    RxFrame rx_partial_meta{};
+    /// DIM controller: EWMA of completions per napi_poll (negative =
+    /// no observation yet) and whether the batching profile is armed.
+    double rx_rate_ewma = -1.0;
+    bool dim_profile_high = false;
   };
 
   /// Harvest exactly one RX completion and recycle its buffer (shared
@@ -330,6 +433,9 @@ class VirtioNetDriver {
   u16 configured_pairs_ = 1;  ///< pairs with rings + vectors set up
   u16 max_device_pairs_ = 1;
   bool mq_active_ = false;
+  bool ctrl_active_ = false;  ///< CTRL_VQ negotiated (MQ and/or NOTF_COAL)
+  bool tso_active_ = false;
+  bool rx_moderation_active_ = false;
   u16 ctrl_queue_index_ = 0;
   HostAddr ctrl_cmd_addr_ = 0;
   HostAddr ctrl_ack_addr_ = 0;
@@ -353,9 +459,13 @@ class VirtioNetDriver {
   u64 watchdog_kicks_ = 0;
   u64 steering_repairs_ = 0;
   u64 ctrl_commands_sent_ = 0;
+  u64 tx_gso_frames_ = 0;
+  u64 rx_gro_frames_ = 0;
+  u64 dim_updates_ = 0;
 
   WatchdogPolicy watchdog_{};
   BusyPollPolicy busy_poll_policy_{};
+  DimPolicy dim_{};
 };
 
 }  // namespace vfpga::hostos

@@ -1,0 +1,52 @@
+// UDP segmentation (GSO/USO) and receive coalescing (GRO).
+//
+// The offload datapath hands the device ONE jumbo Ethernet frame with a
+// virtio_net_hdr describing the segment size; the device slices it into
+// wire-MTU frames, fixing IP identification/length per segment with the
+// RFC 1624 incremental checksum helpers and stamping each segment's UDP
+// checksum in a single pass (VIRTIO_NET_F_HOST_UFO). The mirror
+// operation merges an echoed segment train back into one superframe for
+// mergeable RX delivery (VIRTIO_NET_F_GUEST_UFO + kDataValid).
+//
+// Segmentation uses L4 semantics (each output is an independent,
+// complete UDP datagram — Linux's UDP_SEGMENT/USO model), not IP
+// fragmentation: this stack has no fragment reassembly, and the paper's
+// workload is datagram echo. DESIGN.md §11 spells out the deviation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "vfpga/common/types.hpp"
+
+namespace vfpga::net {
+
+/// Slice a UDP-over-IPv4 Ethernet superframe into wire frames carrying
+/// at most `gso_size` UDP payload bytes each. Every output frame is a
+/// complete datagram: IP identification increments per segment, IP and
+/// UDP lengths are rewritten, the IP header checksum is fixed up
+/// incrementally from the first segment's, and (when `fill_checksums`)
+/// each segment's UDP checksum is computed over its pseudo-header.
+/// Returns an empty vector if the superframe does not parse as
+/// eth+IPv4+UDP or `gso_size` is zero.
+[[nodiscard]] std::vector<Bytes> gso_segment_udp(ConstByteSpan superframe,
+                                                 u16 gso_size,
+                                                 bool fill_checksums = true);
+
+struct GroResult {
+  Bytes frame;       ///< merged superframe (eth + IPv4 + UDP + payload)
+  u16 gso_size = 0;  ///< payload bytes per source segment (first frame)
+  u16 segments = 0;  ///< how many wire frames were merged
+};
+
+/// Merge a train of same-flow UDP segment frames into one superframe.
+/// Each input's UDP checksum is verified (the device vouches for the
+/// result via kDataValid); the merged frame carries correct IP lengths
+/// and header checksum but a STALE UDP checksum — consumers must honour
+/// the checksum-validated signal instead of re-verifying. Returns
+/// nullopt when the frames do not form one coherent train (flow
+/// mismatch, non-consecutive IP ids, or a bad segment checksum).
+[[nodiscard]] std::optional<GroResult> gro_coalesce_udp(
+    const std::vector<Bytes>& frames);
+
+}  // namespace vfpga::net

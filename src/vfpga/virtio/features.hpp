@@ -28,10 +28,15 @@ inline constexpr u32 kCsum = 0;        ///< device handles partial csum on TX
 inline constexpr u32 kGuestCsum = 1;   ///< driver handles partial csum on RX
 inline constexpr u32 kMtu = 3;         ///< device reports maximum MTU
 inline constexpr u32 kMac = 5;         ///< device has a MAC address in config
+inline constexpr u32 kGuestTso4 = 7;   ///< driver accepts coalesced TCPv4
+inline constexpr u32 kGuestUfo = 10;   ///< driver accepts coalesced UDP
+inline constexpr u32 kHostTso4 = 11;   ///< device segments TCPv4 (TSO)
+inline constexpr u32 kHostUfo = 14;    ///< device segments UDP (USO/UFO)
 inline constexpr u32 kMrgRxbuf = 15;   ///< driver can merge receive buffers
 inline constexpr u32 kStatus = 16;     ///< config status field is valid
 inline constexpr u32 kCtrlVq = 17;     ///< control virtqueue present
 inline constexpr u32 kMq = 22;         ///< multiqueue with automatic steering
+inline constexpr u32 kNotfCoal = 53;   ///< notification coalescing via ctrl vq
 inline constexpr u32 kSpeedDuplex = 63;
 }  // namespace net
 

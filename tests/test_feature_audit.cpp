@@ -39,12 +39,17 @@ FeatureSet implemented_net() {
   FeatureSet f;
   f.set(feature::net::kCsum);
   f.set(feature::net::kGuestCsum);
+  f.set(feature::net::kGuestTso4);
+  f.set(feature::net::kGuestUfo);
+  f.set(feature::net::kHostTso4);
+  f.set(feature::net::kHostUfo);
   f.set(feature::net::kMtu);
   f.set(feature::net::kMac);
   f.set(feature::net::kMrgRxbuf);
   f.set(feature::net::kStatus);
   f.set(feature::net::kCtrlVq);
   f.set(feature::net::kMq);
+  f.set(feature::net::kNotfCoal);
   return f;
 }
 
@@ -112,8 +117,31 @@ TEST(FeatureAudit, NetLogicOffersOnlyImplementedBits) {
       // Mergeable RX buffers ride the default personality (the zero-copy
       // datapath depends on the offer being present).
       EXPECT_TRUE(offered.has(feature::net::kMrgRxbuf));
+      // Segmentation offloads follow their checksum prerequisites
+      // (§5.1.3.1): the TX-side segmenter writes per-segment checksums,
+      // the RX-side coalescer vouches for them via DATA_VALID.
+      EXPECT_EQ(offered.has(feature::net::kHostTso4), csum);
+      EXPECT_EQ(offered.has(feature::net::kHostUfo), csum);
+      EXPECT_EQ(offered.has(feature::net::kGuestTso4), csum);
+      EXPECT_EQ(offered.has(feature::net::kGuestUfo), csum);
+      // NOTF_COAL stays off the default personality: offering it would
+      // grow a control queue onto the paper's two-queue device.
+      EXPECT_FALSE(offered.has(feature::net::kNotfCoal));
     }
   }
+}
+
+// NOTF_COAL rides only on an explicit opt-in, and brings the control
+// queue with it even on a single-pair device.
+TEST(FeatureAudit, NotfCoalOfferGrowsCtrlQueue) {
+  NetDeviceConfig config;
+  config.offer_notf_coal = true;
+  NetDeviceLogic logic{config};
+  const FeatureSet offered = logic.device_features();
+  EXPECT_TRUE(offered.subset_of(implemented_net()));
+  EXPECT_TRUE(offered.has(feature::net::kNotfCoal));
+  EXPECT_TRUE(offered.has(feature::net::kCtrlVq));
+  EXPECT_EQ(logic.queue_count(), 3);  // 1 pair + ctrl
 }
 
 TEST(FeatureAudit, BlkAndConsoleOfferOnlyImplementedBits) {
@@ -210,6 +238,23 @@ TEST(FeatureAuditDeathTest, UnofferedNegotiatedBitFailsLoudly) {
   ASSERT_FALSE(logic.device_features().has(feature::net::kSpeedDuplex));
   bogus.set(feature::net::kSpeedDuplex);
   EXPECT_DEATH(logic.on_driver_ready(bogus), "");
+}
+
+// Spec dependency (§5.1.3.1): a driver selecting GUEST_TSO4/GUEST_UFO
+// without GUEST_CSUM (or the HOST variants without CSUM) violated the
+// negotiation rules; the device audit must refuse to run that way.
+TEST(FeatureAuditDeathTest, OffloadWithoutChecksumPrerequisiteDies) {
+  NetDeviceLogic logic{{}};
+  FeatureSet selected = logic.device_features();
+  ASSERT_TRUE(selected.has(feature::net::kGuestTso4));
+  selected.clear(feature::net::kGuestCsum);
+  EXPECT_DEATH(logic.on_driver_ready(selected), "");
+
+  NetDeviceLogic host_side{{}};
+  FeatureSet host_sel = host_side.device_features();
+  ASSERT_TRUE(host_sel.has(feature::net::kHostUfo));
+  host_sel.clear(feature::net::kCsum);
+  EXPECT_DEATH(host_side.on_driver_ready(host_sel), "");
 }
 
 }  // namespace
