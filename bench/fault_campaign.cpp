@@ -2,21 +2,99 @@
 //
 // Sweeps every fault class x seed over the UDP-echo and chardev
 // workloads with recovery enabled, then prints per-class injection and
-// recovery-latency statistics (p50/p99). Exits non-zero when any run
-// hung, silently corrupted a payload, or failed to return to
-// steady-state after the plane was disarmed.
+// recovery-latency statistics (p50/p99) and writes
+// BENCH_fault_campaign.json ($VFPGA_JSON_DIR honoured). Exits non-zero
+// when any run hung, silently corrupted a payload, or failed to return
+// to steady-state after the plane was disarmed — with a per-class
+// breakdown of what failed, so CI logs show which invariant broke
+// where instead of a bare exit code.
 //
+//   --seed N                 base-seed override (or VFPGA_BENCH_SEED)
 //   VFPGA_CAMPAIGN_RUNS=200  seeded runs per (class, workload)
 //   VFPGA_CAMPAIGN_OPS=12    faulted operations per run
 //   VFPGA_CAMPAIGN_RATE=0.08 per-consult injection probability
-//   VFPGA_SEED=202408        campaign base seed
 #include <cstdio>
+#include <string>
 
+#include "bench_seed.hpp"
 #include "vfpga/harness/fault_campaign.hpp"
+#include "vfpga/harness/report.hpp"
 
-int main() {
+namespace {
+
+bool write_json(const vfpga::harness::CampaignConfig& config,
+                const vfpga::harness::CampaignResult& result) {
+  const std::string path =
+      vfpga::harness::bench_json_path("BENCH_fault_campaign.json");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  std::fprintf(file,
+               "{\n  \"source\": \"fault_campaign\",\n  \"seed\": %llu,\n"
+               "  \"runs_per_class\": %llu,\n  \"ops_per_run\": %u,\n"
+               "  \"fault_rate\": %.4f,\n  \"classes\": [",
+               static_cast<unsigned long long>(config.base_seed),
+               static_cast<unsigned long long>(config.runs_per_class),
+               config.ops_per_run, config.fault_rate);
+  bool first = true;
+  for (const auto& r : result.classes) {
+    std::fprintf(
+        file,
+        "%s\n    {\"class\": \"%s\", \"workload\": \"%s\", "
+        "\"runs\": %llu, \"injected\": %llu, \"hangs\": %llu, "
+        "\"corruptions\": %llu, \"device_resets\": %llu, "
+        "\"recoveries\": %llu, \"steady_state_failures\": %llu, "
+        "\"ok\": %s}",
+        first ? "" : ",", vfpga::fault::fault_class_name(r.cls),
+        r.workload.c_str(), static_cast<unsigned long long>(r.runs),
+        static_cast<unsigned long long>(r.injected),
+        static_cast<unsigned long long>(r.hangs),
+        static_cast<unsigned long long>(r.corruptions),
+        static_cast<unsigned long long>(r.device_resets),
+        static_cast<unsigned long long>(r.recoveries),
+        static_cast<unsigned long long>(r.steady_state_failures),
+        r.ok() ? "true" : "false");
+    first = false;
+  }
+  std::fprintf(file, "\n  ],\n  \"ok\": %s\n}\n",
+               result.ok() ? "true" : "false");
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Per-class failure breakdown on the way out: which invariant broke,
+/// how often, under which workload.
+int report_failures(const vfpga::harness::CampaignResult& result) {
+  int failing_classes = 0;
+  for (const auto& r : result.classes) {
+    if (r.ok()) {
+      continue;
+    }
+    ++failing_classes;
+    std::fprintf(stderr,
+                 "FAIL %s/%s: %llu hang(s), %llu corruption(s), "
+                 "%llu steady-state failure(s) over %llu run(s)\n",
+                 vfpga::fault::fault_class_name(r.cls), r.workload.c_str(),
+                 static_cast<unsigned long long>(r.hangs),
+                 static_cast<unsigned long long>(r.corruptions),
+                 static_cast<unsigned long long>(r.steady_state_failures),
+                 static_cast<unsigned long long>(r.runs));
+  }
+  if (failing_classes != 0) {
+    std::fprintf(stderr, "fault campaign: %d fault class(es) failed\n",
+                 failing_classes);
+  }
+  return failing_classes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace vfpga;
-  const harness::CampaignConfig config = harness::CampaignConfig::from_env();
+  harness::CampaignConfig config = harness::CampaignConfig::from_env();
+  config.base_seed = bench::base_seed(config.base_seed, argc, argv);
   std::printf(
       "fault campaign: %llu runs/class, %u ops/run, rate %.3f, seed %llu\n",
       static_cast<unsigned long long>(config.runs_per_class),
@@ -24,5 +102,6 @@ int main() {
       static_cast<unsigned long long>(config.base_seed));
   const harness::CampaignResult result = harness::run_fault_campaign(config);
   harness::print_campaign_report(result);
-  return result.ok() ? 0 : 1;
+  write_json(config, result);
+  return report_failures(result) == 0 ? 0 : 1;
 }

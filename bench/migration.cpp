@@ -1,0 +1,121 @@
+// Live-migration bench: snapshot/restore + two-host pre-copy migration
+// under a faulted multi-flow UDP workload.
+//
+// Runs harness::run_migration for both ring formats (split and packed),
+// prints the blackout/loss/verification report, writes
+// BENCH_migration.json ($VFPGA_JSON_DIR honoured) and exits non-zero
+// when any run corrupted state, diverged after switchover, or blew the
+// blackout budget.
+//
+//   --smoke            trimmed workload for CI (fewer ops and rounds)
+//   --seed N           base-seed override (or VFPGA_BENCH_SEED)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_seed.hpp"
+#include "vfpga/harness/migration.hpp"
+#include "vfpga/harness/report.hpp"
+
+namespace {
+
+struct NamedResult {
+  std::string name;
+  vfpga::harness::MigrationConfig config;
+  vfpga::harness::MigrationResult result;
+};
+
+bool write_json(const std::vector<NamedResult>& runs, vfpga::u64 seed) {
+  const std::string path =
+      vfpga::harness::bench_json_path("BENCH_migration.json");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  std::fprintf(file, "{\n  \"source\": \"migration\",\n  \"seed\": %llu,\n"
+               "  \"runs\": [",
+               static_cast<unsigned long long>(seed));
+  bool first = true;
+  for (const NamedResult& run : runs) {
+    const auto& r = run.result;
+    std::fprintf(
+        file,
+        "%s\n    {\"ring\": \"%s\", \"precopy_rounds\": %u, "
+        "\"pages_full\": %llu, \"pages_dirty\": %llu, "
+        "\"pages_blackout\": %llu, \"state_bytes\": %llu, "
+        "\"blackout_us\": %.2f, \"rate_pps\": %.0f, "
+        "\"modeled_lost_packets\": %.3f, \"loss_bound_packets\": %.3f, "
+        "\"ops_precopy\": %llu, \"faults_injected\": %llu, "
+        "\"post_ops\": %llu, \"divergent_ops\": %llu, "
+        "\"restore_ok\": %s, \"snapshot_identical\": %s, "
+        "\"final_snapshot_identical\": %s, \"blackout_bounded\": %s, "
+        "\"ok\": %s}",
+        first ? "" : ",", run.name.c_str(), r.precopy_rounds,
+        static_cast<unsigned long long>(r.pages_full_copy),
+        static_cast<unsigned long long>(r.pages_dirty_copied),
+        static_cast<unsigned long long>(r.pages_blackout),
+        static_cast<unsigned long long>(r.state_bytes), r.blackout_us,
+        r.traffic_rate_pps, r.modeled_lost_packets, r.loss_bound_packets,
+        static_cast<unsigned long long>(r.ops_during_precopy),
+        static_cast<unsigned long long>(r.faults_injected),
+        static_cast<unsigned long long>(r.post_ops),
+        static_cast<unsigned long long>(r.divergent_ops),
+        r.restore_ok ? "true" : "false",
+        r.snapshot_identical ? "true" : "false",
+        r.final_snapshot_identical ? "true" : "false",
+        r.blackout_bounded ? "true" : "false", r.ok() ? "true" : "false");
+    first = false;
+  }
+  std::fprintf(file, "\n  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vfpga;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const u64 seed = bench::base_seed(8'24'2026, argc, argv);
+
+  harness::MigrationConfig base;
+  base.seed = seed;
+  if (smoke) {
+    base.ops_per_round = 10;
+    base.max_precopy_rounds = 4;
+    base.post_ops = 16;
+    base.clean_ops = 4;
+  }
+
+  std::vector<NamedResult> runs;
+  for (const bool packed : {false, true}) {
+    harness::MigrationConfig config = base;
+    config.testbed.use_packed_rings = packed;
+    config.seed = seed + (packed ? 1 : 0);
+    NamedResult run;
+    run.name = packed ? "packed" : "split";
+    run.config = config;
+    std::printf("=== %s rings ===\n", run.name.c_str());
+    run.result = harness::run_migration(config);
+    harness::print_migration_report(config, run.result);
+    runs.push_back(std::move(run));
+  }
+
+  write_json(runs, seed);
+
+  for (const NamedResult& run : runs) {
+    if (!run.result.ok()) {
+      std::printf("FAIL: %s-ring migration violated an invariant\n",
+                  run.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

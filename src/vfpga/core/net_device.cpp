@@ -4,6 +4,7 @@
 
 #include "vfpga/common/contract.hpp"
 #include "vfpga/fault/fault_plane.hpp"
+#include "vfpga/migrate/state_io.hpp"
 #include "vfpga/net/arp.hpp"
 #include "vfpga/net/gso.hpp"
 #include "vfpga/net/icmp.hpp"
@@ -506,6 +507,57 @@ std::optional<UserLogic::Response> NetDeviceLogic::process_gso_udp(
     }
   }
   return response;
+}
+
+void NetDeviceLogic::save_state(migrate::StateWriter& w) const {
+  w.put_u64(negotiated_.bits());
+  w.put_u16(active_pairs_);
+  for (u8 entry : steering_table_) {
+    w.put_u8(entry);
+  }
+  w.put_u16(static_cast<u16>(pair_echoes_.size()));
+  for (u64 e : pair_echoes_) {
+    w.put_u64(e);
+  }
+  w.put_u64(udp_echoes_);
+  w.put_u64(icmp_echoes_);
+  w.put_u64(arp_replies_);
+  w.put_u64(checksums_offloaded_);
+  w.put_u64(dropped_);
+  w.put_u64(ctrl_commands_);
+  w.put_u64(ctrl_rejected_);
+  w.put_u64(gso_superframes_);
+  w.put_u64(gso_segments_out_);
+  w.put_u64(gro_coalesced_);
+  w.put_u32(rx_coal_.max_usecs);
+  w.put_u32(rx_coal_.max_packets);
+}
+
+void NetDeviceLogic::load_state(migrate::StateReader& r) {
+  negotiated_ = virtio::FeatureSet{r.get_u64()};
+  active_pairs_ = r.get_u16();
+  for (u8& entry : steering_table_) {
+    entry = r.get_u8();
+  }
+  if (r.get_u16() != pair_echoes_.size()) {
+    r.fail();
+    return;
+  }
+  for (u64& e : pair_echoes_) {
+    e = r.get_u64();
+  }
+  udp_echoes_ = r.get_u64();
+  icmp_echoes_ = r.get_u64();
+  arp_replies_ = r.get_u64();
+  checksums_offloaded_ = r.get_u64();
+  dropped_ = r.get_u64();
+  ctrl_commands_ = r.get_u64();
+  ctrl_rejected_ = r.get_u64();
+  gso_superframes_ = r.get_u64();
+  gso_segments_out_ = r.get_u64();
+  gro_coalesced_ = r.get_u64();
+  rx_coal_.max_usecs = r.get_u32();
+  rx_coal_.max_packets = r.get_u32();
 }
 
 }  // namespace vfpga::core

@@ -19,6 +19,11 @@
 #include "vfpga/net/rss.hpp"
 #include "vfpga/virtio/net_defs.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::core {
 
 struct NetDeviceConfig {
@@ -130,6 +135,12 @@ class NetDeviceLogic final : public UserLogic {
     return config_;
   }
   [[nodiscard]] virtio::FeatureSet negotiated() const { return negotiated_; }
+
+  /// Snapshot/restore of the fabric personality's dynamic state:
+  /// negotiated features, active pairs, the RSS indirection table,
+  /// NOTF_COAL parameters and counters.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   [[nodiscard]] u64 processing_cycles(u64 frame_bytes, bool checksummed) const;

@@ -31,6 +31,9 @@ class PackedQueueEngine final : public IQueueEngine {
   sim::SimTime post_drain_update(u16 drained_through,
                                  sim::SimTime start) override;
 
+  void save_state(migrate::StateWriter& w) const override;
+  void load_state(migrate::StateReader& r) override;
+
  private:
   virtio::PackedVirtqueueDevice vq_;
   QueueTiming timing_;

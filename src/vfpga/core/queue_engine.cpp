@@ -1,6 +1,7 @@
 #include "vfpga/core/queue_engine.hpp"
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/migrate/state_io.hpp"
 #include "vfpga/virtio/ids.hpp"
 
 namespace vfpga::core {
@@ -176,6 +177,38 @@ sim::SimTime QueueEngine::post_drain_update(u16 drained_through,
   // EVENT_IDX: request a notification for the publish after the ones we
   // are about to drain (§2.7.10 — the device writes avail_event).
   return vq_.write_avail_event(drained_through, start).issuer_free;
+}
+
+void IQueueEngine::save_base_state(migrate::StateWriter& w) const {
+  w.put_u64(completions_);
+  for (sim::SimTime t : visible_at_) {
+    w.put_time(t);
+  }
+}
+
+void IQueueEngine::load_base_state(migrate::StateReader& r) {
+  completions_ = r.get_u64();
+  for (sim::SimTime& t : visible_at_) {
+    t = r.get_time();
+  }
+}
+
+void QueueEngine::save_state(migrate::StateWriter& w) const {
+  save_base_state(w);
+  vq_.save_state(w);
+  w.put_bool(cached_used_event_.has_value());
+  w.put_u16(cached_used_event_.value_or(0));
+  w.put_u16(stale_completions_);
+}
+
+void QueueEngine::load_state(migrate::StateReader& r) {
+  load_base_state(r);
+  vq_.load_state(r);
+  const bool has_cached = r.get_bool();
+  const u16 cached = r.get_u16();
+  cached_used_event_ =
+      has_cached ? std::optional<u16>{cached} : std::nullopt;
+  stale_completions_ = r.get_u16();
 }
 
 }  // namespace vfpga::core

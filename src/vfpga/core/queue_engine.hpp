@@ -15,6 +15,11 @@
 #include "vfpga/fpga/clock.hpp"
 #include "vfpga/virtio/virtqueue_device.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::core {
 
 /// FSM cycle costs (125 MHz domain). These are the controller's own
@@ -137,7 +142,16 @@ class IQueueEngine {
   virtual sim::SimTime post_drain_update(u16 drained_through,
                                          sim::SimTime start) = 0;
 
+  /// Snapshot/restore of the full FSM state (including the inherited
+  /// completion-visibility window). Must never touch host memory.
+  virtual void save_state(migrate::StateWriter& w) const = 0;
+  virtual void load_state(migrate::StateReader& r) = 0;
+
  protected:
+  /// Serialization of the base's completion counter + visibility window
+  /// (concrete engines call these from their save/load overrides).
+  void save_base_state(migrate::StateWriter& w) const;
+  void load_base_state(migrate::StateReader& r);
   /// Engines call this from complete_chain once the used-ring write is
   /// issued, with the write's delivered (globally-visible) timestamp.
   void record_completion(sim::SimTime delivered) {
@@ -176,6 +190,9 @@ class QueueEngine final : public IQueueEngine {
 
   [[nodiscard]] const QueueTiming& timing() const { return timing_; }
   [[nodiscard]] const ControllerPolicy& policy() const { return policy_; }
+
+  void save_state(migrate::StateWriter& w) const override;
+  void load_state(migrate::StateReader& r) override;
 
  private:
   virtio::VirtqueueDevice vq_;

@@ -1,8 +1,10 @@
 #include "vfpga/core/testbed.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/migrate/state_io.hpp"
 #include "vfpga/net/ethernet.hpp"
 #include "vfpga/net/ipv4.hpp"
 #include "vfpga/net/udp.hpp"
@@ -92,6 +94,60 @@ VirtioNetTestbed::VirtioNetTestbed(TestbedOptions options)
 std::unique_ptr<hostos::HostThread> VirtioNetTestbed::spawn_thread() {
   return std::make_unique<hostos::HostThread>(rng_, options_.costs, noise_,
                                               thread_->now());
+}
+
+void VirtioNetTestbed::quiesce() {
+  for (u16 pair = 0; pair < driver_.queue_pairs(); ++pair) {
+    driver_.flush_tx(*thread_, pair);
+  }
+  device_->quiesce(thread_->now());
+}
+
+void VirtioNetTestbed::save_state(migrate::StateWriter& w) const {
+  thread_->save_state(w);
+  irq_.save_state(w);
+  net_logic_->save_state(w);
+  device_->save_state(w);
+  driver_.save_state(w);
+  stack_->save_state(w);
+  w.put_bool(fault_plane_ != nullptr);
+  if (fault_plane_) {
+    fault_plane_->save_state(w);
+  }
+  for (u64 word : rng_.state()) {
+    w.put_u64(word);
+  }
+  for (u64 word : mem_rng_.state()) {
+    w.put_u64(word);
+  }
+  w.put_u64(memory_->allocator_cursor());
+}
+
+void VirtioNetTestbed::load_state(migrate::StateReader& r) {
+  thread_->load_state(r);
+  irq_.load_state(r);
+  net_logic_->load_state(r);
+  device_->load_state(r);
+  driver_.load_state(r);
+  stack_->load_state(r);
+  const bool has_fault = r.get_bool();
+  if (has_fault != (fault_plane_ != nullptr)) {
+    r.fail();
+    return;
+  }
+  if (fault_plane_) {
+    fault_plane_->load_state(r);
+  }
+  std::array<u64, 4> s{};
+  for (u64& word : s) {
+    word = r.get_u64();
+  }
+  rng_.set_state(s);
+  for (u64& word : s) {
+    word = r.get_u64();
+  }
+  mem_rng_.set_state(s);
+  memory_->set_allocator_cursor(r.get_u64());
 }
 
 VirtioNetTestbed::RoundTrip VirtioNetTestbed::udp_round_trip(

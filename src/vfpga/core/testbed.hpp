@@ -20,6 +20,11 @@
 #include "vfpga/pcie/enumeration.hpp"
 #include "vfpga/xdma/host_driver.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::core {
 
 struct TestbedOptions {
@@ -85,6 +90,23 @@ class VirtioNetTestbed {
   /// at the main thread's current simulated time. The multi-flow load
   /// generator gives each concurrent flow its own.
   [[nodiscard]] std::unique_ptr<hostos::HostThread> spawn_thread();
+
+  /// Park the testbed for a crash-consistent snapshot: flush coalesced
+  /// TX kicks on every pair and fire any moderated-interrupt holdoff
+  /// windows — the only time-deferred device state. Everything else
+  /// (unharvested used entries, queued MSI deliveries, mid-span
+  /// mergeable-RX reassembly) serializes as-is.
+  void quiesce();
+
+  /// Serialize/restore every layer's dynamic state except host memory
+  /// pages, which the snapshot container streams separately so live
+  /// migration can copy them iteratively while traffic flows. The
+  /// restore target must be constructed from identical TestbedOptions
+  /// (the deterministic bring-up yields identical DMA addresses);
+  /// load_state then overwrites all dynamic state without touching
+  /// memory.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   TestbedOptions options_;

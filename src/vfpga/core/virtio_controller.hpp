@@ -37,6 +37,11 @@
 #include "vfpga/virtio/pci_caps.hpp"
 #include "vfpga/xdma/engine.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::core {
 
 inline constexpr BarOffset kCommonCfgOffset = 0x0000;
@@ -85,6 +90,23 @@ class VirtioDeviceFunction : public pcie::Function {
   /// notices without polling.
   void device_error(sim::SimTime at);
   [[nodiscard]] u64 device_errors() const { return device_errors_; }
+
+  /// Quiesce for snapshot: the synchronous datapath finishes inside each
+  /// doorbell, so the only time-deferred device state is the NOTF_COAL
+  /// holdoff window — fire any withheld interrupts so no wakeup is
+  /// parked outside the serialized state. Everything still in flight
+  /// after this (unharvested used entries, queued MSI deliveries) is
+  /// captured by the snapshot itself.
+  void quiesce(sim::SimTime at) { flush_moderated_interrupts(at); }
+
+  /// Serialize every register and FSM the driver can observe: config
+  /// space, negotiated features, per-queue ring engines, moderation
+  /// windows, counters. load_state recreates the queue engines in the
+  /// serialized ring format WITHOUT touching host memory (the memory
+  /// image is restored separately) and fails the reader on structural
+  /// mismatch (queue count / ring format).
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
   // ---- pcie::Function ---------------------------------------------------------
   u64 bar_read(u32 bar, BarOffset offset, u32 size, sim::SimTime at) override;

@@ -1,6 +1,7 @@
 #include "vfpga/fault/fault_plane.hpp"
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/migrate/state_io.hpp"
 
 namespace vfpga::fault {
 
@@ -53,6 +54,45 @@ void FaultPlane::corrupt(ByteSpan data) {
   // XOR with a non-zero byte so the flip is guaranteed to change data.
   const u8 mask = static_cast<u8>(1u + rng_.uniform_below(255));
   data[offset] ^= mask;
+}
+
+void FaultPlane::save_state(migrate::StateWriter& w) const {
+  // Config fingerprint: the restore target must have been constructed
+  // with the identical campaign, or the restored RNG stream diverges.
+  w.put_u64(config_.seed);
+  for (double rate : config_.rate) {
+    w.put_f64(rate);
+  }
+  const auto& s = rng_.state();
+  for (u64 word : s) {
+    w.put_u64(word);
+  }
+  for (u64 n : injected_) {
+    w.put_u64(n);
+  }
+  w.put_bool(armed_);
+}
+
+void FaultPlane::load_state(migrate::StateReader& r) {
+  if (r.get_u64() != config_.seed) {
+    r.fail();
+    return;
+  }
+  for (double rate : config_.rate) {
+    if (r.get_f64() != rate) {
+      r.fail();
+      return;
+    }
+  }
+  std::array<u64, 4> s{};
+  for (u64& word : s) {
+    word = r.get_u64();
+  }
+  rng_.set_state(s);
+  for (u64& n : injected_) {
+    n = r.get_u64();
+  }
+  armed_ = r.get_bool();
 }
 
 u64 FaultPlane::total_injected() const {

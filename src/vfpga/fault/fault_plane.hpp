@@ -18,6 +18,11 @@
 #include "vfpga/common/types.hpp"
 #include "vfpga/sim/rng.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::fault {
 
 /// The fault classes the plane can inject. Each maps to one injection
@@ -91,6 +96,14 @@ class FaultPlane {
   }
   [[nodiscard]] u64 total_injected() const;
   [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Snapshot/restore of the plane's dynamic state (RNG position,
+  /// injection counters, arm switch). The fault *config* is part of the
+  /// snapshot compatibility fingerprint: load_state fails when the
+  /// restore target was built with different rates or seed, since the
+  /// replayed RNG stream would no longer mean the same thing.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   FaultConfig config_;

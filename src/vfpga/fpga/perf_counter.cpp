@@ -1,6 +1,9 @@
 #include "vfpga/fpga/perf_counter.hpp"
 
+#include <algorithm>
+
 #include "vfpga/common/contract.hpp"
+#include "vfpga/migrate/state_io.hpp"
 
 namespace vfpga::fpga {
 
@@ -32,6 +35,55 @@ sim::Duration PerfCounterBank::interval(const std::string& from,
 void PerfCounterBank::reset() {
   latest_.clear();
   history_.clear();
+}
+
+namespace {
+
+void put_string(migrate::StateWriter& w, const std::string& s) {
+  w.put_blob(ConstByteSpan{reinterpret_cast<const u8*>(s.data()), s.size()});
+}
+
+std::string get_string(migrate::StateReader& r) {
+  const Bytes raw = r.get_blob();
+  return std::string{raw.begin(), raw.end()};
+}
+
+}  // namespace
+
+void PerfCounterBank::save_state(migrate::StateWriter& w) const {
+  std::vector<const std::string*> names;
+  names.reserve(latest_.size());
+  for (const auto& [name, cycle] : latest_) {
+    names.push_back(&name);
+  }
+  std::sort(names.begin(), names.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  w.put_u32(static_cast<u32>(names.size()));
+  for (const std::string* name : names) {
+    put_string(w, *name);
+    w.put_u64(latest_.at(*name));
+  }
+  w.put_u32(static_cast<u32>(history_.size()));
+  for (const Capture& c : history_) {
+    put_string(w, c.name);
+    w.put_u64(c.cycle);
+  }
+}
+
+void PerfCounterBank::load_state(migrate::StateReader& r) {
+  latest_.clear();
+  history_.clear();
+  const u32 latest_count = r.get_u32();
+  for (u32 i = 0; i < latest_count && !r.failed(); ++i) {
+    std::string name = get_string(r);
+    latest_[std::move(name)] = r.get_u64();
+  }
+  const u32 history_count = r.get_u32();
+  for (u32 i = 0; i < history_count && !r.failed(); ++i) {
+    std::string name = get_string(r);
+    const u64 cycle = r.get_u64();
+    history_.push_back(Capture{std::move(name), cycle});
+  }
 }
 
 }  // namespace vfpga::fpga

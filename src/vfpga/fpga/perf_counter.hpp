@@ -17,6 +17,11 @@
 
 #include "vfpga/fpga/clock.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::fpga {
 
 class PerfCounterBank {
@@ -47,6 +52,11 @@ class PerfCounterBank {
   void reset();
 
   [[nodiscard]] ClockDomain clock() const { return clock_; }
+
+  /// Snapshot/restore (latest-capture map written in sorted name order
+  /// so identical banks serialize to identical bytes).
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   ClockDomain clock_;

@@ -1,0 +1,96 @@
+// Two-host live-migration harness.
+//
+// Simulates pre-copy live migration of the VirtIO testbed between two
+// hosts: testbed A carries a multi-flow UDP echo workload (with the
+// fault plane armed, so migration happens under the same adversarial
+// conditions the fault campaign applies) while its resident host-memory
+// pages are copied to an identically-configured testbed B — a full pass
+// first, then dirty-page rounds driven by mem::HostMemory's write-funnel
+// tracking. The switchover quiesces A, ships the final dirty pages plus
+// the no-memory state snapshot inside the blackout window (modelled as
+// bytes / copy_gbps), restores into B, and then proves the migration
+// did not corrupt anything:
+//
+//   1. a full-memory snapshot of A and of B must be byte-identical
+//      immediately after the restore;
+//   2. an identical post-switchover op sequence replayed on A (which
+//      never migrated) and on B must produce bit-identical outcomes —
+//      same per-op success, recovery behaviour and simulated clock;
+//   3. a second full snapshot pair after the replay must again be
+//      byte-identical (every counter, ring index and RNG stream agreed
+//      for the whole run);
+//   4. modelled packet loss is bounded by the blackout window.
+#pragma once
+
+#include "vfpga/core/testbed.hpp"
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::harness {
+
+struct MigrationConfig {
+  core::TestbedOptions testbed{};
+  /// Queue pairs on the device and driver (multi-queue data plane).
+  u16 queue_pairs = 2;
+  /// Concurrent UDP flows, port-searched so flow f steers to pair
+  /// f mod queue_pairs; ops round-robin across them.
+  u16 flows = 4;
+  u64 payload_bytes = 256;
+  /// Echo ops on A per pre-copy round (the live workload).
+  u32 ops_per_round = 24;
+  u32 max_precopy_rounds = 8;
+  /// Stop pre-copying once a round's dirty set is this small.
+  u64 dirty_page_goal = 48;
+  /// Identical op sequence replayed on A and B after switchover.
+  u32 post_ops = 48;
+  /// Clean ops on B after disarming the fault plane (steady-state
+  /// proof that the migrated stack needs no recovery actions).
+  u32 clean_ops = 8;
+  /// Migration link speed the blackout window is modelled from.
+  double copy_gbps = 50.0;
+  /// Blackout budget; exceeding it fails the run.
+  double max_blackout_us = 500.0;
+  /// Per-consult injection probability for the armed fault classes
+  /// (TLP drop, lost notify, used-write failure) during migration.
+  double fault_rate = 0.02;
+  u32 max_op_attempts = 8;
+  sim::Duration op_time_bound = sim::milliseconds(50);
+  u64 seed = 424242;
+};
+
+struct MigrationResult {
+  u32 precopy_rounds = 0;
+  u64 pages_full_copy = 0;     ///< round-0 full resident-page pass
+  u64 pages_dirty_copied = 0;  ///< across all pre-copy rounds
+  u64 pages_blackout = 0;      ///< final dirty set, copied quiesced
+  u64 state_bytes = 0;         ///< blackout no-memory snapshot size
+  u64 blackout_bytes = 0;      ///< final pages + state image
+  double blackout_us = 0;      ///< blackout_bytes over copy_gbps
+  double traffic_rate_pps = 0;  ///< workload rate observed pre-copy
+  /// Packets the blackout window costs at the observed rate — the
+  /// modelled loss an external sender would see during switchover.
+  double modeled_lost_packets = 0;
+  double loss_bound_packets = 0;  ///< max_blackout_us at the same rate
+  u64 ops_during_precopy = 0;
+  u64 precopy_hangs = 0;  ///< ops that exhausted the retry budget on A
+  u64 faults_injected = 0;
+  u64 post_ops = 0;
+  u64 divergent_ops = 0;  ///< A-vs-B replay mismatches (corruption)
+  u64 steady_state_failures = 0;
+  bool restore_ok = false;
+  bool snapshot_identical = false;        ///< right after switchover
+  bool final_snapshot_identical = false;  ///< after the replay
+  bool blackout_bounded = false;
+
+  [[nodiscard]] bool ok() const {
+    return restore_ok && snapshot_identical && final_snapshot_identical &&
+           blackout_bounded && divergent_ops == 0 && precopy_hangs == 0 &&
+           steady_state_failures == 0;
+  }
+};
+
+MigrationResult run_migration(const MigrationConfig& config);
+
+void print_migration_report(const MigrationConfig& config,
+                            const MigrationResult& result);
+
+}  // namespace vfpga::harness

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/migrate/state_io.hpp"
 
 namespace vfpga::hostos {
 
@@ -150,6 +151,20 @@ void HostThread::reset_accounting() {
   software_ = sim::Duration{};
   mmio_stall_ = sim::Duration{};
   poll_ = sim::Duration{};
+}
+
+void HostThread::save_state(migrate::StateWriter& w) const {
+  w.put_time(now_);
+  w.put_duration(software_);
+  w.put_duration(mmio_stall_);
+  w.put_duration(poll_);
+}
+
+void HostThread::load_state(migrate::StateReader& r) {
+  now_ = r.get_time();
+  software_ = r.get_duration();
+  mmio_stall_ = r.get_duration();
+  poll_ = r.get_duration();
 }
 
 }  // namespace vfpga::hostos

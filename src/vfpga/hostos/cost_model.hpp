@@ -18,6 +18,11 @@
 #include "vfpga/sim/noise.hpp"
 #include "vfpga/sim/rng.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::hostos {
 
 struct CostModelConfig {
@@ -128,6 +133,11 @@ class HostThread {
 
   /// Reset the per-iteration accounting (software/mmio accumulators).
   void reset_accounting();
+
+  /// Snapshot/restore of the timeline and accounting (not the wired-in
+  /// rng/cost/noise references, which the restore target already owns).
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   sim::Xoshiro256* rng_;

@@ -1,6 +1,7 @@
 #include "vfpga/hostos/interrupt.hpp"
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/migrate/state_io.hpp"
 
 namespace vfpga::hostos {
 
@@ -42,6 +43,45 @@ sim::SimTime InterruptController::consume(u32 vector) {
   const sim::SimTime at = queues_[vector].front();
   queues_[vector].pop_front();
   return at;
+}
+
+void InterruptController::save_state(migrate::StateWriter& w) const {
+  w.put_u32(static_cast<u32>(queues_.size()));
+  for (const auto& q : queues_) {
+    w.put_u32(static_cast<u32>(q.size()));
+    for (sim::SimTime at : q) {
+      w.put_time(at);
+    }
+  }
+  for (u64 d : delivered_per_vector_) {
+    w.put_u64(d);
+  }
+  w.put_u64(delivered_);
+}
+
+void InterruptController::load_state(migrate::StateReader& r) {
+  // The vector count is dynamic state, not configuration: a device
+  // reset on the snapshot source re-allocates vectors, so the source
+  // may have more than a freshly-probed target. Resize to match,
+  // guarded against corrupt counts (each vector costs >= 4 bytes).
+  const u32 vectors = r.get_u32();
+  if (vectors > r.remaining() / 4) {
+    r.fail();
+    return;
+  }
+  queues_.assign(vectors, {});
+  delivered_per_vector_.assign(vectors, 0);
+  for (auto& q : queues_) {
+    q.clear();
+    const u32 depth = r.get_u32();
+    for (u32 i = 0; i < depth && !r.failed(); ++i) {
+      q.push_back(r.get_time());
+    }
+  }
+  for (u64& d : delivered_per_vector_) {
+    d = r.get_u64();
+  }
+  delivered_ = r.get_u64();
 }
 
 }  // namespace vfpga::hostos

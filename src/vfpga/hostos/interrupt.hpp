@@ -16,6 +16,11 @@
 #include "vfpga/pcie/root_complex.hpp"
 #include "vfpga/sim/time.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::hostos {
 
 class InterruptController {
@@ -52,6 +57,11 @@ class InterruptController {
   [[nodiscard]] static HostAddr message_address() {
     return pcie::kMsiWindowBase;
   }
+
+  /// Snapshot/restore: pending (undelivered) interrupts migrate with the
+  /// device so a parked wake-up still fires after resume.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   std::vector<std::deque<sim::SimTime>> queues_;

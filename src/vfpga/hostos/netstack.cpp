@@ -4,6 +4,7 @@
 
 #include "vfpga/common/contract.hpp"
 #include "vfpga/common/endian.hpp"
+#include "vfpga/migrate/state_io.hpp"
 #include "vfpga/net/ethernet.hpp"
 #include "vfpga/net/gso.hpp"
 #include "vfpga/net/ipv4.hpp"
@@ -528,6 +529,82 @@ std::optional<KernelNetstack::Datagram> KernelNetstack::udp_receive_poll(
   thread.copy(dgram.payload.size());
   thread.exec(thread.costs().syscall_exit);
   return dgram;
+}
+
+void KernelNetstack::save_state(migrate::StateWriter& w) const {
+  w.put_u16(next_ip_id_);
+  w.put_u32(static_cast<u32>(socket_queues_.size()));
+  for (const auto& [port, queue] : socket_queues_) {
+    w.put_u16(port);
+    w.put_u32(static_cast<u32>(queue.size()));
+    for (const Datagram& d : queue) {
+      w.put_u32(d.src.value);
+      w.put_u16(d.src_port);
+      w.put_u16(d.dst_port);
+      w.put_blob(d.payload);
+    }
+  }
+  w.put_u32(static_cast<u32>(flow_affinity_.size()));
+  for (const auto& [port, pair] : flow_affinity_) {
+    w.put_u16(port);
+    w.put_u16(pair);
+  }
+  w.put_u64(steering_mismatches_);
+  w.put_u32(mismatches_since_repair_);
+  w.put_u32(static_cast<u32>(icmp_replies_.size()));
+  for (const IcmpReply& reply : icmp_replies_) {
+    w.put_u32(reply.src.value);
+    w.put_u16(reply.identifier);
+    w.put_u16(reply.sequence);
+    w.put_blob(reply.payload);
+  }
+  w.put_u64(frames_demuxed_);
+  w.put_u64(frames_dropped_);
+  w.put_u64(tx_superframes_);
+  w.put_u64(sw_gso_segments_);
+  w.put_u64(csum_rescued_);
+}
+
+void KernelNetstack::load_state(migrate::StateReader& r) {
+  next_ip_id_ = r.get_u16();
+  socket_queues_.clear();
+  const u32 sockets = r.get_u32();
+  for (u32 i = 0; i < sockets && !r.failed(); ++i) {
+    const u16 port = r.get_u16();
+    auto& queue = socket_queues_[port];
+    const u32 depth = r.get_u32();
+    for (u32 j = 0; j < depth && !r.failed(); ++j) {
+      Datagram d;
+      d.src = net::Ipv4Addr{r.get_u32()};
+      d.src_port = r.get_u16();
+      d.dst_port = r.get_u16();
+      d.payload = r.get_blob();
+      queue.push_back(std::move(d));
+    }
+  }
+  flow_affinity_.clear();
+  const u32 flows = r.get_u32();
+  for (u32 i = 0; i < flows && !r.failed(); ++i) {
+    const u16 port = r.get_u16();
+    flow_affinity_[port] = r.get_u16();
+  }
+  steering_mismatches_ = r.get_u64();
+  mismatches_since_repair_ = r.get_u32();
+  icmp_replies_.clear();
+  const u32 replies = r.get_u32();
+  for (u32 i = 0; i < replies && !r.failed(); ++i) {
+    IcmpReply reply;
+    reply.src = net::Ipv4Addr{r.get_u32()};
+    reply.identifier = r.get_u16();
+    reply.sequence = r.get_u16();
+    reply.payload = r.get_blob();
+    icmp_replies_.push_back(std::move(reply));
+  }
+  frames_demuxed_ = r.get_u64();
+  frames_dropped_ = r.get_u64();
+  tx_superframes_ = r.get_u64();
+  sw_gso_segments_ = r.get_u64();
+  csum_rescued_ = r.get_u64();
 }
 
 }  // namespace vfpga::hostos

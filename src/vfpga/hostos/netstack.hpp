@@ -161,6 +161,13 @@ class KernelNetstack {
   /// first send establishes the affinity).
   [[nodiscard]] u16 flow_pair(u16 local_port) const;
 
+  /// Snapshot/restore of the stack's dynamic state: socket queues, flow
+  /// affinities, queued ICMP replies, IP-id counter, counters. Routing
+  /// and ARP tables are configuration (configure_fpga_route) and are
+  /// rebuilt by the restore target's own setup.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
+
  private:
   /// Consecutive diverted datagrams tolerated before the stack asks the
   /// driver to reset the device's steering table.

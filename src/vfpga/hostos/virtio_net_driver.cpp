@@ -8,6 +8,7 @@
 #include "vfpga/common/endian.hpp"
 #include "vfpga/core/virtio_controller.hpp"
 #include "vfpga/hostos/interrupt.hpp"
+#include "vfpga/migrate/state_io.hpp"
 #include "vfpga/virtio/net_defs.hpp"
 
 namespace vfpga::hostos {
@@ -789,6 +790,200 @@ std::optional<VirtioNetDriver::RxFrame> VirtioNetDriver::pop_rx_frame(
   RxFrame frame = std::move(ps.rx_backlog.front());
   ps.rx_backlog.pop_front();
   return frame;
+}
+
+namespace {
+
+void put_rx_frame(migrate::StateWriter& w,
+                  const VirtioNetDriver::RxFrame& f) {
+  w.put_blob(f.frame);
+  w.put_bool(f.csum_valid);
+  w.put_u8(f.gso_type);
+  w.put_u16(f.gso_size);
+}
+
+VirtioNetDriver::RxFrame get_rx_frame(migrate::StateReader& r) {
+  VirtioNetDriver::RxFrame f;
+  f.frame = r.get_blob();
+  f.csum_valid = r.get_bool();
+  f.gso_type = r.get_u8();
+  f.gso_size = r.get_u16();
+  return f;
+}
+
+}  // namespace
+
+void VirtioNetDriver::save_state(migrate::StateWriter& w) const {
+  transport_.save_state(w);
+  w.put_bytes(mac_.octets);
+  w.put_u16(mtu_);
+  w.put_u16(requested_pairs_);
+  w.put_u16(pairs_);
+  w.put_u16(configured_pairs_);
+  w.put_u16(max_device_pairs_);
+  w.put_bool(mq_active_);
+  w.put_bool(ctrl_active_);
+  w.put_bool(tso_active_);
+  w.put_bool(rx_moderation_active_);
+  w.put_u16(ctrl_queue_index_);
+  w.put_u64(ctrl_cmd_addr_);
+  w.put_u64(ctrl_ack_addr_);
+  w.put_u32(rx_buffer_bytes_);
+  w.put_bool(mrg_active_);
+
+  w.put_u16(static_cast<u16>(pair_state_.size()));
+  for (const PairState& ps : pair_state_) {
+    w.put_u32(static_cast<u32>(ps.rx_buffers.size()));
+    for (const RxBuffer& b : ps.rx_buffers) {
+      w.put_u64(b.addr);
+      w.put_u32(b.len);
+    }
+    w.put_u32(static_cast<u32>(ps.tx_buffers.size()));
+    for (const TxBuffer& b : ps.tx_buffers) {
+      w.put_u64(b.hdr_addr);
+      w.put_u64(b.frame_addr);
+    }
+    w.put_u32(static_cast<u32>(ps.tx_free.size()));
+    for (u32 slot : ps.tx_free) {
+      w.put_u32(slot);
+    }
+    w.put_u32(static_cast<u32>(ps.rx_backlog.size()));
+    for (const RxFrame& f : ps.rx_backlog) {
+      put_rx_frame(w, f);
+    }
+    w.put_u32(ps.rx_vector);
+    w.put_u32(ps.tx_vector);
+    w.put_u32(ps.kick_retries);
+    w.put_bool(ps.tx_stall_since.has_value());
+    w.put_time(ps.tx_stall_since.value_or(sim::SimTime{}));
+    w.put_u64(ps.rx_packets);
+    w.put_u64(ps.rx_harvest_seq);
+    w.put_u32(ps.tx_pending_kick);
+    w.put_f64(ps.rx_wait_ewma_us);
+    w.put_blob(ps.rx_partial);
+    w.put_u16(ps.rx_partial_remaining);
+    put_rx_frame(w, ps.rx_partial_meta);
+    w.put_f64(ps.rx_rate_ewma);
+    w.put_bool(ps.dim_profile_high);
+  }
+
+  w.put_u64(tx_packets_);
+  w.put_u64(rx_packets_);
+  w.put_u64(tx_kicks_);
+  w.put_u64(tx_kicks_coalesced_);
+  w.put_u64(tx_dropped_);
+  w.put_u64(tx_sg_segments_);
+  w.put_u64(rx_merged_frames_);
+  w.put_u64(busy_polls_);
+  w.put_u64(busy_poll_harvested_);
+  w.put_u64(busy_poll_spins_);
+  w.put_u64(device_resets_);
+  w.put_u64(watchdog_kicks_);
+  w.put_u64(steering_repairs_);
+  w.put_u64(ctrl_commands_sent_);
+  w.put_u64(tx_gso_frames_);
+  w.put_u64(rx_gro_frames_);
+  w.put_u64(dim_updates_);
+}
+
+void VirtioNetDriver::load_state(migrate::StateReader& r) {
+  transport_.load_state(r);
+  if (r.failed()) {
+    return;
+  }
+  r.get_bytes(mac_.octets);
+  mtu_ = r.get_u16();
+  requested_pairs_ = r.get_u16();
+  pairs_ = r.get_u16();
+  configured_pairs_ = r.get_u16();
+  max_device_pairs_ = r.get_u16();
+  mq_active_ = r.get_bool();
+  ctrl_active_ = r.get_bool();
+  tso_active_ = r.get_bool();
+  rx_moderation_active_ = r.get_bool();
+  ctrl_queue_index_ = r.get_u16();
+  ctrl_cmd_addr_ = r.get_u64();
+  ctrl_ack_addr_ = r.get_u64();
+  rx_buffer_bytes_ = r.get_u32();
+  mrg_active_ = r.get_bool();
+
+  const u16 pair_count = r.get_u16();
+  if (pair_count != pair_state_.size()) {
+    r.fail();
+    return;
+  }
+  for (PairState& ps : pair_state_) {
+    // Length guard: every serialized element costs at least 4 bytes, so
+    // a count exceeding the remaining stream is corrupt — refuse before
+    // resize() turns it into a multi-gigabyte allocation.
+    const u32 rx_count = r.get_u32();
+    if (rx_count > r.remaining() / 4) {
+      r.fail();
+      return;
+    }
+    ps.rx_buffers.resize(rx_count);
+    for (RxBuffer& b : ps.rx_buffers) {
+      b.addr = r.get_u64();
+      b.len = r.get_u32();
+    }
+    const u32 tx_count = r.get_u32();
+    if (tx_count > r.remaining() / 4) {
+      r.fail();
+      return;
+    }
+    ps.tx_buffers.resize(tx_count);
+    for (TxBuffer& b : ps.tx_buffers) {
+      b.hdr_addr = r.get_u64();
+      b.frame_addr = r.get_u64();
+    }
+    ps.tx_free.clear();
+    const u32 free_count = r.get_u32();
+    for (u32 i = 0; i < free_count && !r.failed(); ++i) {
+      ps.tx_free.push_back(r.get_u32());
+    }
+    ps.rx_backlog.clear();
+    const u32 backlog = r.get_u32();
+    for (u32 i = 0; i < backlog && !r.failed(); ++i) {
+      ps.rx_backlog.push_back(get_rx_frame(r));
+    }
+    ps.rx_vector = r.get_u32();
+    ps.tx_vector = r.get_u32();
+    ps.kick_retries = r.get_u32();
+    const bool stalled = r.get_bool();
+    const sim::SimTime stall_at = r.get_time();
+    ps.tx_stall_since =
+        stalled ? std::optional<sim::SimTime>{stall_at} : std::nullopt;
+    ps.rx_packets = r.get_u64();
+    ps.rx_harvest_seq = r.get_u64();
+    ps.tx_pending_kick = r.get_u32();
+    ps.rx_wait_ewma_us = r.get_f64();
+    ps.rx_partial = r.get_blob();
+    ps.rx_partial_remaining = r.get_u16();
+    ps.rx_partial_meta = get_rx_frame(r);
+    ps.rx_rate_ewma = r.get_f64();
+    ps.dim_profile_high = r.get_bool();
+    if (r.failed()) {
+      return;
+    }
+  }
+
+  tx_packets_ = r.get_u64();
+  rx_packets_ = r.get_u64();
+  tx_kicks_ = r.get_u64();
+  tx_kicks_coalesced_ = r.get_u64();
+  tx_dropped_ = r.get_u64();
+  tx_sg_segments_ = r.get_u64();
+  rx_merged_frames_ = r.get_u64();
+  busy_polls_ = r.get_u64();
+  busy_poll_harvested_ = r.get_u64();
+  busy_poll_spins_ = r.get_u64();
+  device_resets_ = r.get_u64();
+  watchdog_kicks_ = r.get_u64();
+  steering_repairs_ = r.get_u64();
+  ctrl_commands_sent_ = r.get_u64();
+  tx_gso_frames_ = r.get_u64();
+  rx_gro_frames_ = r.get_u64();
+  dim_updates_ = r.get_u64();
 }
 
 }  // namespace vfpga::hostos

@@ -353,6 +353,14 @@ class VirtioNetDriver {
     return pair_state_.at(pair).rx_rate_ewma;
   }
 
+  /// Snapshot/restore of the driver's dynamic state: transport + rings,
+  /// per-pair buffer pools, RX backlogs (including a mid-span mergeable
+  /// reassembly), NAPI/watchdog/DIM controllers and counters. Policies
+  /// (busy-poll, watchdog, DIM, datapath options) are configuration the
+  /// restore target already applied identically.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
+
  private:
   bool initialize_device(HostThread& thread);
   void post_initial_rx_buffers(u16 pair);

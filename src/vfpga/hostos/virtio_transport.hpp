@@ -101,6 +101,13 @@ class VirtioPciTransport {
   u16 common_read16(HostThread& thread, u32 offset);
   u8 common_read8(HostThread& thread, u32 offset);
 
+  /// Snapshot/restore of the transport bookkeeping and every driver
+  /// ring's in-RAM state. The restore target must already be bound
+  /// (probe replayed deterministically from the same seed) with the same
+  /// queue count and ring formats; anything else fails the reader.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
+
  private:
   BindContext ctx_{};
   bool bound_ = false;

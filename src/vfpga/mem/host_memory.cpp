@@ -25,6 +25,9 @@ const u8* HostMemory::page_for_read(u64 page_index) const {
 }
 
 u8* HostMemory::page_for_write(u64 page_index) {
+  if (dirty_tracking_) {
+    dirty_pages_.insert(page_index);
+  }
   auto& page = pages_[page_index];
   if (!page) {
     page = std::make_unique<u8[]>(kPageSize);
@@ -132,6 +135,38 @@ Bytes HostMemory::read_bytes(HostAddr addr, u64 length) const {
   Bytes out(length);
   read(addr, out);
   return out;
+}
+
+void HostMemory::set_dirty_tracking(bool enabled) {
+  dirty_tracking_ = enabled;
+  dirty_pages_.clear();
+}
+
+std::vector<u64> HostMemory::drain_dirty_pages() {
+  std::vector<u64> out(dirty_pages_.begin(), dirty_pages_.end());
+  std::sort(out.begin(), out.end());
+  dirty_pages_.clear();
+  return out;
+}
+
+std::vector<u64> HostMemory::resident_page_indices() const {
+  std::vector<u64> out;
+  out.reserve(pages_.size());
+  for (const auto& [index, page] : pages_) {
+    out.push_back(index);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void HostMemory::read_page(u64 page_index, ByteSpan out) const {
+  VFPGA_EXPECTS(out.size() == kPageSize);
+  std::memcpy(out.data(), page_for_read(page_index), kPageSize);
+}
+
+void HostMemory::write_page(u64 page_index, ConstByteSpan data) {
+  VFPGA_EXPECTS(data.size() == kPageSize);
+  std::memcpy(page_for_write(page_index), data.data(), kPageSize);
 }
 
 HostAddr HostMemory::allocate(u64 length, u64 alignment) {

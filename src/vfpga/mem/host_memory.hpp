@@ -14,6 +14,8 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "vfpga/common/endian.hpp"
 #include "vfpga/common/types.hpp"
@@ -71,6 +73,29 @@ class HostMemory {
   /// Total bytes handed out by the allocator.
   [[nodiscard]] u64 allocated_bytes() const { return bump_ - alloc_base_; }
 
+  // ---- snapshot / migration support ---------------------------------------
+
+  /// Enable (or disable) dirty-page logging for migration pre-copy.
+  /// Enabling clears the current dirty set.
+  void set_dirty_tracking(bool enabled);
+  [[nodiscard]] bool dirty_tracking() const { return dirty_tracking_; }
+
+  /// Take the set of page indices written since the last drain, sorted
+  /// ascending (determinism), and clear the log.
+  [[nodiscard]] std::vector<u64> drain_dirty_pages();
+
+  /// Resident page indices, sorted ascending.
+  [[nodiscard]] std::vector<u64> resident_page_indices() const;
+
+  /// Copy-out / copy-in of one whole page by index (migration transport).
+  void read_page(u64 page_index, ByteSpan out) const;
+  void write_page(u64 page_index, ConstByteSpan data);
+
+  /// Bump-allocator cursor, so a restored memory reproduces the exact
+  /// addresses future allocate() calls would have returned on the source.
+  [[nodiscard]] HostAddr allocator_cursor() const { return bump_; }
+  void set_allocator_cursor(HostAddr cursor) { bump_ = cursor; }
+
  private:
   using Page = std::unique_ptr<u8[]>;
 
@@ -82,6 +107,8 @@ class HostMemory {
   HostAddr bump_;
   mutable const u8* zero_page_ = nullptr;
   fault::FaultPlane* fault_ = nullptr;
+  bool dirty_tracking_ = false;
+  std::unordered_set<u64> dirty_pages_;
 };
 
 }  // namespace vfpga::mem

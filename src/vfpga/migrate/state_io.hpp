@@ -1,0 +1,124 @@
+// Binary state serialization for device/driver snapshots.
+//
+// StateWriter/StateReader are the byte-level substrate of the snapshot
+// format (migrate/snapshot.hpp): little-endian primitives, length-
+// prefixed blobs, and nestable {id, length} sections whose bounds the
+// reader enforces on every access. A reader never trusts the input: any
+// out-of-bounds read, short blob, or section overrun latches a sticky
+// failure flag and yields zeros instead of undefined behaviour — the
+// property the corrupted-snapshot rejection path is built on.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+#include "vfpga/common/types.hpp"
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::migrate {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// guarding a snapshot against bit rot in transit.
+[[nodiscard]] u32 crc32(ConstByteSpan data, u32 seed = 0);
+
+class StateWriter {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u16(u16 v) {
+    put_u8(static_cast<u8>(v));
+    put_u8(static_cast<u8>(v >> 8));
+  }
+  void put_u32(u32 v) {
+    put_u16(static_cast<u16>(v));
+    put_u16(static_cast<u16>(v >> 16));
+  }
+  void put_u64(u64 v) {
+    put_u32(static_cast<u32>(v));
+    put_u32(static_cast<u32>(v >> 32));
+  }
+  void put_i64(i64 v) { put_u64(static_cast<u64>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_f64(double v) { put_u64(std::bit_cast<u64>(v)); }
+  void put_time(sim::SimTime t) { put_i64(t.picos()); }
+  void put_duration(sim::Duration d) { put_i64(d.picos()); }
+
+  /// Raw bytes, no length prefix (fixed-size fields like pages).
+  void put_bytes(ConstByteSpan data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  /// u64 length prefix + bytes (variable-size fields).
+  void put_blob(ConstByteSpan data) {
+    put_u64(data.size());
+    put_bytes(data);
+  }
+
+  /// Open a section: {id: u32, length: u64} with the length back-patched
+  /// by end_section(). Sections nest.
+  void begin_section(u32 id);
+  void end_section();
+
+  [[nodiscard]] const Bytes& buffer() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+  std::vector<std::size_t> open_;  ///< offsets of unpatched length fields
+};
+
+class StateReader {
+ public:
+  explicit StateReader(ConstByteSpan data) : data_(data) {}
+
+  u8 get_u8();
+  u16 get_u16() {
+    const u16 lo = get_u8();
+    return static_cast<u16>(lo | static_cast<u16>(get_u8()) << 8);
+  }
+  u32 get_u32() {
+    const u32 lo = get_u16();
+    return lo | static_cast<u32>(get_u16()) << 16;
+  }
+  u64 get_u64() {
+    const u64 lo = get_u32();
+    return lo | static_cast<u64>(get_u32()) << 32;
+  }
+  i64 get_i64() { return static_cast<i64>(get_u64()); }
+  bool get_bool() { return get_u8() != 0; }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  sim::SimTime get_time() { return sim::SimTime{get_i64()}; }
+  sim::Duration get_duration() { return sim::Duration{get_i64()}; }
+
+  void get_bytes(ByteSpan out);
+  Bytes get_blob();
+
+  /// Enter the next section; fails (and returns false) unless its id is
+  /// `expected_id` and its declared length fits in the enclosing bounds.
+  /// All subsequent reads are clamped to the section's end until
+  /// exit_section().
+  bool enter_section(u32 expected_id);
+  /// Leave the innermost section, skipping any unread remainder. Reading
+  /// PAST the declared end has already failed by this point.
+  void exit_section();
+
+  /// Mark the stream invalid from caller-side validation (e.g. a
+  /// mismatched structural parameter). Sticky.
+  void fail() { failed_ = true; }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return limit() - pos_; }
+
+ private:
+  [[nodiscard]] std::size_t limit() const {
+    return bounds_.empty() ? data_.size() : bounds_.back();
+  }
+  [[nodiscard]] bool take(std::size_t n);
+
+  ConstByteSpan data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::vector<std::size_t> bounds_;  ///< section end offsets, innermost last
+};
+
+}  // namespace vfpga::migrate

@@ -4,6 +4,7 @@
 
 #include "vfpga/common/contract.hpp"
 #include "vfpga/common/endian.hpp"
+#include "vfpga/migrate/state_io.hpp"
 
 namespace vfpga::pcie {
 
@@ -95,6 +96,30 @@ Bytes make_msix_capability_body(u16 table_size, u8 table_bar, u32 table_offset,
   store_le32(s, 2, table_offset | table_bar);
   store_le32(s, 6, pba_offset | pba_bar);
   return body;
+}
+
+void MsixTable::save_state(migrate::StateWriter& w) const {
+  w.put_u32(static_cast<u32>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w.put_u64(e.address);
+    w.put_u32(e.data);
+    w.put_bool(e.masked);
+    w.put_bool(e.pending);
+  }
+}
+
+void MsixTable::load_state(migrate::StateReader& r) {
+  const u32 count = r.get_u32();
+  if (count != entries_.size()) {
+    r.fail();
+    return;
+  }
+  for (Entry& e : entries_) {
+    e.address = r.get_u64();
+    e.data = r.get_u32();
+    e.masked = r.get_bool();
+    e.pending = r.get_bool();
+  }
 }
 
 }  // namespace vfpga::pcie

@@ -14,6 +14,11 @@
 #include "vfpga/pcie/root_complex.hpp"
 #include "vfpga/sim/time.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::pcie {
 
 /// Layout constants for one MSI-X table entry (PCIe spec 7.7.2).
@@ -49,6 +54,11 @@ class MsixTable {
   [[nodiscard]] u64 aperture_bytes() const {
     return static_cast<u64>(entries_.size()) * kMsixEntryBytes;
   }
+
+  /// Snapshot/restore of the programmed vectors (address/data/mask/
+  /// pending). The table size is structural and must already match.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   struct Entry {

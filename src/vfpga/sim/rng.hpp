@@ -52,6 +52,13 @@ class Xoshiro256 {
   /// Derive an independent child stream (for per-experiment RNGs).
   [[nodiscard]] Xoshiro256 split() noexcept;
 
+  /// Raw engine state, for snapshot/restore — a restored engine must
+  /// continue the exact stream the source would have produced.
+  [[nodiscard]] const std::array<u64, 4>& state() const noexcept {
+    return s_;
+  }
+  void set_state(const std::array<u64, 4>& s) noexcept { s_ = s; }
+
  private:
   std::array<u64, 4> s_{};
 };

@@ -69,6 +69,8 @@ class DriverRing {
 
  protected:
   void mark_broken() { broken_ = true; }
+  /// Snapshot restore only: reinstate the captured broken flag.
+  void restore_broken(bool broken) { broken_ = broken; }
 
  private:
   bool broken_ = false;

@@ -46,6 +46,10 @@ class DeviceStatusMachine {
     return (status_ & status::kFailed) != 0;
   }
 
+  /// Snapshot restore: reinstate a previously captured status byte
+  /// without replaying the init sequence's transition checks.
+  void restore_status(u8 status_byte) { status_ = status_byte; }
+
  private:
   u8 status_ = 0;
 };

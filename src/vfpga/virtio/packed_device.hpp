@@ -68,6 +68,11 @@ class PackedVirtqueueDevice {
 
   [[nodiscard]] bool avail_wrap() const { return avail_wrap_; }
 
+  /// Snapshot/restore of cursors, wrap counters, and the cached head
+  /// descriptor register. Never touches host memory.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
+
  private:
   pcie::DmaPort port_;
   RingAddresses addrs_{};

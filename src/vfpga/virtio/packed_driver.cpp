@@ -1,6 +1,7 @@
 #include "vfpga/virtio/packed_driver.hpp"
 
 #include "vfpga/common/contract.hpp"
+#include "vfpga/migrate/state_io.hpp"
 
 namespace vfpga::virtio {
 
@@ -191,6 +192,76 @@ void PackedVirtqueueDriver::enable_interrupts() {
 void PackedVirtqueueDriver::disable_interrupts() {
   memory_->write_le16(addrs_.avail + pk::event::kFlagsOffset,
                       pk::event::kDisable);
+}
+
+void PackedVirtqueueDriver::save_state(migrate::StateWriter& w) const {
+  w.put_u16(queue_size_);
+  w.put_u64(negotiated_.bits());
+  w.put_u64(addrs_.desc);
+  w.put_u64(addrs_.avail);
+  w.put_u64(addrs_.used);
+  w.put_u16(static_cast<u16>(free_ids_.size()));
+  for (u16 id : free_ids_) {
+    w.put_u16(id);
+  }
+  for (u16 c : id_desc_count_) {
+    w.put_u16(c);
+  }
+  for (u64 t : id_token_) {
+    w.put_u64(t);
+  }
+  for (HostAddr a : indirect_table_) {
+    w.put_u64(a);
+  }
+  for (u32 c : indirect_capacity_) {
+    w.put_u32(c);
+  }
+  w.put_u16(num_free_);
+  w.put_u16(next_avail_slot_);
+  w.put_bool(avail_wrap_);
+  w.put_u16(next_used_slot_);
+  w.put_bool(used_wrap_);
+  w.put_u16(pending_publish_);
+  w.put_bool(broken());
+}
+
+void PackedVirtqueueDriver::load_state(migrate::StateReader& r) {
+  if (r.get_u16() != queue_size_) {
+    r.fail();
+    return;
+  }
+  negotiated_ = FeatureSet{r.get_u64()};
+  addrs_.desc = r.get_u64();
+  addrs_.avail = r.get_u64();
+  addrs_.used = r.get_u64();
+  free_ids_.clear();
+  const u16 free_count = r.get_u16();
+  if (free_count > queue_size_) {
+    r.fail();
+    return;
+  }
+  for (u16 i = 0; i < free_count; ++i) {
+    free_ids_.push_back(r.get_u16());
+  }
+  for (u16& c : id_desc_count_) {
+    c = r.get_u16();
+  }
+  for (u64& t : id_token_) {
+    t = r.get_u64();
+  }
+  for (HostAddr& a : indirect_table_) {
+    a = r.get_u64();
+  }
+  for (u32& c : indirect_capacity_) {
+    c = r.get_u32();
+  }
+  num_free_ = r.get_u16();
+  next_avail_slot_ = r.get_u16();
+  avail_wrap_ = r.get_bool();
+  next_used_slot_ = r.get_u16();
+  used_wrap_ = r.get_bool();
+  pending_publish_ = r.get_u16();
+  restore_broken(r.get_bool());
 }
 
 }  // namespace vfpga::virtio

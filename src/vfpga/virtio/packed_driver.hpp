@@ -16,6 +16,11 @@
 #include "vfpga/virtio/features.hpp"
 #include "vfpga/virtio/packed_layout.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::virtio {
 
 class PackedVirtqueueDriver final : public DriverRing {
@@ -50,6 +55,12 @@ class PackedVirtqueueDriver final : public DriverRing {
   [[nodiscard]] bool avail_wrap_counter() const { return avail_wrap_; }
   [[nodiscard]] bool used_wrap_counter() const { return used_wrap_; }
   [[nodiscard]] u16 next_avail_slot() const { return next_avail_slot_; }
+
+  /// Snapshot/restore of the driver-RAM bookkeeping (id free list, wrap
+  /// counters, cursors). Never writes host memory; fails the reader on a
+  /// queue-size mismatch.
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   struct PendingId {

@@ -5,6 +5,7 @@
 
 #include "vfpga/common/contract.hpp"
 #include "vfpga/common/endian.hpp"
+#include "vfpga/migrate/state_io.hpp"
 #include "vfpga/virtio/ids.hpp"
 
 namespace vfpga::virtio {
@@ -233,6 +234,26 @@ pcie::DmaPort::WriteTiming VirtqueueDevice::write_avail_event(
   store_le16(raw, 0, value);
   return port_.write(start, addrs_.used + avail_event_offset(queue_size_),
                      raw);
+}
+
+void VirtqueueDevice::save_state(migrate::StateWriter& w) const {
+  w.put_u64(addrs_.desc);
+  w.put_u64(addrs_.avail);
+  w.put_u64(addrs_.used);
+  w.put_u16(queue_size_);
+  w.put_u64(negotiated_.bits());
+  w.put_u16(avail_cursor_);
+  w.put_u16(used_idx_);
+}
+
+void VirtqueueDevice::load_state(migrate::StateReader& r) {
+  addrs_.desc = r.get_u64();
+  addrs_.avail = r.get_u64();
+  addrs_.used = r.get_u64();
+  queue_size_ = r.get_u16();
+  negotiated_ = FeatureSet{r.get_u64()};
+  avail_cursor_ = r.get_u16();
+  used_idx_ = r.get_u16();
 }
 
 }  // namespace vfpga::virtio

@@ -16,6 +16,11 @@
 #include "vfpga/virtio/features.hpp"
 #include "vfpga/virtio/ring_layout.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::virtio {
 
 /// Value + the simulation time its DMA round trip completed.
@@ -101,6 +106,12 @@ class VirtqueueDevice {
   [[nodiscard]] u16 next_avail_position() const { return avail_cursor_; }
   void advance_avail_cursor() { ++avail_cursor_; }
   [[nodiscard]] u16 used_idx() const { return used_idx_; }
+
+  /// Snapshot/restore. load_state only rewrites internal registers —
+  /// it must never touch host memory (the memory image is restored
+  /// separately and already holds the ring bytes).
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   pcie::DmaPort port_;

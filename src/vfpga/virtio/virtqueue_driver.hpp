@@ -20,6 +20,11 @@
 #include "vfpga/virtio/features.hpp"
 #include "vfpga/virtio/ring_layout.hpp"
 
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
+
 namespace vfpga::virtio {
 
 class VirtqueueDriver final : public DriverRing {
@@ -98,6 +103,13 @@ class VirtqueueDriver final : public DriverRing {
   [[nodiscard]] u16 in_flight() const {
     return static_cast<u16>(queue_size_ - num_free_);
   }
+
+  /// Snapshot/restore of the driver-RAM bookkeeping (free list, tokens,
+  /// cursors). Ring bytes live in host memory and are restored with it;
+  /// load_state never writes memory. Fails the reader on a queue-size
+  /// mismatch (structural — the rings were allocated at construction).
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
   void write_descriptor(u16 index, const Descriptor& desc);
