@@ -1,14 +1,27 @@
 // virtio-blk personality: a block device backed by FPGA memory.
 //
 // The third device type ("Added support for more VirtIO device types",
-// paper contribution 1). Requests arrive on a single queue as
-// [header (RO)][data (RO for writes / WO for reads)][status (WO)];
-// responses are written back into the same chain — exercising the
-// controller's same-chain response path.
+// paper contribution 1), grown from a single-queue stub into a full
+// storage datapath: IN/OUT/FLUSH/GET_ID/DISCARD request parsing with a
+// per-request status byte, seg_max/size_max limits enforced device-side
+// (the driver enforces them host-side), multi-queue under
+// VIRTIO_BLK_F_MQ, and a backing-store model with seek/transfer/flush
+// cost segments.
+//
+// Durability follows the spec's write-barrier contract (§5.2.6.1 with
+// VIRTIO_BLK_F_FLUSH): a completed OUT lands in the volatile write-back
+// layer; only a completed FLUSH makes everything completed before it
+// durable. simulate_power_loss() reverts the volatile layer to the
+// durable copy so tests can assert the barrier semantics directly.
 #pragma once
 
 #include "vfpga/core/user_logic.hpp"
 #include "vfpga/virtio/blk_defs.hpp"
+
+namespace vfpga::migrate {
+class StateWriter;
+class StateReader;
+}  // namespace vfpga::migrate
 
 namespace vfpga::core {
 
@@ -16,6 +29,32 @@ struct BlkDeviceConfig {
   u64 capacity_sectors = 2048;  ///< 1 MiB at 512 B/sector
   u64 fixed_cycles = 40;
   u64 cycles_per_beat = 1;
+
+  // ---- limits advertised through virtio_blk_config -----------------------------
+  u32 blk_size = 512;    ///< optimal logical block size (F_BLK_SIZE)
+  u32 size_max = 65536;  ///< max bytes of any single segment (F_SIZE_MAX)
+  u32 seg_max = 16;      ///< max data segments per request (F_SEG_MAX)
+  u16 num_queues = 1;    ///< >1 offers VIRTIO_BLK_F_MQ
+  bool offer_discard = true;
+  u32 max_discard_sectors = 4096;
+  u32 max_discard_seg = 8;
+  u32 discard_alignment = 1;  ///< in sectors
+
+  // ---- backing-store cost model (fabric cycles) --------------------------------
+  /// Fixed cost of repositioning the backing store plus a distance
+  /// component: the model keeps a per-device head position and charges
+  /// proportionally to the seek span, so sequential workloads beat
+  /// random ones like they do on any real medium with locality.
+  u64 seek_base_cycles = 24;
+  u64 seek_cycles_per_mib = 64;
+  /// FLUSH drains the dirty set into the durable layer: base cost plus
+  /// a per-dirty-KiB component.
+  u64 flush_base_cycles = 180;
+  u64 flush_cycles_per_dirty_kib = 12;
+  /// Stall charged when the fault plane injects a backing-store timeout
+  /// (the request still completes — with VIRTIO_BLK_S_IOERR — after the
+  /// device-internal deadline expires).
+  u64 backing_timeout_cycles = 2'000'000;
 };
 
 class BlkDeviceLogic final : public UserLogic {
@@ -25,33 +64,74 @@ class BlkDeviceLogic final : public UserLogic {
   [[nodiscard]] virtio::DeviceType device_type() const override {
     return virtio::DeviceType::Block;
   }
-  [[nodiscard]] virtio::FeatureSet device_features() const override {
-    virtio::FeatureSet f;
-    f.set(virtio::feature::blk::kBlkSize);
-    f.set(virtio::feature::blk::kFlush);
-    return f;
+  [[nodiscard]] virtio::FeatureSet device_features() const override;
+  [[nodiscard]] u16 queue_count() const override {
+    return config_.num_queues;
   }
-  [[nodiscard]] u16 queue_count() const override { return 1; }
+  void on_driver_ready(virtio::FeatureSet negotiated) override;
+  void attach_fault_plane(fault::FaultPlane* plane) override {
+    fault_ = plane;
+  }
   [[nodiscard]] u32 device_config_size() const override {
     return virtio::blk::BlkConfigLayout::kSize;
   }
   [[nodiscard]] u8 device_config_read(u32 offset) const override;
   std::optional<Response> process(u16 queue, ConstByteSpan payload,
                                   u32 writable_capacity) override;
+  std::optional<Response> process_chain(u16 queue, ConstByteSpan payload,
+                                        u32 writable_capacity,
+                                        const ChainMeta& meta) override;
 
+  // ---- stats -------------------------------------------------------------------
   [[nodiscard]] u64 reads() const { return reads_; }
   [[nodiscard]] u64 writes() const { return writes_; }
+  [[nodiscard]] u64 flushes() const { return flushes_; }
+  [[nodiscard]] u64 discards() const { return discards_; }
+  [[nodiscard]] u64 get_ids() const { return get_ids_; }
   [[nodiscard]] u64 errors() const { return errors_; }
+  [[nodiscard]] u64 header_faults() const { return header_faults_; }
+  [[nodiscard]] u64 timeout_faults() const { return timeout_faults_; }
+  [[nodiscard]] u64 dirty_sectors() const { return dirty_count_; }
+  [[nodiscard]] u64 dirty_high_water() const { return dirty_high_water_; }
 
   /// Direct backing-store access for test verification.
   [[nodiscard]] ConstByteSpan storage() const { return storage_; }
+  /// The durable layer: what survives power loss (== storage() only
+  /// after a FLUSH with nothing written since).
+  [[nodiscard]] ConstByteSpan durable_storage() const { return durable_; }
+  /// Revert the volatile layer to the durable copy — the storage the
+  /// host would observe after a crash. Tests use it to assert FLUSH
+  /// barrier ordering.
+  void simulate_power_loss();
+
+  [[nodiscard]] const BlkDeviceConfig& config() const { return config_; }
+
+  void save_state(migrate::StateWriter& w) const;
+  void load_state(migrate::StateReader& r);
 
  private:
+  [[nodiscard]] u64 seek_cycles(u64 sector);
+  [[nodiscard]] u64 transfer_cycles(u64 bytes) const;
+  void mark_dirty(u64 byte_offset, u64 bytes);
+  Response status_only(u8 status, u64 cycles, u16 queue);
+
   BlkDeviceConfig config_;
+  fault::FaultPlane* fault_ = nullptr;
+  virtio::FeatureSet negotiated_;
   Bytes storage_;
+  Bytes durable_;
+  std::vector<u8> dirty_;  ///< per-sector write-back flag
+  u64 dirty_count_ = 0;
+  u64 dirty_high_water_ = 0;
+  u64 head_sector_ = 0;  ///< backing-store position for the seek model
   u64 reads_ = 0;
   u64 writes_ = 0;
+  u64 flushes_ = 0;
+  u64 discards_ = 0;
+  u64 get_ids_ = 0;
   u64 errors_ = 0;
+  u64 header_faults_ = 0;
+  u64 timeout_faults_ = 0;
 };
 
 }  // namespace vfpga::core

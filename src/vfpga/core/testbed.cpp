@@ -53,7 +53,8 @@ VirtioNetTestbed::VirtioNetTestbed(TestbedOptions options)
                                                      options_.controller)),
       rng_(options_.seed),
       mem_rng_(options_.seed ^ 0x6d656d6ull),
-      noise_(options_.noise) {
+      noise_(options_.noise),
+      blk_driver_(options_.blk_driver) {
   rc_->set_irq_sink([this](u32 data, sim::SimTime at) {
     irq_.deliver(data, at);
   });
@@ -64,13 +65,23 @@ VirtioNetTestbed::VirtioNetTestbed(TestbedOptions options)
   });
   rc_->attach(*device_);
   device_->connect(*rc_);
+  if (options_.attach_blk) {
+    blk_logic_ = std::make_unique<BlkDeviceLogic>(options_.blk);
+    blk_device_ = std::make_unique<VirtioDeviceFunction>(*blk_logic_,
+                                                         options_.controller);
+    rc_->attach(*blk_device_);
+    blk_device_->connect(*rc_);
+  }
   if (fault_plane_) {
     rc_->set_fault_plane(fault_plane_.get());      // TLP + DMA + notify
     device_->set_fault_plane(fault_plane_.get());  // queue engines
+    if (blk_device_) {
+      blk_device_->set_fault_plane(fault_plane_.get());
+    }
   }
 
   enumerated_ = pcie::enumerate_bus(*rc_);
-  VFPGA_ASSERT(enumerated_.size() == 1);
+  VFPGA_ASSERT(enumerated_.size() == (options_.attach_blk ? 2u : 1u));
 
   thread_ = std::make_unique<hostos::HostThread>(rng_, options_.costs,
                                                  noise_);
@@ -89,6 +100,20 @@ VirtioNetTestbed::VirtioNetTestbed(TestbedOptions options)
   stack_ = std::make_unique<hostos::KernelNetstack>(driver_, irq_);
   stack_->configure_fpga_route(options_.net.ip, options_.net.mac);
   socket_ = std::make_unique<hostos::UdpSocket>(*stack_, options_.udp_port);
+
+  if (options_.attach_blk) {
+    // The blk function probes after the net stack is up, so the
+    // net-only bring-up sequence (and its RNG draw order) is identical
+    // whether or not storage is attached.
+    hostos::VirtioBlkDriver::BindContext blk_ctx;
+    blk_ctx.rc = rc_.get();
+    blk_ctx.device = blk_device_.get();
+    blk_ctx.enumerated = &enumerated_[1];
+    blk_ctx.irq = &irq_;
+    blk_ctx.prefer_packed = options_.use_packed_rings;
+    const bool blk_bound = blk_driver_.probe(blk_ctx, *thread_);
+    VFPGA_ASSERT(blk_bound);
+  }
 }
 
 std::unique_ptr<hostos::HostThread> VirtioNetTestbed::spawn_thread() {
@@ -101,6 +126,21 @@ void VirtioNetTestbed::quiesce() {
     driver_.flush_tx(*thread_, pair);
   }
   device_->quiesce(thread_->now());
+  if (blk_device_) {
+    // Drain the storage datapath: reap every in-flight request and pop
+    // the results so the driver's slot tables are empty at snapshot.
+    for (u16 q = 0; q < blk_driver_.active_queues(); ++q) {
+      while (blk_driver_.in_flight(q) > 0) {
+        const bool progressed = blk_driver_.polled(q)
+                                    ? blk_driver_.wait_polled(*thread_, q)
+                                    : blk_driver_.wait_interrupt(*thread_, q);
+        VFPGA_ASSERT(progressed);
+      }
+      while (blk_driver_.pop_completion(q).has_value()) {
+      }
+    }
+    blk_device_->quiesce(thread_->now());
+  }
 }
 
 void VirtioNetTestbed::save_state(migrate::StateWriter& w) const {
@@ -121,6 +161,11 @@ void VirtioNetTestbed::save_state(migrate::StateWriter& w) const {
     w.put_u64(word);
   }
   w.put_u64(memory_->allocator_cursor());
+  if (blk_device_) {
+    blk_logic_->save_state(w);
+    blk_device_->save_state(w);
+    blk_driver_.save_state(w);
+  }
 }
 
 void VirtioNetTestbed::load_state(migrate::StateReader& r) {
@@ -148,6 +193,11 @@ void VirtioNetTestbed::load_state(migrate::StateReader& r) {
   }
   mem_rng_.set_state(s);
   memory_->set_allocator_cursor(r.get_u64());
+  if (blk_device_) {
+    blk_logic_->load_state(r);
+    blk_device_->load_state(r);
+    blk_driver_.load_state(r);
+  }
 }
 
 VirtioNetTestbed::RoundTrip VirtioNetTestbed::udp_round_trip(

@@ -11,12 +11,14 @@
 
 #include <memory>
 
+#include "vfpga/core/blk_device.hpp"
 #include "vfpga/core/net_device.hpp"
 #include "vfpga/core/virtio_controller.hpp"
 #include "vfpga/fault/fault_plane.hpp"
 #include "vfpga/hostos/char_device.hpp"
 #include "vfpga/hostos/netstack.hpp"
 #include "vfpga/hostos/socket_api.hpp"
+#include "vfpga/hostos/virtio_blk_driver.hpp"
 #include "vfpga/pcie/enumeration.hpp"
 #include "vfpga/xdma/host_driver.hpp"
 
@@ -56,6 +58,13 @@ struct TestbedOptions {
   /// the all-zero default leaves the datapath untouched (bit-identical
   /// to a build without fault hooks).
   fault::FaultConfig fault{};
+  /// Attach a second PCIe function: the virtio-blk personality plus its
+  /// front-end driver, sharing the host thread, link and interrupt
+  /// controller. Default off — the net-only bed stays bit-identical to
+  /// a build without the storage subsystem.
+  bool attach_blk = false;
+  BlkDeviceConfig blk{};
+  hostos::VirtioBlkDriver::Options blk_driver{};
 };
 
 class VirtioNetTestbed {
@@ -73,6 +82,11 @@ class VirtioNetTestbed {
   [[nodiscard]] mem::HostMemory& memory() { return *memory_; }
   [[nodiscard]] net::Ipv4Addr fpga_ip() const { return options_.net.ip; }
   [[nodiscard]] const TestbedOptions& options() const { return options_; }
+  /// Block-device accessors — valid only when options.attach_blk.
+  [[nodiscard]] bool blk_attached() const { return blk_device_ != nullptr; }
+  [[nodiscard]] BlkDeviceLogic& blk_logic() { return *blk_logic_; }
+  [[nodiscard]] VirtioDeviceFunction& blk_device() { return *blk_device_; }
+  [[nodiscard]] hostos::VirtioBlkDriver& blk_driver() { return blk_driver_; }
   /// Nullptr unless options.fault enabled at least one class.
   [[nodiscard]] fault::FaultPlane* fault_plane() { return fault_plane_.get(); }
 
@@ -124,6 +138,9 @@ class VirtioNetTestbed {
   hostos::VirtioNetDriver driver_;
   std::unique_ptr<hostos::KernelNetstack> stack_;
   std::unique_ptr<hostos::UdpSocket> socket_;
+  std::unique_ptr<BlkDeviceLogic> blk_logic_;
+  std::unique_ptr<VirtioDeviceFunction> blk_device_;
+  hostos::VirtioBlkDriver blk_driver_;
 };
 
 class XdmaTestbed {

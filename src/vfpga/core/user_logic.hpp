@@ -60,6 +60,14 @@ class UserLogic {
   struct Response {
     /// Bytes to return to the host (including any device-type header).
     Bytes payload;
+    /// Per-request status byte (virtio-blk style): when set, the
+    /// controller writes it into the LAST byte of the chain's LAST
+    /// device-writable descriptor after scattering `payload` — the spec
+    /// position of the virtio_blk status descriptor. `payload` must then
+    /// leave that byte free (payload.size() <= writable_capacity - 1).
+    /// Personalities that never set it (net, console) keep the legacy
+    /// scatter bit-for-bit.
+    std::optional<u8> chain_status;
     /// Queue to deliver on. Equal to the source queue => write into the
     /// device-writable tail of the *same* chain (block-device style);
     /// different queue => consume a buffer from that queue's avail ring
@@ -98,6 +106,31 @@ class UserLogic {
   /// block-style requests derive their read length from it).
   virtual std::optional<Response> process(u16 queue, ConstByteSpan payload,
                                           u32 writable_capacity) = 0;
+
+  /// Descriptor-level shape of the chain being processed, for
+  /// personalities that enforce per-request segment limits (virtio-blk
+  /// seg_max) — the byte-level process() signature cannot see segment
+  /// boundaries.
+  struct ChainMeta {
+    u32 readable_descriptors = 0;
+    u32 writable_descriptors = 0;
+    /// Largest single descriptor in each direction — what a size_max
+    /// enforcing device checks per §5.2.5.2 (0 when no descriptors in
+    /// that direction).
+    u32 largest_readable_bytes = 0;
+    u32 largest_writable_bytes = 0;
+    bool via_indirect = false;
+  };
+
+  /// Chain-aware entry point the controller actually calls. The default
+  /// forwards to process(), so byte-oriented personalities (net,
+  /// console) are untouched.
+  virtual std::optional<Response> process_chain(u16 queue,
+                                                ConstByteSpan payload,
+                                                u32 writable_capacity,
+                                                const ChainMeta& /*meta*/) {
+    return process(queue, payload, writable_capacity);
+  }
 };
 
 }  // namespace vfpga::core

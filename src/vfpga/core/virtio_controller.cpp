@@ -427,8 +427,13 @@ void VirtioDeviceFunction::fire_queue_interrupt(u16 queue, sim::SimTime at) {
   if (vector == virtio::kNoVector) {
     return;
   }
-  if (fault_ != nullptr &&
-      fault_->should_inject(fault::FaultClass::kQueueIrqLost)) {
+  // Blk completions have their own lost-interrupt class so the campaign
+  // can target the storage path without disturbing net-path seeds.
+  const fault::FaultClass irq_lost_class =
+      user_logic_->device_type() == virtio::DeviceType::Block
+          ? fault::FaultClass::kBlkIrqLost
+          : fault::FaultClass::kQueueIrqLost;
+  if (fault_ != nullptr && fault_->should_inject(irq_lost_class)) {
     // The MSI-X message for this queue dies at the device: no ISR
     // latch, no delivery. The driver's watchdog/poll path must notice.
     ++queue_irqs_lost_;
@@ -551,15 +556,24 @@ void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
     ++frames_processed_;
 
     u32 writable_capacity = 0;
+    UserLogic::ChainMeta meta;
+    meta.via_indirect = chain.via_indirect;
     for (const virtio::Descriptor& d : chain.descriptors) {
       if ((d.flags & virtio::descflags::kWrite) != 0) {
         writable_capacity += d.len;
+        ++meta.writable_descriptors;
+        meta.largest_writable_bytes =
+            std::max(meta.largest_writable_bytes, d.len);
+      } else {
+        ++meta.readable_descriptors;
+        meta.largest_readable_bytes =
+            std::max(meta.largest_readable_bytes, d.len);
       }
     }
 
     counters_.capture("ul_start", t);
     std::optional<UserLogic::Response> response =
-        user_logic_->process(queue, payload, writable_capacity);
+        user_logic_->process_chain(queue, payload, writable_capacity, meta);
     if (response.has_value()) {
       const sim::Duration processing =
           config_.timing.clock.cycles(response->processing_cycles);
@@ -592,6 +606,26 @@ void VirtioDeviceFunction::process_notify(u16 queue, sim::SimTime at) {
         written += chunk;
       }
       VFPGA_ASSERT(off == staged.size());
+      if (response->chain_status.has_value()) {
+        // §5.2.6: the status byte is the LAST byte of the chain's last
+        // device-writable descriptor — the dedicated status descriptor
+        // in a conforming [header][data][status] request. The data
+        // scatter above must have left it free.
+        VFPGA_EXPECTS(staged.size() + 1 <= writable_capacity);
+        const virtio::Descriptor* last_writable = nullptr;
+        for (const virtio::Descriptor& d : chain.descriptors) {
+          if ((d.flags & virtio::descflags::kWrite) != 0) {
+            last_writable = &d;
+          }
+        }
+        VFPGA_ASSERT(last_writable != nullptr);
+        const Bytes status_byte{*response->chain_status};
+        bram_.write(0, status_byte);
+        issuer = c2h_->transfer(issuer,
+                                last_writable->addr + last_writable->len - 1,
+                                0, 1);
+        written += 1;
+      }
       t = issuer;
       const auto completion =
           eng.complete_chain(chain, written, t, /*refresh_suppression=*/true);

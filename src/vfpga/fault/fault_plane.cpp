@@ -29,6 +29,12 @@ const char* fault_class_name(FaultClass cls) {
       return "queue-irq-lost";
     case FaultClass::kIndirectCorrupt:
       return "indirect-corrupt";
+    case FaultClass::kBlkHeaderCorrupt:
+      return "blk-header-corrupt";
+    case FaultClass::kBlkIrqLost:
+      return "blk-irq-lost";
+    case FaultClass::kBlkBackingTimeout:
+      return "blk-backing-timeout";
   }
   VFPGA_UNREACHABLE("bad fault class");
 }

@@ -39,9 +39,12 @@ enum class FaultClass : u8 {
   kSteeringCorrupt,   ///< RSS steering-table entry corrupts on lookup
   kQueueIrqLost,      ///< per-queue MSI-X message dropped at the device
   kIndirectCorrupt,   ///< indirect descriptor table corrupts on fetch
+  kBlkHeaderCorrupt,  ///< blk request header corrupts on the fabric bus
+  kBlkIrqLost,        ///< blk completion MSI-X message dropped
+  kBlkBackingTimeout, ///< blk backing store stalls past its deadline
 };
 
-inline constexpr std::size_t kFaultClassCount = 11;
+inline constexpr std::size_t kFaultClassCount = 14;
 
 /// Control-plane ring traffic (indices, descriptors, used elements, MSI
 /// messages) is 2-32 bytes; only payload-sized TLPs at or above this

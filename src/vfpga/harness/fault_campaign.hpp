@@ -50,7 +50,7 @@ struct CampaignConfig {
 /// Aggregated result for one (fault class, workload) pair.
 struct ClassReport {
   fault::FaultClass cls{};
-  std::string workload;  ///< "udp-echo" or "chardev"
+  std::string workload;  ///< "udp-echo", "udp-mq", "chardev" or "blk-io"
   u64 runs = 0;
   u64 hangs = 0;         ///< ops that exhausted the retry/time budget
   u64 corruptions = 0;   ///< accepted results with mismatched payload

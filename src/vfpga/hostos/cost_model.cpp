@@ -59,6 +59,21 @@ CostModelConfig CostModelConfig::fedora_defaults() {
   // skb_segment + csum_partial on a 1500-byte slice).
   c.gso_segment_host = {nanoseconds(650), 0.18, nanoseconds(300), {}};
 
+  // virtio-blk request path: header+chain build per bio on submit,
+  // used-entry decode + bio end on completion. Cheaper than the net
+  // xmit path (no skb, no protocol headers), costlier than a bare ring
+  // operation. Sampled only when a blk driver runs — the net-only
+  // figures never draw from these streams.
+  c.blk_submit = {nanoseconds(620), 0.18, nanoseconds(320), {}};
+  c.blk_complete = {nanoseconds(480), 0.20, nanoseconds(240), {}};
+
+  // Reactor loop: one iteration's fixed overhead is a poller-table walk
+  // plus a message-ring probe (SPDK measures ~100-300ns per idle
+  // thread_poll); dispatching one cross-reactor message adds a function
+  // call + cache miss on the ring slot.
+  c.reactor_poll_iteration = {nanoseconds(110), 0.20, nanoseconds(45), {}};
+  c.reactor_msg = {nanoseconds(70), 0.22, nanoseconds(30), {}};
+
   // XDMA character-device driver segments. Submission pins user pages,
   // builds the SG table and descriptors, and flushes them — the
   // per-transfer work VirtIO does not have (§IV-A).

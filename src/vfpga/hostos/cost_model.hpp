@@ -58,6 +58,21 @@ struct CostModelConfig {
   /// HOST_UFO moves onto the fabric.
   sim::JitteredSegment gso_segment_host;
 
+  // ---- virtio-blk request path ----
+  /// Per-request submission work: bio -> request header + chain build +
+  /// publish (virtio_blk's virtblk_add_req analogue).
+  sim::JitteredSegment blk_submit;
+  /// Per-completion harvest work: used-entry decode, status check, bio
+  /// end (virtblk_done analogue, sans the IRQ machinery around it).
+  sim::JitteredSegment blk_complete;
+
+  // ---- reactor (run-to-completion polled execution) ----
+  /// One reactor loop iteration's fixed overhead: poller table walk,
+  /// message-ring empty probe, timer-wheel peek (SPDK thread_poll).
+  sim::JitteredSegment reactor_poll_iteration;
+  /// Dequeue + dispatch of one inter-reactor message (spdk_msg fn call).
+  sim::JitteredSegment reactor_msg;
+
   // ---- vendor driver (XDMA path) ----
   sim::JitteredSegment xdma_submit;     ///< pin pages, SG map, build descs
   sim::JitteredSegment xdma_isr_body;   ///< ISR bookkeeping (sans MMIO read)

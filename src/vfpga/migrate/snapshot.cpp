@@ -54,6 +54,21 @@ void encode_fingerprint(const core::TestbedOptions& o, StateWriter& w) {
   for (double rate : o.fault.rate) {
     w.put_f64(rate);
   }
+  w.put_bool(o.attach_blk);
+  if (o.attach_blk) {
+    w.put_u64(o.blk.capacity_sectors);
+    w.put_u32(o.blk.blk_size);
+    w.put_u32(o.blk.size_max);
+    w.put_u32(o.blk.seg_max);
+    w.put_u16(o.blk.num_queues);
+    w.put_bool(o.blk.offer_discard);
+    w.put_u32(o.blk.max_discard_sectors);
+    w.put_u32(o.blk.max_discard_seg);
+    w.put_u16(o.blk_driver.requested_queues);
+    w.put_u16(o.blk_driver.queue_depth);
+    w.put_u32(o.blk_driver.max_io_bytes);
+    w.put_bool(o.blk_driver.use_indirect);
+  }
 }
 
 }  // namespace

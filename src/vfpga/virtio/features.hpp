@@ -42,10 +42,14 @@ inline constexpr u32 kSpeedDuplex = 63;
 
 // virtio-blk feature bits (§5.2.3).
 namespace blk {
-inline constexpr u32 kSizeMax = 1;
-inline constexpr u32 kSegMax = 2;
+inline constexpr u32 kSizeMax = 1;  ///< size_max config field is valid
+inline constexpr u32 kSegMax = 2;   ///< seg_max config field is valid
+inline constexpr u32 kRo = 5;       ///< read-only device (unimplemented)
 inline constexpr u32 kBlkSize = 6;
 inline constexpr u32 kFlush = 9;
+inline constexpr u32 kMq = 12;      ///< num_queues config field is valid
+inline constexpr u32 kDiscard = 13; ///< DISCARD requests + config fields
+inline constexpr u32 kWriteZeroes = 14;  ///< WRITE_ZEROES (unimplemented)
 }  // namespace blk
 
 // virtio-console feature bits (§5.3.3).

@@ -55,8 +55,12 @@ FeatureSet implemented_net() {
 
 FeatureSet implemented_blk() {
   FeatureSet f;
+  f.set(feature::blk::kSizeMax);
+  f.set(feature::blk::kSegMax);
   f.set(feature::blk::kBlkSize);
   f.set(feature::blk::kFlush);
+  f.set(feature::blk::kMq);
+  f.set(feature::blk::kDiscard);
   return f;
 }
 
@@ -86,8 +90,8 @@ FeatureSet unimplemented_net() {
 
 FeatureSet unimplemented_blk() {
   FeatureSet f = unimplemented_transport();
-  f.set(feature::blk::kSizeMax);
-  f.set(feature::blk::kSegMax);
+  f.set(feature::blk::kRo);
+  f.set(feature::blk::kWriteZeroes);
   return f;
 }
 
@@ -255,6 +259,31 @@ TEST(FeatureAuditDeathTest, OffloadWithoutChecksumPrerequisiteDies) {
   ASSERT_TRUE(host_sel.has(feature::net::kHostUfo));
   host_sel.clear(feature::net::kCsum);
   EXPECT_DEATH(host_side.on_driver_ready(host_sel), "");
+}
+
+// Config-space consistency for virtio-blk multi-queue: a driver that
+// negotiated VIRTIO_BLK_F_MQ will read num_queues and spread requests
+// over that many rings. A device whose config structure says one queue
+// cannot honour the bit — the DRIVER_OK audit must die rather than let
+// the driver kick rings that do not exist.
+TEST(FeatureAuditDeathTest, BlkMqWithoutNumQueuesConfigDies) {
+  BlkDeviceConfig config;
+  config.num_queues = 1;  // single-queue device: MQ is never offered
+  BlkDeviceLogic logic{config};
+  ASSERT_FALSE(logic.device_features().has(feature::blk::kMq));
+  FeatureSet bogus = logic.device_features();
+  bogus.set(feature::blk::kMq);
+  EXPECT_DEATH(logic.on_driver_ready(bogus), "");
+}
+
+// The complement: a genuinely multi-queue device accepts the same bit.
+TEST(FeatureAudit, BlkMqOfferFollowsNumQueues) {
+  BlkDeviceConfig config;
+  config.num_queues = 4;
+  BlkDeviceLogic logic{config};
+  EXPECT_TRUE(logic.device_features().has(feature::blk::kMq));
+  EXPECT_EQ(logic.queue_count(), 4);
+  logic.on_driver_ready(logic.device_features());  // must not die
 }
 
 }  // namespace

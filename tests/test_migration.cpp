@@ -224,6 +224,67 @@ TEST(Snapshot, DimModerationArmed) {
   expect_mid_flight_round_trip(options, 512);
 }
 
+/// Snapshot with the blk function attached and a write-back layer in a
+/// non-trivial state: durable data, a dirty (unflushed) sector, and
+/// live driver counters all have to survive the restore, and forward
+/// behaviour on both net and blk must stay bit-identical.
+TEST(Snapshot, RoundTripWithBlkAttached) {
+  core::TestbedOptions options;
+  options.seed = 0xb10c;
+  options.attach_blk = true;
+  options.blk.capacity_sectors = 256;
+
+  core::VirtioNetTestbed a{options};
+  (void)run_trace(a, 3, 256);
+  Bytes durable_data(2 * 512);
+  for (std::size_t i = 0; i < durable_data.size(); ++i) {
+    durable_data[i] = static_cast<u8>(i * 13 + 1);
+  }
+  ASSERT_TRUE(a.blk_driver().write_sectors(a.thread(), 7, durable_data));
+  ASSERT_TRUE(a.blk_driver().flush(a.thread()));
+  // One write left unflushed: the snapshot catches storage != durable.
+  ASSERT_TRUE(a.blk_driver().write_sectors(a.thread(), 40, Bytes(512, 0x5a)));
+  ASSERT_EQ(a.blk_logic().dirty_sectors(), 1u);
+  a.quiesce();
+  const Bytes image = migrate::save_snapshot(a);
+
+  core::VirtioNetTestbed b{options};
+  ASSERT_EQ(migrate::restore_snapshot(b, image), RestoreStatus::kOk);
+  EXPECT_EQ(migrate::save_snapshot(b), image);
+  EXPECT_EQ(b.blk_logic().writes(), a.blk_logic().writes());
+  EXPECT_EQ(b.blk_logic().dirty_sectors(), 1u);
+  EXPECT_EQ(b.blk_driver().requests_completed(),
+            a.blk_driver().requests_completed());
+
+  Bytes readback(durable_data.size(), 0);
+  ASSERT_TRUE(b.blk_driver().read_sectors(b.thread(), 7, readback));
+  EXPECT_EQ(readback, durable_data);
+  // The unflushed write is present in the volatile layer but absent
+  // from the durable one — barrier state migrated exactly.
+  Bytes dirty_sector(512, 0);
+  ASSERT_TRUE(b.blk_driver().read_sectors(b.thread(), 40, dirty_sector));
+  EXPECT_EQ(dirty_sector, Bytes(512, 0x5a));
+  b.blk_logic().simulate_power_loss();
+  ASSERT_TRUE(b.blk_driver().read_sectors(b.thread(), 40, dirty_sector));
+  EXPECT_EQ(dirty_sector, Bytes(512, 0));
+
+  // Forward net traffic on A stays bit-identical to a bed restored from
+  // A's image (B diverged above by design, so compare against a fresh
+  // restore target).
+  core::VirtioNetTestbed c{options};
+  ASSERT_EQ(migrate::restore_snapshot(c, image), RestoreStatus::kOk);
+  const auto trace_a = run_trace(a, 4, 256, 300);
+  const auto trace_c = run_trace(c, 4, 256, 300);
+  EXPECT_EQ(trace_a, trace_c);
+  Bytes rb_a(512, 0);
+  Bytes rb_c(512, 1);
+  ASSERT_TRUE(a.blk_driver().read_sectors(a.thread(), 40, rb_a));
+  ASSERT_TRUE(c.blk_driver().read_sectors(c.thread(), 40, rb_c));
+  EXPECT_EQ(rb_a, rb_c);
+  EXPECT_EQ(a.thread().now().picos(), c.thread().now().picos());
+  EXPECT_EQ(migrate::save_snapshot(a), migrate::save_snapshot(c));
+}
+
 TEST(Snapshot, NoMemoryImageIsSmall) {
   core::TestbedOptions options;
   core::VirtioNetTestbed a{options};

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstring>
+#include <string>
 
 #include "support/test_driver.hpp"
 #include "vfpga/core/blk_device.hpp"
@@ -266,8 +268,19 @@ TEST_F(BlkFixture, FlushSucceeds) {
 }
 
 TEST_F(BlkFixture, UnsupportedRequestTypeReported) {
-  EXPECT_EQ(submit(virtio::blk::RequestType::GetId, 0, {}),
+  EXPECT_EQ(submit(static_cast<virtio::blk::RequestType>(42), 0, {}),
             virtio::blk::kStatusUnsupported);
+}
+
+TEST_F(BlkFixture, GetIdReturnsDeviceId) {
+  Bytes id(virtio::blk::kDeviceIdBytes, 0xff);
+  EXPECT_EQ(submit(virtio::blk::RequestType::GetId, 0, {}, &id),
+            virtio::blk::kStatusOk);
+  const std::string name(id.begin(),
+                         id.begin() + static_cast<std::ptrdiff_t>(
+                                          std::strlen("vfpga-blk0")));
+  EXPECT_EQ(name, "vfpga-blk0");
+  EXPECT_EQ(blk.get_ids(), 1u);
 }
 
 TEST_F(BlkFixture, CapacityVisibleInDeviceConfig) {
