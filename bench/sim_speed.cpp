@@ -1,0 +1,214 @@
+// Simulation-core self-benchmark: lane-sharded speedup + determinism.
+//
+// Runs the FlowGen traffic workload on the sharded LaneSet twice — one
+// worker thread (the oracle) and the full worker pool — and gates:
+//   - determinism: every statistic except wall-clock is bit-identical
+//     between the two runs (the conservative-window invariant at work);
+//   - sanity: no echo failed, no cross-lane ring dropped a message,
+//     every routed notification was delivered and executed;
+//   - speedup: with >= 8 hardware threads, the parallel run must
+//     simulate >= 3x the packets per wall-second of the sequential run
+//     on the 10k-flow workload. On smaller hosts the ratio is printed
+//     but informational — one core cannot exhibit parallelism.
+// Writes BENCH_sim_speed.json ($VFPGA_JSON_DIR honoured). Exits
+// non-zero on any gate violation.
+//
+//   --smoke                trimmed workload for CI
+//   --stats-only           print ONLY the deterministic stats JSON to
+//                          stdout (no file, no wall-clock fields) —
+//                          CI byte-diffs this across VFPGA_THREADS
+//   --seed N               base seed override (also VFPGA_BENCH_SEED)
+//   VFPGA_THREADS=N        worker pool size for the parallel run
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench_seed.hpp"
+#include "vfpga/harness/parallel.hpp"
+#include "vfpga/harness/report.hpp"
+#include "vfpga/harness/sim_speed.hpp"
+
+namespace {
+
+using vfpga::harness::SimSpeedConfig;
+using vfpga::harness::SimSpeedResult;
+
+/// The deterministic portion of a result as JSON — everything here must
+/// match byte for byte across thread counts.
+std::string stats_json(const SimSpeedConfig& config,
+                       const SimSpeedResult& r) {
+  char buffer[2048];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "  \"source\": \"sim_speed\",\n"
+      "  \"seed\": %llu,\n"
+      "  \"lanes\": %u,\n"
+      "  \"flows_per_lane\": %u,\n"
+      "  \"packets\": %llu,\n"
+      "  \"events\": %llu,\n"
+      "  \"windows\": %llu,\n"
+      "  \"cross_lane_messages\": %llu,\n"
+      "  \"cross_lane_received\": %llu,\n"
+      "  \"dropped_messages\": %llu,\n"
+      "  \"failures\": %llu,\n"
+      "  \"flows_created\": %llu,\n"
+      "  \"flows_completed\": %llu,\n"
+      "  \"flows_abandoned\": %llu,\n"
+      "  \"sim_makespan_us\": %.3f,\n"
+      "  \"samples\": %llu,\n"
+      "  \"latency_us\": {\"mean\": %.6f, \"stddev\": %.6f, "
+      "\"p50\": %.6f, \"p95\": %.6f, \"p99\": %.6f, \"p999\": %.6f, "
+      "\"max\": %.6f}\n"
+      "}\n",
+      static_cast<unsigned long long>(config.seed), r.lanes,
+      config.flows_per_lane, static_cast<unsigned long long>(r.packets),
+      static_cast<unsigned long long>(r.events),
+      static_cast<unsigned long long>(r.windows),
+      static_cast<unsigned long long>(r.cross_lane_messages),
+      static_cast<unsigned long long>(r.cross_lane_received),
+      static_cast<unsigned long long>(r.dropped_messages),
+      static_cast<unsigned long long>(r.failures),
+      static_cast<unsigned long long>(r.flows_created),
+      static_cast<unsigned long long>(r.flows_completed),
+      static_cast<unsigned long long>(r.flows_abandoned), r.sim_makespan_us,
+      static_cast<unsigned long long>(r.sample_count), r.latency.mean_us,
+      r.latency.stddev_us, r.latency.median_us, r.latency.p95_us,
+      r.latency.p99_us, r.latency.p999_us, r.latency.max_us);
+  return buffer;
+}
+
+bool write_json(const SimSpeedConfig& config, const SimSpeedResult& seq,
+                const SimSpeedResult& par, double speedup, bool ok) {
+  const std::string path =
+      vfpga::harness::bench_json_path("BENCH_sim_speed.json");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  std::fprintf(file,
+               "{\n  \"source\": \"sim_speed\",\n  \"seed\": %llu,\n"
+               "  \"lanes\": %u,\n  \"threads\": %u,\n"
+               "  \"packets\": %llu,\n"
+               "  \"pps_sequential\": %.0f,\n  \"pps_parallel\": %.0f,\n"
+               "  \"speedup\": %.3f,\n  \"wall_seq_s\": %.3f,\n"
+               "  \"wall_par_s\": %.3f,\n  \"deterministic\": %s,\n"
+               "  \"ok\": %s,\n  \"stats\": %s}\n",
+               static_cast<unsigned long long>(config.seed), seq.lanes,
+               par.threads_used,
+               static_cast<unsigned long long>(seq.packets),
+               seq.packets_per_wall_second, par.packets_per_wall_second,
+               speedup, seq.wall_seconds, par.wall_seconds,
+               ok ? "true" : "false", ok ? "true" : "false",
+               stats_json(config, seq).c_str());
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Bitwise equality of the deterministic fields — the gate compares the
+/// rendered JSON so a drifting double shows up as a text diff too.
+bool same_stats(const SimSpeedConfig& config, const SimSpeedResult& a,
+                const SimSpeedResult& b) {
+  return stats_json(config, a) == stats_json(config, b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vfpga;
+  bool smoke = false;
+  bool stats_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--stats-only") == 0) {
+      stats_only = true;
+    }
+  }
+
+  SimSpeedConfig config;
+  config.seed = bench::base_seed(config.seed, argc, argv);
+  if (smoke) {
+    config.lanes = 4;
+    config.flows_per_lane = 64;
+    config.packets_per_lane = 200;
+    config.size_max_packets = 64;
+  }
+
+  if (stats_only) {
+    // One run at the environment's thread count; CI byte-diffs the
+    // output of VFPGA_THREADS=1 against VFPGA_THREADS=N.
+    const SimSpeedResult r = harness::run_sim_speed(config);
+    std::fputs(stats_json(config, r).c_str(), stdout);
+    return r.failures == 0 && r.dropped_messages == 0 ? 0 : 1;
+  }
+
+  std::printf("sim_speed: %u lanes x %u flows, %llu packets/lane%s\n",
+              config.lanes, config.flows_per_lane,
+              static_cast<unsigned long long>(config.packets_per_lane),
+              smoke ? " (smoke)" : "");
+
+  SimSpeedConfig seq_config = config;
+  seq_config.threads = 1;
+  const SimSpeedResult seq = harness::run_sim_speed(seq_config);
+  const SimSpeedResult par = harness::run_sim_speed(config);
+
+  const double speedup =
+      seq.packets_per_wall_second > 0
+          ? par.packets_per_wall_second / seq.packets_per_wall_second
+          : 0;
+  std::printf(
+      "  threads=1: %8.0f pkt/s (wall %.2fs)\n"
+      "  threads=%u: %8.0f pkt/s (wall %.2fs)  speedup %.2fx\n"
+      "  packets %llu  events %llu  windows %llu  msgs %llu  "
+      "p99 %.2f us\n",
+      seq.packets_per_wall_second, seq.wall_seconds, par.threads_used,
+      par.packets_per_wall_second, par.wall_seconds, speedup,
+      static_cast<unsigned long long>(seq.packets),
+      static_cast<unsigned long long>(seq.events),
+      static_cast<unsigned long long>(seq.windows),
+      static_cast<unsigned long long>(seq.cross_lane_messages),
+      seq.latency.p99_us);
+
+  bool ok = true;
+  if (!same_stats(config, seq, par)) {
+    std::printf("  FAIL: stats differ between 1 and %u threads\n",
+                par.threads_used);
+    ok = false;
+  }
+  for (const SimSpeedResult* r : {&seq, &par}) {
+    if (r->failures != 0) {
+      std::printf("  FAIL: %llu echoes exhausted the retry budget\n",
+                  static_cast<unsigned long long>(r->failures));
+      ok = false;
+    }
+    if (r->dropped_messages != 0) {
+      std::printf("  FAIL: %llu cross-lane messages dropped\n",
+                  static_cast<unsigned long long>(r->dropped_messages));
+      ok = false;
+    }
+    if (r->cross_lane_messages == 0 ||
+        r->cross_lane_received != r->cross_lane_messages) {
+      std::printf("  FAIL: cross-lane delivery %llu routed, %llu ran\n",
+                  static_cast<unsigned long long>(r->cross_lane_messages),
+                  static_cast<unsigned long long>(r->cross_lane_received));
+      ok = false;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (!smoke && hw >= 8 && par.threads_used >= 8 && speedup < 3.0) {
+    std::printf("  FAIL: speedup %.2fx < 3.0x at %u threads (%u hw)\n",
+                speedup, par.threads_used, hw);
+    ok = false;
+  } else if (hw < 8) {
+    std::printf("  note: %u hardware threads — speedup informational\n", hw);
+  }
+
+  if (!write_json(config, seq, par, speedup, ok)) {
+    std::printf("  FAIL: could not write BENCH_sim_speed.json\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

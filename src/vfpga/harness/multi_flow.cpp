@@ -36,22 +36,6 @@ struct FlowContext {
   u64 failures = 0;
 };
 
-/// Find a source port whose symmetric flow hash steers to `want_pair`.
-/// Deterministic (starts at `from`, walks upward), so flow identities
-/// are stable across trials and the search always terminates: the
-/// Toeplitz hash varies with every port bit, covering all residues
-/// within a handful of candidates.
-u16 search_port(net::Ipv4Addr host_ip, net::Ipv4Addr fpga_ip, u16 fpga_port,
-                u16 pairs, u16 want_pair, u16 from) {
-  for (u16 port = from;; ++port) {
-    VFPGA_ASSERT(port >= from);  // no wraparound before a hit
-    if (net::steer(net::rss_flow_hash(host_ip, port, fpga_ip, fpga_port),
-                   pairs) == want_pair) {
-      return port;
-    }
-  }
-}
-
 /// One echo round trip for one flow: send, block for the reply, retry
 /// via poll when another flow's interrupt service raced us. Returns
 /// true and records the latency on success.
@@ -112,9 +96,9 @@ TrialOutput run_trial(const MultiFlowConfig& config, u64 trial,
   for (u16 f = 0; f < config.flows; ++f) {
     FlowContext& flow = out.flows[f];
     flow.pair = static_cast<u16>(f % pairs);
-    const u16 port = search_port(host_ip, bed.fpga_ip(),
-                                 bed.options().fpga_udp_port, pairs,
-                                 flow.pair, next_port);
+    const u16 port = net::search_source_port(host_ip, bed.fpga_ip(),
+                                             bed.options().fpga_udp_port,
+                                             pairs, flow.pair, next_port);
     next_port = static_cast<u16>(port + 1);
     flow.thread = bed.spawn_thread();
     flow.socket = std::make_unique<hostos::UdpSocket>(bed.stack(), port);

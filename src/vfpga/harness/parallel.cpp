@@ -1,5 +1,6 @@
 #include "vfpga/harness/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <thread>
@@ -20,10 +21,13 @@ unsigned worker_threads(std::size_t cells) {
       threads = static_cast<unsigned>(v);
     }
   }
-  if (cells > 0 && threads > cells) {
+  // Clamp AFTER the env override: VFPGA_THREADS=64 with 4 cells must
+  // still yield 4 workers — spawning threads with no work to claim only
+  // adds creation cost and scheduler noise.
+  if (threads > cells) {
     threads = static_cast<unsigned>(cells);
   }
-  return threads;
+  return std::max(threads, 1u);
 }
 
 void run_parallel(std::vector<std::function<void()>> tasks,
@@ -34,10 +38,14 @@ void run_parallel(std::vector<std::function<void()>> tasks,
     }
     return;
   }
+  // A worker beyond the task count would grab no work; don't pay its
+  // creation cost (callers may pass a raw VFPGA_THREADS value).
+  const unsigned workers_needed =
+      std::min<unsigned>(threads, static_cast<unsigned>(tasks.size()));
   std::atomic<std::size_t> next{0};
   std::vector<std::jthread> workers;
-  workers.reserve(threads);
-  for (unsigned w = 0; w < threads; ++w) {
+  workers.reserve(workers_needed);
+  for (unsigned w = 0; w < workers_needed; ++w) {
     workers.emplace_back([&] {
       for (;;) {
         const std::size_t index = next.fetch_add(1);

@@ -1,0 +1,174 @@
+#include "vfpga/net/flowgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vfpga/common/contract.hpp"
+#include "vfpga/net/rss.hpp"
+#include "vfpga/sim/distributions.hpp"
+
+namespace vfpga::net {
+
+namespace {
+
+/// Keep the port cursor inside a sane allocation band: [first_port,
+/// kPortBandEnd). Wrapping reuses ports of long-dead flows; the live
+/// set guarantees no collision with an open one.
+constexpr u32 kPortBandEnd = 64'000;
+
+}  // namespace
+
+u64 sample_flow_size_packets(sim::Xoshiro256& rng,
+                             const FlowGenConfig& config) {
+  const double lo = static_cast<double>(config.size_min_packets);
+  const double hi = static_cast<double>(config.size_max_packets);
+  VFPGA_EXPECTS(lo >= 1.0 && hi >= lo && config.size_shape > 0.0);
+  // Bounded Pareto by inverse CDF: F(x) = (1-(L/x)^a) / (1-(L/H)^a).
+  const double a = config.size_shape;
+  const double ratio = std::pow(lo / hi, a);
+  const double u = rng.uniform01();
+  const double x = lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / a);
+  const double clamped = std::min(std::max(x, lo), hi);
+  return static_cast<u64>(clamped);
+}
+
+FlowGen::FlowGen(const FlowGenConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      port_live_(65'536, false),
+      port_cursor_(config.first_port) {
+  VFPGA_EXPECTS(config_.flows >= 1);
+  VFPGA_EXPECTS(config_.pairs >= 1);
+  VFPGA_EXPECTS(config_.payload_min >= 1 &&
+                config_.payload_max >= config_.payload_min);
+  VFPGA_EXPECTS(config_.mean_gap_us > 0.0);
+  VFPGA_EXPECTS(static_cast<u32>(config_.first_port) < kPortBandEnd);
+  for (const u16 pair : config_.pair_set) {
+    VFPGA_EXPECTS(pair < config_.pairs);
+  }
+  table_.resize(config_.flows);
+  for (u32 slot = 0; slot < config_.flows; ++slot) {
+    const u16 pair = pair_for_slot(slot);
+    open_flow(slot, allocate_port(pair), pair);
+  }
+}
+
+u16 FlowGen::pair_for_slot(u32 slot) const {
+  if (config_.pair_set.empty()) {
+    return static_cast<u16>(slot % config_.pairs);
+  }
+  return config_.pair_set[slot % config_.pair_set.size()];
+}
+
+u16 FlowGen::allocate_port(u16 pair) {
+  // Walk the band from the cursor until a port both steers to `pair`
+  // and is not held by a live flow. Bounded: live flows are a vanishing
+  // fraction of the band and the Toeplitz hash covers every residue
+  // within a handful of candidates.
+  for (int wraps = 0; wraps <= 2; ++wraps) {
+    u16 candidate = port_cursor_;
+    while (static_cast<u32>(candidate) < kPortBandEnd) {
+      if (!port_live_[candidate] &&
+          steer(rss_flow_hash(config_.host_ip, candidate, config_.fpga_ip,
+                              config_.fpga_port),
+                config_.pairs) == pair) {
+        port_cursor_ = static_cast<u16>(candidate + 1);
+        return candidate;
+      }
+      ++candidate;
+    }
+    port_cursor_ = config_.first_port;  // wrap the band and retry
+  }
+  VFPGA_UNREACHABLE("flowgen: source-port band exhausted by live flows");
+}
+
+void FlowGen::open_flow(u32 slot, u16 src_port, u16 pair) {
+  Flow& flow = table_[slot];
+  VFPGA_EXPECTS(!flow.open);
+  flow.id = next_id_++;
+  flow.src_port = src_port;
+  flow.pair = pair;
+  flow.total_packets = sample_flow_size_packets(rng_, config_);
+  flow.remaining_packets = flow.total_packets;
+  flow.burst = false;
+  flow.open = true;
+  VFPGA_ASSERT(!port_live_[src_port]);
+  port_live_[src_port] = true;
+  ++live_ports_.count;
+  ++created_;
+  ++open_;
+}
+
+void FlowGen::release_flow(u32 slot) {
+  Flow& flow = table_[slot];
+  VFPGA_EXPECTS(flow.open);
+  VFPGA_ASSERT(port_live_[flow.src_port]);
+  port_live_[flow.src_port] = false;
+  --live_ports_.count;
+  flow.open = false;
+  --open_;
+}
+
+sim::Duration FlowGen::sample_gap(Flow& flow) {
+  double mean = config_.mean_gap_us;
+  if (config_.arrivals == ArrivalProcess::kMmpp2) {
+    if (flow.burst) {
+      mean /= config_.mmpp_burst_factor;
+    }
+    // Geometric holding time in packets: flip with p = 1/mean_packets.
+    if (sim::sample_bernoulli(rng_,
+                              1.0 / config_.mmpp_mean_state_packets)) {
+      flow.burst = !flow.burst;
+    }
+  }
+  return sim::from_nanos(sim::sample_exponential(rng_, mean * 1e3));
+}
+
+FlowGen::Departure FlowGen::next_packet(u32 slot) {
+  Flow& flow = table_.at(slot);
+  VFPGA_EXPECTS(flow.open && flow.remaining_packets > 0);
+  Departure d;
+  d.flow_id = flow.id;
+  d.pair = flow.pair;
+  d.payload_bytes =
+      config_.payload_min +
+      static_cast<u32>(rng_.uniform_below(config_.payload_max -
+                                          config_.payload_min + 1));
+  d.gap = sample_gap(flow);
+  --flow.remaining_packets;
+  d.fin = flow.remaining_packets == 0;
+  ++packets_;
+  return d;
+}
+
+std::optional<sim::Duration> FlowGen::churn_slot(u32 slot) {
+  Flow& flow = table_.at(slot);
+  VFPGA_EXPECTS(flow.open && flow.remaining_packets == 0);
+  const u16 pair = flow.pair;
+  release_flow(slot);
+  ++completed_;
+  if (!config_.churn) {
+    return std::nullopt;
+  }
+  open_flow(slot, allocate_port(pair), pair);
+  // Replacement flow's arrival: one exponential flow-interarrival gap.
+  return sim::from_nanos(
+      sim::sample_exponential(rng_, config_.mean_gap_us * 1e3));
+}
+
+void FlowGen::close_slot(u32 slot) {
+  release_flow(slot);
+  ++abandoned_;
+}
+
+void FlowGen::reconnect_slot(u32 slot) {
+  Flow& flow = table_.at(slot);
+  VFPGA_EXPECTS(flow.open);
+  const u16 port = flow.src_port;
+  const u16 pair = flow.pair;
+  release_flow(slot);
+  ++completed_;  // the old connection finished (by reset)
+  open_flow(slot, port, pair);  // same 4-tuple: RSS affinity preserved
+}
+
+}  // namespace vfpga::net

@@ -1,0 +1,174 @@
+// Flow-table-driven traffic generation.
+//
+// The multi-flow harness hand-builds a handful of long-lived flows; the
+// scale experiments need the opposite: tens of thousands to millions of
+// concurrent UDP flows with realistic population dynamics. FlowGen is
+// that population model —
+//
+//  * flow sizes are heavy-tailed (bounded Pareto over packets-per-flow:
+//    most flows are mice, a fat tail of elephants carries most packets,
+//    the canonical datacenter mix),
+//  * per-flow packet arrivals are Poisson or a 2-state MMPP (a bursty
+//    on/off modulation of the Poisson rate),
+//  * connection churn: a finished flow's table slot is re-filled by a
+//    fresh flow with a new 4-tuple, so the live-flow population stays at
+//    the configured level while flow identities turn over continuously,
+//  * every flow is pinned to a queue pair through the same Toeplitz RSS
+//    steering the device uses (net/rss), so a generated flow's packets
+//    really do land where the multi-queue data plane will process them.
+//
+// FlowGen is a deterministic state machine over its own RNG stream: the
+// caller (one event lane, typically) drives it slot by slot, and the
+// same seed and call sequence reproduce the same traffic bit for bit.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "vfpga/net/addr.hpp"
+#include "vfpga/sim/rng.hpp"
+#include "vfpga/sim/time.hpp"
+
+namespace vfpga::net {
+
+enum class ArrivalProcess : u8 {
+  kPoisson,  ///< exponential per-flow inter-packet gaps
+  kMmpp2,    ///< 2-state Markov-modulated Poisson (slow / burst)
+};
+
+struct FlowGenConfig {
+  /// Endpoint identity: flows are (host_ip, searched src port) ->
+  /// (fpga_ip, fpga_port) UDP 4-tuples.
+  Ipv4Addr host_ip{};
+  Ipv4Addr fpga_ip{};
+  u16 fpga_port = 9000;
+
+  /// Queue pairs in the global RSS space flows steer across.
+  u16 pairs = 8;
+  /// Only these pairs are populated (slot s -> pair_set[s % size]);
+  /// empty = all pairs round-robin. This is how a sharded lane builds a
+  /// generator restricted to the pairs it owns.
+  std::vector<u16> pair_set;
+
+  /// Concurrent flow-table slots (the live-flow population).
+  u32 flows = 1024;
+
+  /// Heavy-tailed flow length, in packets: bounded Pareto.
+  double size_shape = 1.25;
+  u64 size_min_packets = 1;
+  u64 size_max_packets = 4096;
+
+  /// Payload bytes per packet, uniform in [min, max].
+  u32 payload_min = 64;
+  u32 payload_max = 1400;
+
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// Mean per-flow inter-packet gap (slow state), microseconds.
+  double mean_gap_us = 50.0;
+  /// MMPP burst state: gap mean divided by this factor.
+  double mmpp_burst_factor = 8.0;
+  /// Mean packets between MMPP state flips (geometric holding time).
+  double mmpp_mean_state_packets = 32.0;
+
+  /// Refill a finished flow's slot with a fresh flow (new 4-tuple, same
+  /// pair). Off = slots close when their flow completes.
+  bool churn = true;
+
+  /// Source-port allocation starts here and wraps (skipping ports held
+  /// by live flows) — the cursor never collides with an open flow.
+  u16 first_port = 20'000;
+
+  u64 seed = 20'25;
+};
+
+/// Flow length in packets: bounded Pareto(shape) over
+/// [size_min_packets, size_max_packets] by inverse CDF. Exposed so tests
+/// can pin the distribution's quantiles per seed.
+[[nodiscard]] u64 sample_flow_size_packets(sim::Xoshiro256& rng,
+                                           const FlowGenConfig& config);
+
+class FlowGen {
+ public:
+  struct Flow {
+    u64 id = 0;  ///< unique across churn generations
+    u16 src_port = 0;
+    u16 pair = 0;
+    u64 total_packets = 0;
+    u64 remaining_packets = 0;
+    bool burst = false;  ///< MMPP state
+    bool open = false;
+  };
+
+  /// One packet departure from a slot's current flow.
+  struct Departure {
+    u64 flow_id = 0;
+    u16 pair = 0;
+    u32 payload_bytes = 0;
+    /// Delay from the previous departure of this slot (or from open time
+    /// for the first packet).
+    sim::Duration gap{};
+    /// Last packet of the flow: the caller must churn_slot() or
+    /// close_slot() before asking for more traffic from this slot.
+    bool fin = false;
+  };
+
+  explicit FlowGen(const FlowGenConfig& config);
+
+  [[nodiscard]] u32 slots() const { return static_cast<u32>(table_.size()); }
+  [[nodiscard]] const Flow& flow(u32 slot) const { return table_.at(slot); }
+
+  /// Next packet from the slot's open flow. Precondition: slot is open.
+  [[nodiscard]] Departure next_packet(u32 slot);
+
+  /// Retire a finished (remaining == 0) flow. With churn on, installs a
+  /// fresh flow on the same pair and returns its arrival delay; with
+  /// churn off, closes the slot and returns nullopt.
+  std::optional<sim::Duration> churn_slot(u32 slot);
+
+  /// Close an unfinished flow (the harness reached its packet quota).
+  /// Counts as abandoned, not completed.
+  void close_slot(u32 slot);
+
+  /// Tear down and re-establish the slot's flow with the SAME 4-tuple
+  /// (a reconnect). The flow gets a fresh id and size, but its source
+  /// port — and therefore its RSS pair — is preserved.
+  void reconnect_slot(u32 slot);
+
+  // ---- bookkeeping (the churn-leak test audits these) ------------------------
+  [[nodiscard]] u64 flows_created() const { return created_; }
+  [[nodiscard]] u64 flows_completed() const { return completed_; }
+  [[nodiscard]] u64 flows_abandoned() const { return abandoned_; }
+  [[nodiscard]] u64 packets_emitted() const { return packets_; }
+  /// Open flow-table entries; created == completed + abandoned + open
+  /// always holds, or entries leaked.
+  [[nodiscard]] u64 open_flows() const { return open_; }
+  /// Live source ports tracked for collision-free allocation — must
+  /// equal open_flows(), or port bookkeeping leaked.
+  [[nodiscard]] u64 live_ports() const { return live_ports_.size(); }
+
+ private:
+  [[nodiscard]] u16 pair_for_slot(u32 slot) const;
+  [[nodiscard]] u16 allocate_port(u16 pair);
+  void open_flow(u32 slot, u16 src_port, u16 pair);
+  void release_flow(u32 slot);
+  [[nodiscard]] sim::Duration sample_gap(Flow& flow);
+
+  FlowGenConfig config_;
+  sim::Xoshiro256 rng_;
+  std::vector<Flow> table_;
+  std::vector<bool> port_live_;  // indexed by port; collision avoidance
+  struct PortSet {
+    [[nodiscard]] std::size_t size() const { return count; }
+    std::size_t count = 0;
+  };
+  PortSet live_ports_;
+  u16 port_cursor_;
+  u64 next_id_ = 1;
+  u64 created_ = 0;
+  u64 completed_ = 0;
+  u64 abandoned_ = 0;
+  u64 packets_ = 0;
+  u64 open_ = 0;
+};
+
+}  // namespace vfpga::net

@@ -1,5 +1,7 @@
 #include "vfpga/net/rss.hpp"
 
+#include <algorithm>
+
 #include "vfpga/common/contract.hpp"
 
 namespace vfpga::net {
@@ -63,6 +65,18 @@ u32 rss_flow_hash(Ipv4Addr src_ip, u16 src_port, Ipv4Addr dst_ip,
       static_cast<u8>(hi_port >> 8),  static_cast<u8>(hi_port),
   };
   return toeplitz_hash(tuple, rss_key());
+}
+
+u16 search_source_port(Ipv4Addr src_ip, Ipv4Addr dst_ip, u16 dst_port,
+                       u16 active_pairs, u16 want_pair, u16 from) {
+  VFPGA_EXPECTS(want_pair < std::max<u16>(active_pairs, 1));
+  for (u16 port = from;; ++port) {
+    VFPGA_ASSERT(port >= from);  // no wraparound before a hit
+    if (steer(rss_flow_hash(src_ip, port, dst_ip, dst_port), active_pairs) ==
+        want_pair) {
+      return port;
+    }
+  }
 }
 
 }  // namespace vfpga::net

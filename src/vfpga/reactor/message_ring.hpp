@@ -15,19 +15,22 @@
 #pragma once
 
 #include <algorithm>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "vfpga/common/contract.hpp"
 #include "vfpga/common/types.hpp"
+#include "vfpga/sim/event.hpp"
 #include "vfpga/sim/time.hpp"
 
 namespace vfpga::reactor {
 
 /// A message is a deferred function call on the target reactor — the
-/// spdk_thread_send_msg model (fn + ctx collapsed into a closure).
-using Message = std::function<void()>;
+/// spdk_thread_send_msg model (fn + ctx collapsed into a closure). It is
+/// a sim::SmallFn, so posting a message never heap-allocates as long as
+/// the capture fits the 48-byte inline buffer — the same zero-alloc
+/// guarantee the scheduler's hot path has.
+using Message = sim::SmallFn;
 
 class MessageRing {
  public:

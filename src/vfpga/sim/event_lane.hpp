@@ -1,0 +1,137 @@
+// Sharded parallel event lanes under conservative time-window sync.
+//
+// A LaneSet partitions a simulation into K independent EventLanes (one
+// per queue pair in the scale harness), each owning a private Scheduler.
+// Simulated time advances in fixed windows: every lane executes its own
+// events up to the window horizon with NO shared state, all lanes
+// barrier, cross-lane messages are routed, and the set advances to the
+// window containing the earliest pending work. This is classic
+// conservative parallel discrete-event simulation: the window length is
+// the lookahead, so a message sent in window W can only take effect in
+// window W+1 or later — no lane can ever observe an effect from a peer
+// whose clock it has already passed.
+//
+// Cross-lane sends travel through the PR-7 visibility-gated MessageRing:
+// one SPSC ring per (source, destination) lane pair, posted_at carrying
+// the message's due time. Staging is lane-local during the parallel
+// phase; the actual ring pushes happen in the single-threaded barrier
+// phase in canonical (source id, FIFO) order, and receivers drain rings
+// in source-id order at their next window start. Every ordering decision
+// is therefore a pure function of simulation state — results are
+// bit-identical at ANY worker-thread count, so `VFPGA_THREADS=1` is the
+// oracle for the parallel build (the determinism gate in bench/sim_speed
+// and CI enforces exactly this).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "vfpga/reactor/message_ring.hpp"
+#include "vfpga/sim/scheduler.hpp"
+
+namespace vfpga::sim {
+
+struct LaneSetConfig {
+  u32 lanes = 1;
+  /// Window length == conservative lookahead: the minimum cross-lane
+  /// latency. Larger windows barrier less often but delay messages more.
+  Duration window = microseconds(100);
+  /// Capacity of each (source, destination) message ring.
+  u32 ring_capacity = 4096;
+};
+
+class LaneSet;
+
+/// One shard: a private Scheduler plus its cross-lane mailboxes. All
+/// mutable state is owned by exactly one worker during a window.
+class EventLane {
+ public:
+  EventLane(const EventLane&) = delete;
+  EventLane& operator=(const EventLane&) = delete;
+
+  [[nodiscard]] u32 id() const { return id_; }
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] SimTime now() const { return sched_.now(); }
+  /// Cross-lane messages delivered to this lane so far.
+  [[nodiscard]] u64 received_messages() const { return received_; }
+
+ private:
+  friend class LaneSet;
+
+  EventLane(u32 id, u32 sources, u32 ring_capacity) : id_(id) {
+    inbox_.reserve(sources);
+    for (u32 s = 0; s < sources; ++s) {
+      inbox_.emplace_back(ring_capacity);
+    }
+  }
+
+  struct Outgoing {
+    u32 dst = 0;
+    SimTime due{};
+    SmallFn fn;
+  };
+
+  u32 id_ = 0;
+  Scheduler sched_;
+  /// inbox_[src]: SPSC ring carrying messages from lane `src`.
+  std::vector<reactor::MessageRing> inbox_;
+  /// Sends staged during this window, routed at the barrier.
+  std::vector<Outgoing> outbox_;
+  u64 received_ = 0;
+};
+
+class LaneSet {
+ public:
+  explicit LaneSet(LaneSetConfig config);
+
+  [[nodiscard]] u32 size() const { return static_cast<u32>(lanes_.size()); }
+  [[nodiscard]] EventLane& lane(u32 i) { return *lanes_.at(i); }
+  [[nodiscard]] Duration window() const { return config_.window; }
+
+  /// End of the window currently executing (or about to execute) — the
+  /// earliest legal `due` for a cross-lane post. Stable for the whole
+  /// parallel phase.
+  [[nodiscard]] SimTime horizon() const { return horizon_; }
+
+  /// Send `fn` to run on lane `dst` at simulated time `due`. Must be
+  /// called from code executing on lane `src` (an event or a drained
+  /// message). The conservative-window invariant requires
+  /// `due >= horizon()`: the message cannot take effect in the window
+  /// that is still running. Delivery respects per-(src,dst) FIFO order;
+  /// a message is executed at max(due, visibility of everything queued
+  /// ahead of it), exactly the MessageRing contract.
+  void post(u32 src, u32 dst, SimTime due, SmallFn fn);
+
+  struct RunStats {
+    u64 windows = 0;   ///< barrier phases executed
+    u64 events = 0;    ///< lane scheduler events fired
+    u64 messages = 0;  ///< cross-lane messages routed into rings
+    u64 dropped = 0;   ///< sends lost to a full ring (0 in a sane setup)
+  };
+
+  /// Run to global quiescence (all schedulers idle, all rings and
+  /// outboxes empty) on up to `threads` workers; `threads` is clamped
+  /// to the lane count and <= 1 selects the sequential reference
+  /// executor. The result — every lane's event order, clocks, message
+  /// deliveries — is bit-identical for every value of `threads`.
+  RunStats run(unsigned threads);
+
+ private:
+  /// Parallel phase: deliver visible inbound messages, then execute the
+  /// lane's events up to `horizon` (exclusive). Touches only lane state.
+  void step_lane(EventLane& lane, SimTime horizon);
+  /// Barrier phase (single-threaded): push every staged send into its
+  /// destination ring in canonical order.
+  void route_outboxes();
+  /// Barrier phase: advance horizon_ to the window containing the
+  /// earliest pending work; returns false at global quiescence.
+  bool advance_horizon();
+
+  LaneSetConfig config_;
+  std::vector<std::unique_ptr<EventLane>> lanes_;
+  SimTime horizon_{};
+  bool done_ = false;
+  RunStats stats_;
+};
+
+}  // namespace vfpga::sim

@@ -60,6 +60,17 @@ TEST(ParallelHarness, WorkerThreadsRespectsEnvAndCellCount) {
   EXPECT_GE(worker_threads(16), 1u);
 }
 
+TEST(ParallelHarness, WorkerThreadsClampsOversizedEnvOverride) {
+  // An env override larger than the cell count must still clamp: 64
+  // requested threads with 4 cells is 4 workers, not 64 idle spawns.
+  ::setenv("VFPGA_THREADS", "64", 1);
+  EXPECT_EQ(worker_threads(4), 4u);
+  EXPECT_EQ(worker_threads(1), 1u);
+  ::unsetenv("VFPGA_THREADS");
+  // Degenerate cell counts still yield a usable pool size.
+  EXPECT_EQ(worker_threads(0), 1u);
+}
+
 TEST(ExperimentConfig, EnvOverrides) {
   ::setenv("VFPGA_ITERATIONS", "1234", 1);
   ::setenv("VFPGA_SEED", "77", 1);

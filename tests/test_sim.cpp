@@ -2,7 +2,10 @@
 // noise model.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "vfpga/sim/distributions.hpp"
 #include "vfpga/sim/noise.hpp"
@@ -241,6 +244,102 @@ TEST(Scheduler, StopExitsRunLoop) {
   sched.schedule_at(SimTime{2}, [&] { ++fired; });
   EXPECT_EQ(sched.run_until_stopped(), 1u);
   EXPECT_EQ(fired, 1);
+}
+
+// ---- SmallFn + event arena ---------------------------------------------------
+
+TEST(SmallFn, InlineCaptureAllocatesNothing) {
+  const u64 before = SmallFn::heap_allocations();
+  int hits = 0;
+  i64 stamp = 41;
+  SmallFn fn([&hits, &stamp] { ++hits; ++stamp; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(stamp, 43);
+  EXPECT_EQ(SmallFn::heap_allocations(), before);
+}
+
+TEST(SmallFn, OversizedCaptureFallsBackToHeapAndIsCounted) {
+  const u64 before = SmallFn::heap_allocations();
+  std::array<u64, 16> big{};  // 128 bytes: misses the 48-byte buffer
+  big[0] = 7;
+  u64 out = 0;
+  SmallFn fn([big, &out] { out = big[0]; });
+  EXPECT_EQ(SmallFn::heap_allocations(), before + 1);
+  fn();
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(SmallFn, MoveTransfersTheTargetAndEmptiesTheSource) {
+  int hits = 0;
+  SmallFn a([&hits] { ++hits; });
+  SmallFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  SmallFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, DestroysTheCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(5);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    SmallFn fn([token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+    SmallFn moved = std::move(fn);
+    EXPECT_EQ(token.use_count(), 2);  // relocated, not duplicated
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(Scheduler, SteadyStateReschedulingAllocatesNothing) {
+  Scheduler sched;
+  u64 fired = 0;
+  // A self-rescheduling chain whose capture is two pointers + a count —
+  // the scheduler hot-path shape. The first events warm the arena chunk;
+  // after that, neither node pool nor callable may touch the heap.
+  struct Chain {
+    Scheduler* sched;
+    u64* fired;
+    u64 limit;
+    void operator()() const {
+      if (++*fired < limit) {
+        sched->schedule_after(nanoseconds(5), *this);
+      }
+    }
+  };
+  sched.schedule_at(SimTime{}, Chain{&sched, &fired, 10'000});
+  sched.run_until(SimTime{} + nanoseconds(500));  // warm-up
+  ASSERT_GT(fired, 0u);
+
+  const u64 nodes_before = sched.arena().node_allocations();
+  const u64 heap_before = SmallFn::heap_allocations();
+  sched.run_until_idle();
+  EXPECT_EQ(fired, 10'000u);
+  EXPECT_EQ(sched.arena().node_allocations(), nodes_before);
+  EXPECT_EQ(SmallFn::heap_allocations(), heap_before);
+  EXPECT_EQ(sched.arena().live(), 0u);
+}
+
+TEST(Scheduler, ExecutedCountsLifetimeEvents) {
+  Scheduler sched;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(SimTime{i + 1}, [] {});
+  }
+  EXPECT_EQ(sched.pending(), 5u);
+  EXPECT_EQ(sched.next_due(), SimTime{1});
+  sched.run_until(SimTime{3});
+  EXPECT_EQ(sched.executed(), 3u);
+  sched.run_until_idle();
+  EXPECT_EQ(sched.executed(), 5u);
+  EXPECT_TRUE(sched.idle());
 }
 
 // ---- noise model ----------------------------------------------------------------

@@ -1,0 +1,71 @@
+// Lane-sharded traffic simulation: the merged statistics must be a pure
+// function of the config — worker-thread count included out.
+#include <gtest/gtest.h>
+
+#include "vfpga/harness/sim_speed.hpp"
+
+namespace vfpga::harness {
+namespace {
+
+SimSpeedConfig tiny_config() {
+  SimSpeedConfig config;
+  config.lanes = 2;
+  config.flows_per_lane = 8;
+  config.packets_per_lane = 40;
+  config.size_max_packets = 16;
+  config.seed = 7;
+  return config;
+}
+
+void expect_same_stats(const SimSpeedResult& a, const SimSpeedResult& b) {
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.cross_lane_messages, b.cross_lane_messages);
+  EXPECT_EQ(a.cross_lane_received, b.cross_lane_received);
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.flows_created, b.flows_created);
+  EXPECT_EQ(a.flows_completed, b.flows_completed);
+  EXPECT_EQ(a.flows_abandoned, b.flows_abandoned);
+  EXPECT_EQ(a.sample_count, b.sample_count);
+  // Bitwise double equality — merged in a canonical order, the latency
+  // distribution cannot depend on which worker ran which lane.
+  EXPECT_EQ(a.sim_makespan_us, b.sim_makespan_us);
+  EXPECT_EQ(a.latency.mean_us, b.latency.mean_us);
+  EXPECT_EQ(a.latency.stddev_us, b.latency.stddev_us);
+  EXPECT_EQ(a.latency.p99_us, b.latency.p99_us);
+  EXPECT_EQ(a.latency.max_us, b.latency.max_us);
+}
+
+TEST(SimSpeed, StatsAreIdenticalAcrossThreadCounts) {
+  SimSpeedConfig config = tiny_config();
+  config.threads = 1;
+  const SimSpeedResult seq = run_sim_speed(config);
+  config.threads = 2;
+  const SimSpeedResult par = run_sim_speed(config);
+
+  EXPECT_EQ(seq.threads_used, 1u);
+  EXPECT_EQ(par.threads_used, 2u);
+  expect_same_stats(seq, par);
+}
+
+TEST(SimSpeed, WorkloadIsSaneAndLossless) {
+  SimSpeedConfig config = tiny_config();
+  config.threads = 1;
+  const SimSpeedResult r = run_sim_speed(config);
+  EXPECT_EQ(r.packets, config.lanes * config.packets_per_lane);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.dropped_messages, 0u);
+  EXPECT_GT(r.cross_lane_messages, 0u);  // churn really crossed lanes
+  EXPECT_EQ(r.cross_lane_received, r.cross_lane_messages);
+  EXPECT_EQ(r.sample_count, r.packets);  // every echo was measured
+  EXPECT_GT(r.latency.mean_us, 0.0);
+  EXPECT_GT(r.sim_makespan_us, 0.0);
+  // Population bookkeeping closed out: every created flow either
+  // completed or was abandoned at drain time.
+  EXPECT_EQ(r.flows_created, r.flows_completed + r.flows_abandoned);
+}
+
+}  // namespace
+}  // namespace vfpga::harness
