@@ -14,6 +14,23 @@
 
 namespace vfpga::bench {
 
+/// Returns the `--threads N` / `--threads=N` worker-pool request, or 0
+/// when absent. Feeds the harness config's `threads` field, whose
+/// precedence is env > CLI > hardware: harness::worker_threads applies
+/// VFPGA_THREADS after this value, so the environment still wins (CI
+/// pins determinism oracles with VFPGA_THREADS=1 regardless of flags).
+inline unsigned cli_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 0));
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 0));
+    }
+  }
+  return 0;
+}
+
 /// Returns the base seed for a bench run: `--seed` flag, then the
 /// VFPGA_BENCH_SEED environment variable, then `default_seed`.
 inline u64 base_seed(u64 default_seed, int argc, char** argv) {

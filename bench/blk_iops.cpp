@@ -12,7 +12,16 @@
 // Writes BENCH_blk.json ($VFPGA_JSON_DIR honoured). Exits non-zero on
 // any gate violation.
 //
+// The sweep's cells run sharded across event lanes (run_blk_sweep):
+// bit-identical numbers at any worker-thread count, in the canonical
+// payload-major / depth / {interrupt, reactor} order printed below.
+//
 //   --smoke                trimmed sweep for CI
+//   --stats-only           print ONLY the deterministic per-cell JSON to
+//                          stdout — CI byte-diffs this across
+//                          VFPGA_THREADS (no gates, no file)
+//   --threads N            worker threads for the sweep lanes
+//                          (env > this > hardware; VFPGA_THREADS wins)
 //   --seed N               base seed override (also VFPGA_BENCH_SEED)
 //   VFPGA_ITERATIONS=400   measured requests per cell
 #include <cstdio>
@@ -70,19 +79,54 @@ bool write_json(const vfpga::harness::BlkBenchConfig& config,
 int main(int argc, char** argv) {
   using namespace vfpga;
   bool smoke = false;
+  bool stats_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--stats-only") == 0) {
+      stats_only = true;
     }
   }
 
   harness::BlkBenchConfig config = harness::BlkBenchConfig::from_env();
   config.seed = bench::base_seed(config.seed, argc, argv);
+  config.threads = bench::cli_threads(argc, argv);
   if (smoke) {
     config.payloads = {512, 65536};
     config.queue_depths = {1, 8};
     config.ops_per_cell = 120;
     config.warmup_ops = 16;
+  }
+
+  // One lane-sharded pass computes every cell; the loops below only
+  // read sweep.cells, which run_blk_sweep orders exactly as this bench
+  // prints: payload-major, then depth, then {interrupt, reactor}.
+  const harness::BlkSweepResult sweep = harness::run_blk_sweep(config);
+
+  if (stats_only) {
+    std::printf("{\n  \"source\": \"blk_iops\",\n  \"seed\": %llu,\n"
+                "  \"lane_windows\": %llu,\n  \"lane_messages\": %llu,\n"
+                "  \"cells_aggregated\": %u,\n  \"cells\": [",
+                static_cast<unsigned long long>(config.seed),
+                static_cast<unsigned long long>(sweep.lane_windows),
+                static_cast<unsigned long long>(sweep.lane_messages),
+                sweep.cells_aggregated);
+    bool clean = true;
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+      const BlkCellResult& r = sweep.cells[i];
+      std::printf(
+          "%s\n    {\"mode\": \"%s\", \"payload\": %u, \"queue_depth\": %u, "
+          "\"ops\": %llu, \"failures\": %llu, \"iops\": %.4f, "
+          "\"p50_us\": %.4f, \"p99_us\": %.4f, \"p999_us\": %.4f}",
+          i == 0 ? "" : ",", mode_name(r.mode), r.payload, r.queue_depth,
+          static_cast<unsigned long long>(r.ops),
+          static_cast<unsigned long long>(r.failures), r.iops,
+          r.latency_us.percentile(50), r.latency_us.percentile(99),
+          r.latency_us.percentile(99.9));
+      clean = clean && r.failures == 0;
+    }
+    std::printf("\n  ]\n}\n");
+    return clean ? 0 : 1;
   }
 
   std::printf(
@@ -94,6 +138,7 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   std::vector<BlkCellResult> cells;
+  std::size_t cell_index = 0;
   for (const u32 payload : config.payloads) {
     // iops[mode] per depth, for the monotonicity gate.
     double prev_iops[2] = {0.0, 0.0};
@@ -103,7 +148,7 @@ int main(int argc, char** argv) {
            {BlkCompletionMode::kInterrupt, BlkCompletionMode::kReactorPolled}) {
         const std::size_t m = static_cast<std::size_t>(mode);
         BlkCellResult& r = per_mode[m];
-        r = harness::run_blk_cell(config, mode, payload, depth);
+        r = sweep.cells[cell_index++];
         if (r.reactor_iterations > 0) {
           std::printf(
               "%8u %9s %6u | %10.0f %9.2f %9.2f %10.2f | %9.1f%%\n", payload,

@@ -13,10 +13,18 @@
 // Writes BENCH_sim_speed.json ($VFPGA_JSON_DIR honoured). Exits
 // non-zero on any gate violation.
 //
-//   --smoke                trimmed workload for CI
+// `--soak` switches to the flow-table soak instead: a million-slot
+// FlowGen table (8 lanes x 125k slots) churned through tick-driven
+// batch rounds under the adaptive window controller, gated on tuple/
+// flow bookkeeping conservation and the DESIGN.md §15 bytes/flow
+// budget. Writes BENCH_sim_soak.json.
+//
+//   --smoke                trimmed workload for CI (composes with --soak)
+//   --soak                 run the million-flow churn soak
 //   --stats-only           print ONLY the deterministic stats JSON to
 //                          stdout (no file, no wall-clock fields) —
 //                          CI byte-diffs this across VFPGA_THREADS
+//   --threads N            worker pool request (env > this > hardware)
 //   --seed N               base seed override (also VFPGA_BENCH_SEED)
 //   VFPGA_THREADS=N        worker pool size for the parallel run
 #include <cstdio>
@@ -56,6 +64,8 @@ std::string stats_json(const SimSpeedConfig& config,
       "  \"flows_created\": %llu,\n"
       "  \"flows_completed\": %llu,\n"
       "  \"flows_abandoned\": %llu,\n"
+      "  \"arena_nodes\": %llu,\n"
+      "  \"smallfn_heap_fallbacks\": %llu,\n"
       "  \"sim_makespan_us\": %.3f,\n"
       "  \"samples\": %llu,\n"
       "  \"latency_us\": {\"mean\": %.6f, \"stddev\": %.6f, "
@@ -72,7 +82,10 @@ std::string stats_json(const SimSpeedConfig& config,
       static_cast<unsigned long long>(r.failures),
       static_cast<unsigned long long>(r.flows_created),
       static_cast<unsigned long long>(r.flows_completed),
-      static_cast<unsigned long long>(r.flows_abandoned), r.sim_makespan_us,
+      static_cast<unsigned long long>(r.flows_abandoned),
+      static_cast<unsigned long long>(r.arena_nodes),
+      static_cast<unsigned long long>(r.smallfn_heap_fallbacks),
+      r.sim_makespan_us,
       static_cast<unsigned long long>(r.sample_count), r.latency.mean_us,
       r.latency.stddev_us, r.latency.median_us, r.latency.p95_us,
       r.latency.p99_us, r.latency.p999_us, r.latency.max_us);
@@ -114,22 +127,128 @@ bool same_stats(const SimSpeedConfig& config, const SimSpeedResult& a,
   return stats_json(config, a) == stats_json(config, b);
 }
 
+/// DESIGN.md §15: flow-table bytes per slot at the million-slot scale.
+constexpr double kSoakBytesPerFlowBudget = 48.0;
+
+int run_soak(bool smoke, unsigned threads, vfpga::u64 seed) {
+  using vfpga::harness::FlowSoakConfig;
+  using vfpga::harness::FlowSoakResult;
+  FlowSoakConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  if (smoke) {
+    config.flows_per_lane = 2048;
+    config.host_ips_per_lane = 2;
+    config.ticks = 16;
+    config.slots_per_tick = 1024;
+  }
+
+  std::printf("sim_speed --soak: %u lanes x %u slots (%s table)%s\n",
+              config.lanes, config.flows_per_lane,
+              smoke ? "trimmed" : "million-slot", smoke ? " (smoke)" : "");
+  const FlowSoakResult r = vfpga::harness::run_flow_soak(config);
+  std::printf(
+      "  slots %llu  packets %llu  flows created %llu (completed %llu, "
+      "live %llu)\n"
+      "  windows %llu (+%llu grow, -%llu shrink)  msgs %llu  "
+      "footprint %.1f MiB = %.1f B/flow\n"
+      "  wall %.2fs (%.0f pkt/s at %u threads)\n",
+      static_cast<unsigned long long>(r.table_slots),
+      static_cast<unsigned long long>(r.packets),
+      static_cast<unsigned long long>(r.flows_created),
+      static_cast<unsigned long long>(r.flows_completed),
+      static_cast<unsigned long long>(r.flows_open),
+      static_cast<unsigned long long>(r.windows),
+      static_cast<unsigned long long>(r.window_growths),
+      static_cast<unsigned long long>(r.window_shrinks),
+      static_cast<unsigned long long>(r.cross_lane_messages),
+      static_cast<double>(r.footprint_bytes) / (1024.0 * 1024.0),
+      r.bytes_per_flow, r.wall_seconds, r.packets_per_wall_second,
+      r.threads_used);
+
+  bool ok = true;
+  // Real churn: the table turned over (identities exceed slots) and the
+  // population stayed level to the end.
+  if (r.flows_created <= r.table_slots || r.flows_open != r.table_slots) {
+    std::printf("  FAIL: churn did not turn the table over "
+                "(created %llu, live %llu, slots %llu)\n",
+                static_cast<unsigned long long>(r.flows_created),
+                static_cast<unsigned long long>(r.flows_open),
+                static_cast<unsigned long long>(r.table_slots));
+    ok = false;
+  }
+  if (r.cross_lane_received != r.cross_lane_messages ||
+      r.cross_lane_messages == 0) {
+    std::printf("  FAIL: cross-lane delivery %llu routed, %llu ran\n",
+                static_cast<unsigned long long>(r.cross_lane_messages),
+                static_cast<unsigned long long>(r.cross_lane_received));
+    ok = false;
+  }
+  // The bytes/flow budget is calibrated at the million-slot table; the
+  // smoke table is too small to amortize the fixed per-IP steer caches,
+  // so there the number is printed but informational.
+  if (!smoke && r.bytes_per_flow > kSoakBytesPerFlowBudget) {
+    std::printf("  FAIL: %.1f bytes/flow exceeds the %.0f B budget\n",
+                r.bytes_per_flow, kSoakBytesPerFlowBudget);
+    ok = false;
+  }
+
+  const std::string path =
+      vfpga::harness::bench_json_path("BENCH_sim_soak.json");
+  if (std::FILE* file = std::fopen(path.c_str(), "w")) {
+    std::fprintf(
+        file,
+        "{\n  \"source\": \"sim_soak\",\n  \"seed\": %llu,\n"
+        "  \"lanes\": %u,\n  \"table_slots\": %llu,\n"
+        "  \"packets\": %llu,\n  \"flows_created\": %llu,\n"
+        "  \"flows_completed\": %llu,\n  \"flows_open\": %llu,\n"
+        "  \"windows\": %llu,\n  \"window_growths\": %llu,\n"
+        "  \"cross_lane_messages\": %llu,\n"
+        "  \"footprint_bytes\": %llu,\n  \"bytes_per_flow\": %.2f,\n"
+        "  \"wall_seconds\": %.3f,\n  \"ok\": %s\n}\n",
+        static_cast<unsigned long long>(config.seed), r.lanes,
+        static_cast<unsigned long long>(r.table_slots),
+        static_cast<unsigned long long>(r.packets),
+        static_cast<unsigned long long>(r.flows_created),
+        static_cast<unsigned long long>(r.flows_completed),
+        static_cast<unsigned long long>(r.flows_open),
+        static_cast<unsigned long long>(r.windows),
+        static_cast<unsigned long long>(r.window_growths),
+        static_cast<unsigned long long>(r.cross_lane_messages),
+        static_cast<unsigned long long>(r.footprint_bytes), r.bytes_per_flow,
+        r.wall_seconds, ok ? "true" : "false");
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::printf("  FAIL: could not write BENCH_sim_soak.json\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace vfpga;
   bool smoke = false;
   bool stats_only = false;
+  bool soak = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--stats-only") == 0) {
       stats_only = true;
+    } else if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = true;
     }
   }
 
   SimSpeedConfig config;
   config.seed = bench::base_seed(config.seed, argc, argv);
+  config.threads = bench::cli_threads(argc, argv);
+  if (soak) {
+    return run_soak(smoke, config.threads, config.seed);
+  }
   if (smoke) {
     config.lanes = 4;
     config.flows_per_lane = 64;

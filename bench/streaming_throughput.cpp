@@ -18,7 +18,14 @@
 // the offload, submit superframes and see GRO coalescing end to end.
 // Exits non-zero on any gate violation.
 //
+// The sweep's cells run sharded across event lanes
+// (run_streaming_sweep): bit-identical numbers at any worker-thread
+// count, in the canonical packed-major / payload / mode order printed
+// below.
+//
 //   --smoke                trimmed sweep for CI
+//   --threads N            worker threads for the sweep lanes
+//                          (env > this > hardware; VFPGA_THREADS wins)
 //   --seed N               base seed override (also VFPGA_BENCH_SEED)
 //   VFPGA_ITERATIONS=200   measured round trips per cell
 //   VFPGA_SEED=2024        base seed
@@ -42,11 +49,18 @@ int main(int argc, char** argv) {
 
   harness::StreamingConfig config = harness::StreamingConfig::from_env();
   config.seed = bench::base_seed(config.seed, argc, argv);
+  config.threads = bench::cli_threads(argc, argv);
   if (smoke) {
     config.payloads = {4096, 16384};
     config.iterations = std::min<u64>(config.iterations, 120);
     config.warmup = 4;
   }
+
+  // One lane-sharded pass computes every cell; the loops below read
+  // sweep.cells in the exact order this bench prints (packed-major,
+  // then payload, then the six modes).
+  const harness::StreamingSweepResult sweep =
+      harness::run_streaming_sweep(config);
 
   const std::vector<harness::StreamMode> modes = {
       harness::StreamMode::kCopy,      harness::StreamMode::kChained,
@@ -62,12 +76,12 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   std::vector<harness::StreamingCellResult> cells;
+  std::size_t cell_index = 0;
   for (const bool packed : {false, true}) {
     for (const u64 payload : config.payloads) {
       harness::StreamingCellResult row[6];
       for (std::size_t m = 0; m < modes.size(); ++m) {
-        row[m] = harness::run_streaming_cell(config, modes[m], packed,
-                                             payload);
+        row[m] = sweep.cells[cell_index++];
         const harness::StreamingCellResult& r = row[m];
         std::printf(
             "%6s %10s %8llu | %8.2f %8.1f %8.1f | %9llu %7llu %7llu\n",

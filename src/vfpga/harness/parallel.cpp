@@ -11,9 +11,16 @@
 namespace vfpga::harness {
 
 unsigned worker_threads(std::size_t cells) {
+  return worker_threads(cells, 0);
+}
+
+unsigned worker_threads(std::size_t cells, unsigned cli_request) {
   unsigned threads = std::thread::hardware_concurrency();
   if (threads == 0) {
     threads = 4;
+  }
+  if (cli_request > 0) {
+    threads = cli_request;
   }
   if (const char* env = std::getenv("VFPGA_THREADS")) {
     const long v = std::atol(env);

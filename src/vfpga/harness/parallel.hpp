@@ -18,6 +18,13 @@ namespace vfpga::harness {
 /// hardware_concurrency capped at the cell count).
 unsigned worker_threads(std::size_t cells);
 
+/// Same, with a CLI-requested count in the middle of the precedence
+/// chain: VFPGA_THREADS env > `cli_request` (--threads N, 0 = unset) >
+/// hardware_concurrency — then clamped to the cell count. The env wins
+/// so a CI matrix can pin the oracle thread count without caring what
+/// flags each bench invocation carries.
+unsigned worker_threads(std::size_t cells, unsigned cli_request);
+
 /// Run `tasks` on up to `threads` workers; task order in the result is
 /// preserved.
 void run_parallel(std::vector<std::function<void()>> tasks,

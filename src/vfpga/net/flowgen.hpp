@@ -17,6 +17,17 @@
 //    steering the device uses (net/rss), so a generated flow's packets
 //    really do land where the multi-queue data plane will process them.
 //
+// The table is built for the million-slot soak: state is struct-of-
+// arrays (17 bytes/slot of per-flow state), 4-tuples come from per-pair
+// index freelists fed by a single carve cursor over (client IP, port)
+// space, and RSS steering is computed lazily — one cached steer table
+// per client IP, built on the first carve that touches the IP, instead
+// of a Toeplitz hash per allocation probe. One client IP bounds the
+// live population by the source-port band (~44k flows); host_ip_count
+// widens the tuple space for bigger populations. footprint_bytes()
+// reports the actual allocated bytes so benches can gate a bytes/flow
+// budget (DESIGN.md §15 documents 48 B/flow at a million slots).
+//
 // FlowGen is a deterministic state machine over its own RNG stream: the
 // caller (one event lane, typically) drives it slot by slot, and the
 // same seed and call sequence reproduce the same traffic bit for bit.
@@ -37,9 +48,13 @@ enum class ArrivalProcess : u8 {
 };
 
 struct FlowGenConfig {
-  /// Endpoint identity: flows are (host_ip, searched src port) ->
-  /// (fpga_ip, fpga_port) UDP 4-tuples.
+  /// Endpoint identity: flows are (client ip, searched src port) ->
+  /// (fpga_ip, fpga_port) UDP 4-tuples. Client IPs are host_ip ..
+  /// host_ip + host_ip_count - 1; one IP caps the live population at
+  /// the source-port band, so the million-flow soak spreads the table
+  /// over dozens of IPs.
   Ipv4Addr host_ip{};
+  u16 host_ip_count = 1;
   Ipv4Addr fpga_ip{};
   u16 fpga_port = 9000;
 
@@ -47,7 +62,8 @@ struct FlowGenConfig {
   u16 pairs = 8;
   /// Only these pairs are populated (slot s -> pair_set[s % size]);
   /// empty = all pairs round-robin. This is how a sharded lane builds a
-  /// generator restricted to the pairs it owns.
+  /// generator restricted to the pairs it owns. Tuples carved for pairs
+  /// outside the set are discarded, not stored.
   std::vector<u16> pair_set;
 
   /// Concurrent flow-table slots (the live-flow population).
@@ -74,8 +90,8 @@ struct FlowGenConfig {
   /// pair). Off = slots close when their flow completes.
   bool churn = true;
 
-  /// Source-port allocation starts here and wraps (skipping ports held
-  /// by live flows) — the cursor never collides with an open flow.
+  /// Source-port carving starts here per client IP; released tuples are
+  /// reused through the freelists before the cursor advances.
   u16 first_port = 20'000;
 
   u64 seed = 20'25;
@@ -89,11 +105,12 @@ struct FlowGenConfig {
 
 class FlowGen {
  public:
+  /// Read-only view of one slot, assembled from the SoA columns.
   struct Flow {
     u64 id = 0;  ///< unique across churn generations
+    Ipv4Addr src_ip{};
     u16 src_port = 0;
     u16 pair = 0;
-    u64 total_packets = 0;
     u64 remaining_packets = 0;
     bool burst = false;  ///< MMPP state
     bool open = false;
@@ -114,8 +131,8 @@ class FlowGen {
 
   explicit FlowGen(const FlowGenConfig& config);
 
-  [[nodiscard]] u32 slots() const { return static_cast<u32>(table_.size()); }
-  [[nodiscard]] const Flow& flow(u32 slot) const { return table_.at(slot); }
+  [[nodiscard]] u32 slots() const { return static_cast<u32>(ids_.size()); }
+  [[nodiscard]] Flow flow(u32 slot) const;
 
   /// Next packet from the slot's open flow. Precondition: slot is open.
   [[nodiscard]] Departure next_packet(u32 slot);
@@ -131,7 +148,7 @@ class FlowGen {
 
   /// Tear down and re-establish the slot's flow with the SAME 4-tuple
   /// (a reconnect). The flow gets a fresh id and size, but its source
-  /// port — and therefore its RSS pair — is preserved.
+  /// tuple — and therefore its RSS pair — is preserved.
   void reconnect_slot(u32 slot);
 
   // ---- bookkeeping (the churn-leak test audits these) ------------------------
@@ -142,27 +159,63 @@ class FlowGen {
   /// Open flow-table entries; created == completed + abandoned + open
   /// always holds, or entries leaked.
   [[nodiscard]] u64 open_flows() const { return open_; }
-  /// Live source ports tracked for collision-free allocation — must
-  /// equal open_flows(), or port bookkeeping leaked.
-  [[nodiscard]] u64 live_ports() const { return live_ports_.size(); }
+  /// Live (ip, port) tuples held by open flows — must equal
+  /// open_flows(), or tuple bookkeeping leaked.
+  [[nodiscard]] u64 live_ports() const { return live_tuples_; }
+
+  /// Bytes of flow-table state actually allocated: the SoA columns,
+  /// every lazily built per-IP steer table, and the tuple freelists.
+  /// The soak bench divides this by slots() to gate the bytes/flow
+  /// budget.
+  [[nodiscard]] u64 footprint_bytes() const;
 
  private:
+  // flags_ bits.
+  static constexpr u8 kOpen = 0x1;
+  static constexpr u8 kBurst = 0x2;
+
   [[nodiscard]] u16 pair_for_slot(u32 slot) const;
-  [[nodiscard]] u16 allocate_port(u16 pair);
-  void open_flow(u32 slot, u16 src_port, u16 pair);
-  void release_flow(u32 slot);
-  [[nodiscard]] sim::Duration sample_gap(Flow& flow);
+  [[nodiscard]] Ipv4Addr client_ip(u32 ip_index) const {
+    return Ipv4Addr{config_.host_ip.value + ip_index};
+  }
+  /// RSS pair of (client_ip(ip_index), port) — served from the IP's
+  /// cached steer table, built on first touch.
+  [[nodiscard]] u16 steer_pair(u32 ip_index, u16 port);
+  /// Pop a tuple steering to `pair`, carving fresh (ip, port) space as
+  /// needed. Packed as (ip_index << 16) | port.
+  [[nodiscard]] u32 allocate_tuple(u16 pair);
+  /// Classify the tuple under the carve cursor into its pair's freelist
+  /// (or discard it if the pair is outside the population).
+  void carve_tuple();
+  void release_tuple(u16 pair, u32 tuple);
+  /// Install a fresh flow in `slot` holding `tuple`.
+  void open_slot(u32 slot, u32 tuple);
+  void release_slot(u32 slot);
+  [[nodiscard]] u32 sample_size();
+  [[nodiscard]] sim::Duration sample_gap(u32 slot);
 
   FlowGenConfig config_;
   sim::Xoshiro256 rng_;
-  std::vector<Flow> table_;
-  std::vector<bool> port_live_;  // indexed by port; collision avoidance
-  struct PortSet {
-    [[nodiscard]] std::size_t size() const { return count; }
-    std::size_t count = 0;
-  };
-  PortSet live_ports_;
-  u16 port_cursor_;
+
+  // ---- per-slot state, struct of arrays (17 bytes per slot) ------------------
+  std::vector<u64> ids_;
+  std::vector<u32> remaining_;  ///< packets left (size_max fits u32)
+  std::vector<u16> ports_;
+  std::vector<u16> ip_index_;
+  std::vector<u8> flags_;
+
+  // ---- tuple allocator -------------------------------------------------------
+  /// steer_[ip_index][port] -> pair; empty until the carve cursor first
+  /// enters the IP. u8 entries (pairs <= 256 enforced for caching).
+  std::vector<std::vector<u8>> steer_;
+  /// Released / pre-carved tuples per pair, LIFO. Only pairs in the
+  /// population (pair_set, or all pairs) ever hold entries.
+  std::vector<std::vector<u32>> free_by_pair_;
+  std::vector<u8> pair_active_;
+  u32 carve_ip_ = 0;
+  u32 carve_port_ = 0;
+  u64 live_tuples_ = 0;
+
   u64 next_id_ = 1;
   u64 created_ = 0;
   u64 completed_ = 0;

@@ -14,6 +14,15 @@ LaneSet::LaneSet(LaneSetConfig config) : config_(config) {
   VFPGA_EXPECTS(config_.lanes >= 1);
   VFPGA_EXPECTS(config_.window > Duration{});
   VFPGA_EXPECTS(config_.ring_capacity >= 2);
+  if (config_.adaptive.enabled) {
+    VFPGA_EXPECTS(config_.adaptive.min_window > Duration{});
+    VFPGA_EXPECTS(config_.adaptive.min_window <= config_.window);
+    VFPGA_EXPECTS(config_.window <= config_.adaptive.max_window);
+    VFPGA_EXPECTS(config_.adaptive.grow_patience >= 1);
+    VFPGA_EXPECTS(config_.adaptive.high_messages >
+                  config_.adaptive.low_messages);
+  }
+  window_ = config_.window;
   lanes_.reserve(config_.lanes);
   for (u32 i = 0; i < config_.lanes; ++i) {
     lanes_.push_back(std::unique_ptr<EventLane>(
@@ -38,6 +47,7 @@ void LaneSet::step_lane(EventLane& lane, SimTime horizon) {
   // max(due, lane clock): a FIFO head due beyond the horizon blocks the
   // messages behind it until its own window (the MessageRing visibility
   // contract), which can only delay a message, never reorder a channel.
+  const u64 executed_before = lane.sched_.executed();
   const SimTime visible_before{horizon.picos() - 1};
   for (u32 src = 0; src < lane.inbox_.size(); ++src) {
     reactor::MessageRing& ring = lane.inbox_[src];
@@ -54,6 +64,7 @@ void LaneSet::step_lane(EventLane& lane, SimTime horizon) {
     }
   }
   lane.sched_.run_until(SimTime{horizon.picos() - 1});
+  lane.window_events_ = lane.sched_.executed() - executed_before;
 }
 
 void LaneSet::route_outboxes() {
@@ -70,7 +81,62 @@ void LaneSet::route_outboxes() {
   }
 }
 
+void LaneSet::retune_window() {
+  const LaneSetConfig::AdaptiveWindow& a = config_.adaptive;
+  u32 busy_lanes = 0;
+  for (const std::unique_ptr<EventLane>& lane : lanes_) {
+    busy_lanes += lane->window_events_ > 0 ? 1u : 0u;
+    lane->window_events_ = 0;
+  }
+  if (!a.enabled || lanes_.size() <= 1) {
+    return;  // single lane: there is nothing to synchronize with
+  }
+  const i64 window_messages =
+      static_cast<i64>(stats_.messages - messages_at_retune_);
+  messages_at_retune_ = stats_.messages;
+
+  // x256 fixed-point EWMAs with alpha = 1/4 — integer arithmetic only,
+  // so every thread count computes the identical trajectory.
+  message_ewma_x256_ += (window_messages * 256 - message_ewma_x256_) / 4;
+  const i64 busy_x256 = static_cast<i64>(busy_lanes) * 256;
+  busy_ewma_x256_ += (busy_x256 - busy_ewma_x256_) / 4;
+
+  if (message_ewma_x256_ >= static_cast<i64>(a.high_messages) * 256) {
+    // Chatty: messages are waiting a whole window for delivery. Shrink
+    // immediately — latency is paid per message, barriers per window.
+    quiet_streak_ = 0;
+    const Duration halved{window_.picos() / 2};
+    const Duration next = std::max(halved, a.min_window);
+    if (next < window_) {
+      window_ = next;
+      ++stats_.window_shrinks;
+    }
+    return;
+  }
+  if (message_ewma_x256_ > static_cast<i64>(a.low_messages) * 256) {
+    quiet_streak_ = 0;  // middle band: hold
+    return;
+  }
+  // Quiet window. Mostly-idle lane sets (under half the lanes executed
+  // anything) count double toward the patience threshold: an all-idle
+  // fleet reaches the max window twice as fast as a busy-but-silent one.
+  const i64 half_busy_x256 = static_cast<i64>(lanes_.size()) * 128;
+  quiet_streak_ += busy_ewma_x256_ <= half_busy_x256 ? 2u : 1u;
+  if (quiet_streak_ < a.grow_patience) {
+    return;
+  }
+  quiet_streak_ = 0;
+  const Duration next = std::min(window_ * 2, a.max_window);
+  if (next > window_) {
+    window_ = next;
+    ++stats_.window_growths;
+  }
+}
+
 bool LaneSet::advance_horizon() {
+  if (stats_.windows > 0) {
+    retune_window();
+  }
   std::optional<SimTime> earliest;
   for (const std::unique_ptr<EventLane>& lane : lanes_) {
     if (!lane->sched_.idle()) {
@@ -92,11 +158,13 @@ bool LaneSet::advance_horizon() {
     return false;
   }
   // Jump to the window containing the earliest pending work — idle
-  // stretches cost one barrier, not one barrier per empty window.
-  const i64 w = config_.window.picos();
-  const i64 index = std::max<i64>(earliest->picos() / w,
-                                  horizon_.picos() / w);
-  horizon_ = SimTime{(index + 1) * w};
+  // stretches cost one barrier, not one barrier per empty window. The
+  // pending work is never behind the horizon (executed events are gone,
+  // posts require due >= horizon), so the new horizon strictly grows
+  // even when the adaptive controller just changed the width.
+  const i64 w = window_.picos();
+  const i64 base = std::max(earliest->picos(), horizon_.picos());
+  horizon_ = SimTime{(base / w + 1) * w};
   ++stats_.windows;
   return true;
 }
@@ -108,6 +176,11 @@ LaneSet::RunStats LaneSet::run(unsigned threads) {
   }
   stats_ = RunStats{};
   done_ = false;
+  window_ = config_.window;
+  message_ewma_x256_ = 0;
+  busy_ewma_x256_ = 0;
+  messages_at_retune_ = 0;
+  quiet_streak_ = 0;
 
   if (!advance_horizon()) {
     return stats_;

@@ -185,6 +185,149 @@ TEST(EventLane, IdleStretchesCostOneWindowNotMany) {
   EXPECT_EQ(stats.windows, 2u);
 }
 
+// ---- adaptive window controller ----------------------------------------------
+
+TEST(EventLane, AllIdleLanesGrowWindowToMax) {
+  LaneSetConfig config;
+  config.lanes = 2;
+  config.window = microseconds(10);
+  config.adaptive.enabled = true;
+  config.adaptive.min_window = microseconds(10);
+  config.adaptive.max_window = milliseconds(1);
+  LaneSet set(config);
+  // Sparse periodic work on one lane, nothing cross-lane: the quietest
+  // fleet there is. The controller must widen to the cap and stay there.
+  struct Ticker {
+    LaneSet* set;
+    u32 left;
+    void fire() {
+      if (--left == 0) {
+        return;
+      }
+      set->lane(0).scheduler().schedule_after(microseconds(200),
+                                              [this] { fire(); });
+    }
+  };
+  Ticker ticker{&set, 100};
+  set.lane(0).scheduler().schedule_at(SimTime{} + microseconds(1),
+                                      [&ticker] { ticker.fire(); });
+  const LaneSet::RunStats stats = set.run(1);
+  EXPECT_GT(stats.window_growths, 0u);
+  EXPECT_EQ(stats.window_shrinks, 0u);
+  EXPECT_EQ(set.window(), config.adaptive.max_window);
+  // ~20ms of makespan: a fixed 10us window would need ~2000 barriers
+  // even with skip-ahead (an event every 200us). The controller must
+  // collapse that by an order of magnitude, and skip-ahead keeps
+  // operating on top (bounded: windows never exceed the event count).
+  EXPECT_LT(stats.windows, 200u);
+  EXPECT_LE(stats.windows, stats.events + 2);
+}
+
+TEST(EventLane, ChattyLanesCollapseWindowToMinWithoutLivelock) {
+  LaneSetConfig config;
+  config.lanes = 2;
+  config.window = microseconds(200);
+  config.ring_capacity = 4096;
+  config.adaptive.enabled = true;
+  config.adaptive.min_window = microseconds(25);
+  config.adaptive.max_window = milliseconds(1);
+  LaneSet set(config);
+  // Both lanes blast a burst of messages at each other every 50us: far
+  // over the high-water EWMA. The controller must shrink to the floor
+  // and hold it there — and the run must still terminate (shrinking
+  // never re-executes or starves a window).
+  struct Blaster {
+    LaneSet* set;
+    u32 id;
+    u32 left;
+    u64 delivered = 0;
+    void fire() {
+      const u32 dst = 1 - id;
+      for (int m = 0; m < 24; ++m) {
+        u64* counter = &delivered;
+        set->post(id, dst, set->horizon(), [counter] { ++*counter; });
+      }
+      if (--left > 0) {
+        set->lane(id).scheduler().schedule_after(microseconds(50),
+                                                 [this] { fire(); });
+      }
+    }
+  };
+  std::vector<Blaster> blasters;
+  blasters.push_back({&set, 0, 120, 0});
+  blasters.push_back({&set, 1, 120, 0});
+  for (u32 i = 0; i < 2; ++i) {
+    set.lane(i).scheduler().schedule_at(SimTime{} + nanoseconds(i + 1),
+                                        [&blasters, i] { blasters[i].fire(); });
+  }
+  const LaneSet::RunStats stats = set.run(2);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_GT(stats.window_shrinks, 0u);
+  EXPECT_EQ(set.window(), config.adaptive.min_window);
+  EXPECT_EQ(blasters[0].delivered + blasters[1].delivered, 2u * 120u * 24u);
+}
+
+TEST(EventLane, SingleLaneControllerIsANoOp) {
+  LaneSetConfig config;
+  config.lanes = 1;
+  config.window = microseconds(50);
+  config.adaptive.enabled = true;
+  config.adaptive.min_window = microseconds(10);
+  config.adaptive.max_window = milliseconds(5);
+  LaneSet set(config);
+  int fired = 0;
+  for (int i = 1; i <= 20; ++i) {
+    set.lane(0).scheduler().schedule_at(SimTime{} + microseconds(i * 300),
+                                        [&fired] { ++fired; });
+  }
+  const LaneSet::RunStats stats = set.run(1);
+  // One lane has no peers to synchronize with: retuning is skipped
+  // entirely, the window never moves, skip-ahead does all the work.
+  EXPECT_EQ(fired, 20);
+  EXPECT_EQ(stats.window_growths, 0u);
+  EXPECT_EQ(stats.window_shrinks, 0u);
+  EXPECT_EQ(set.window(), config.window);
+}
+
+WorkloadSnapshot run_adaptive_workload(unsigned threads) {
+  LaneSetConfig config;
+  config.lanes = 4;
+  config.window = microseconds(25);
+  config.adaptive.enabled = true;
+  config.adaptive.min_window = microseconds(25);
+  config.adaptive.max_window = milliseconds(2);
+  LaneSet set(config);
+  std::vector<LaneWork> work(config.lanes);
+  for (u32 i = 0; i < config.lanes; ++i) {
+    work[i] = LaneWork{&set, &work, i, Xoshiro256{1000 + i}, 0, 0, 200};
+    set.lane(i).scheduler().schedule_at(SimTime{} + nanoseconds(i + 1),
+                                        [&work, i] { lane_step(work[i]); });
+  }
+  const LaneSet::RunStats stats = set.run(threads);
+  WorkloadSnapshot snap;
+  for (const LaneWork& w : work) {
+    snap.checksums.push_back(w.checksum);
+    snap.fired.push_back(w.fired);
+  }
+  snap.windows = stats.windows;
+  snap.events = stats.events;
+  snap.messages = stats.messages + stats.window_growths +
+                  stats.window_shrinks;  // fold controller moves into the diff
+  snap.dropped = stats.dropped;
+  return snap;
+}
+
+TEST(EventLane, AdaptiveControllerIsDeterministicAcrossThreadCounts) {
+  // The controller feeds only on per-window event/message counts, which
+  // are themselves deterministic — so its decisions (and everything
+  // downstream of them) must be too.
+  const WorkloadSnapshot one = run_adaptive_workload(1);
+  EXPECT_EQ(one.fired, (std::vector<u32>{200, 200, 200, 200}));
+  EXPECT_EQ(one.dropped, 0u);
+  EXPECT_EQ(run_adaptive_workload(2), one);
+  EXPECT_EQ(run_adaptive_workload(4), one);
+}
+
 // ---- ring overflow -----------------------------------------------------------
 
 TEST(EventLane, FullRingDropsAreCountedNotLost) {

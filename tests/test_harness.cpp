@@ -60,6 +60,25 @@ TEST(ParallelHarness, WorkerThreadsRespectsEnvAndCellCount) {
   EXPECT_GE(worker_threads(16), 1u);
 }
 
+TEST(ParallelHarness, WorkerThreadsCliRequestBeatsHardwareButLosesToEnv) {
+  ::unsetenv("VFPGA_THREADS");
+  // A --threads request overrides the hardware default...
+  EXPECT_EQ(worker_threads(16, 3), 3u);
+  EXPECT_EQ(worker_threads(16, 7), 7u);
+  // ...and still clamps to the cell count.
+  EXPECT_EQ(worker_threads(2, 7), 2u);
+  // cli_request == 0 means "not given": falls back to the hardware
+  // default, which is always at least one worker.
+  EXPECT_GE(worker_threads(16, 0), 1u);
+  // The environment is the operator's override of last resort and must
+  // win over the command line (CI pins determinism gates with it).
+  ::setenv("VFPGA_THREADS", "2", 1);
+  EXPECT_EQ(worker_threads(16, 7), 2u);
+  // Env wins, then the cell clamp still applies on top.
+  EXPECT_EQ(worker_threads(1, 7), 1u);
+  ::unsetenv("VFPGA_THREADS");
+}
+
 TEST(ParallelHarness, WorkerThreadsClampsOversizedEnvOverride) {
   // An env override larger than the cell count must still clamp: 64
   // requested threads with 4 cells is 4 workers, not 64 idle spawns.

@@ -1,0 +1,185 @@
+// Lane-migrated harness tests: sweeps sharded over sim::LaneSet must
+// (a) compute each cell bit-identically to the standalone single-cell
+// runner, and (b) be bit-identical at any worker-thread count
+// (VFPGA_THREADS=1 is the oracle CI byte-diffs against).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "vfpga/harness/blk_bench.hpp"
+#include "vfpga/harness/streaming.hpp"
+
+namespace vfpga::harness {
+namespace {
+
+/// Scoped VFPGA_THREADS override (restores the prior value on exit so
+/// tests compose under ctest's in-process shuffling).
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    if (const char* prev = std::getenv("VFPGA_THREADS")) {
+      saved_ = prev;
+    }
+    ::setenv("VFPGA_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (saved_.empty()) {
+      ::unsetenv("VFPGA_THREADS");
+    } else {
+      ::setenv("VFPGA_THREADS", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+BlkBenchConfig tiny_blk_config() {
+  BlkBenchConfig config;
+  config.seed = 7151;
+  config.ops_per_cell = 48;
+  config.warmup_ops = 8;
+  config.payloads = {512, 4096};
+  config.queue_depths = {1, 4};
+  return config;
+}
+
+void expect_cells_equal(const BlkCellResult& a, const BlkCellResult& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.mode, b.mode) << label;
+  EXPECT_EQ(a.payload, b.payload) << label;
+  EXPECT_EQ(a.queue_depth, b.queue_depth) << label;
+  EXPECT_EQ(a.ops, b.ops) << label;
+  EXPECT_EQ(a.failures, b.failures) << label;
+  EXPECT_EQ(a.iops, b.iops) << label;  // bitwise: same simulated span
+  EXPECT_EQ(a.latency_us.values_us(), b.latency_us.values_us()) << label;
+  EXPECT_EQ(a.reactor_iterations, b.reactor_iterations) << label;
+  EXPECT_EQ(a.reactor_busy_iterations, b.reactor_busy_iterations) << label;
+}
+
+TEST(LaneHarness, BlkSweepMatchesStandaloneCells) {
+  const BlkBenchConfig config = tiny_blk_config();
+  const BlkSweepResult sweep = run_blk_sweep(config);
+  ASSERT_EQ(sweep.cells.size(),
+            config.payloads.size() * config.queue_depths.size() * 2);
+  EXPECT_EQ(sweep.cells_aggregated, sweep.cells.size());
+
+  // Canonical order: payload-major, then depth, then {interrupt,
+  // reactor}. Each cell must match a standalone run exactly — the lanes
+  // move cells between threads, never inside the simulation.
+  std::size_t i = 0;
+  for (const u32 payload : config.payloads) {
+    for (const u16 depth : config.queue_depths) {
+      for (const BlkCompletionMode mode :
+           {BlkCompletionMode::kInterrupt, BlkCompletionMode::kReactorPolled}) {
+        const BlkCellResult standalone =
+            run_blk_cell(config, mode, payload, depth);
+        expect_cells_equal(sweep.cells[i], standalone,
+                           "cell " + std::to_string(i));
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(LaneHarness, BlkSweepDeterministicAcrossThreads) {
+  const BlkBenchConfig config = tiny_blk_config();
+  BlkSweepResult one;
+  {
+    ScopedThreadsEnv env{"1"};
+    one = run_blk_sweep(config);
+  }
+  BlkSweepResult four;
+  {
+    ScopedThreadsEnv env{"4"};
+    four = run_blk_sweep(config);
+  }
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    expect_cells_equal(one.cells[i], four.cells[i],
+                       "cell " + std::to_string(i));
+  }
+  // Lane bookkeeping is part of the deterministic surface too: the
+  // window protocol (and the adaptive controller riding on it) must not
+  // see the thread count.
+  EXPECT_EQ(one.lane_windows, four.lane_windows);
+  EXPECT_EQ(one.lane_window_growths, four.lane_window_growths);
+  EXPECT_EQ(one.lane_messages, four.lane_messages);
+  EXPECT_EQ(one.cells_aggregated, four.cells_aggregated);
+}
+
+StreamingConfig tiny_streaming_config() {
+  StreamingConfig config;
+  config.iterations = 24;
+  config.warmup = 4;
+  config.seed = 3307;
+  config.payloads = {1024, 16384};
+  return config;
+}
+
+void expect_cells_equal(const StreamingCellResult& a,
+                        const StreamingCellResult& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.mode, b.mode) << label;
+  EXPECT_EQ(a.packed, b.packed) << label;
+  EXPECT_EQ(a.payload, b.payload) << label;
+  EXPECT_EQ(a.gbps, b.gbps) << label;  // bitwise: same simulated span
+  EXPECT_EQ(a.rtt_us.values_us(), b.rtt_us.values_us()) << label;
+  EXPECT_EQ(a.failures, b.failures) << label;
+  EXPECT_EQ(a.tx_sg_segments, b.tx_sg_segments) << label;
+  EXPECT_EQ(a.rx_merged_frames, b.rx_merged_frames) << label;
+  EXPECT_EQ(a.tx_superframes, b.tx_superframes) << label;
+  EXPECT_EQ(a.sw_gso_segments, b.sw_gso_segments) << label;
+  EXPECT_EQ(a.gro_coalesced, b.gro_coalesced) << label;
+  EXPECT_EQ(a.rx_gro_frames, b.rx_gro_frames) << label;
+}
+
+TEST(LaneHarness, StreamingSweepMatchesStandaloneCells) {
+  const StreamingConfig config = tiny_streaming_config();
+  const StreamingSweepResult sweep = run_streaming_sweep(config);
+  constexpr StreamMode kModes[] = {
+      StreamMode::kCopy,        StreamMode::kChained,
+      StreamMode::kIndirect,    StreamMode::kMergeable,
+      StreamMode::kSegmentedSw, StreamMode::kOffload};
+  ASSERT_EQ(sweep.cells.size(), 2 * config.payloads.size() * 6);
+  EXPECT_EQ(sweep.cells_aggregated, sweep.cells.size());
+
+  std::size_t i = 0;
+  for (const bool packed : {false, true}) {
+    for (const u64 payload : config.payloads) {
+      for (const StreamMode mode : kModes) {
+        const StreamingCellResult standalone =
+            run_streaming_cell(config, mode, packed, payload);
+        expect_cells_equal(sweep.cells[i], standalone,
+                           "cell " + std::to_string(i));
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(LaneHarness, StreamingSweepDeterministicAcrossThreads) {
+  const StreamingConfig config = tiny_streaming_config();
+  StreamingSweepResult one;
+  {
+    ScopedThreadsEnv env{"1"};
+    one = run_streaming_sweep(config);
+  }
+  StreamingSweepResult four;
+  {
+    ScopedThreadsEnv env{"4"};
+    four = run_streaming_sweep(config);
+  }
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    expect_cells_equal(one.cells[i], four.cells[i],
+                       "cell " + std::to_string(i));
+  }
+  EXPECT_EQ(one.lane_windows, four.lane_windows);
+  EXPECT_EQ(one.lane_window_growths, four.lane_window_growths);
+  EXPECT_EQ(one.lane_messages, four.lane_messages);
+}
+
+}  // namespace
+}  // namespace vfpga::harness
