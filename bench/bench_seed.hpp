@@ -7,28 +7,67 @@
 // applied on top, so distinct configs keep distinct RNG streams.
 #pragma once
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 #include "vfpga/common/types.hpp"
 
 namespace vfpga::bench {
+
+/// Parse a `--threads` operand: a positive decimal/hex/octal integer
+/// that fits an unsigned, with no trailing garbage. Returns nullopt for
+/// everything else — zero, negatives, "4x", "", overflow — so callers
+/// reject bad input instead of silently running with threads=0 (which
+/// means "pick for me" downstream and would mask the typo).
+[[nodiscard]] inline std::optional<unsigned> parse_thread_count(
+    const char* text) {
+  if (text == nullptr || *text == '\0') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 0);
+  if (errno != 0 || end == text || *end != '\0') {
+    return std::nullopt;
+  }
+  if (value <= 0 || value > 65'536) {
+    return std::nullopt;
+  }
+  return static_cast<unsigned>(value);
+}
 
 /// Returns the `--threads N` / `--threads=N` worker-pool request, or 0
 /// when absent. Feeds the harness config's `threads` field, whose
 /// precedence is env > CLI > hardware: harness::worker_threads applies
 /// VFPGA_THREADS after this value, so the environment still wins (CI
 /// pins determinism oracles with VFPGA_THREADS=1 regardless of flags).
+/// An explicit but invalid operand (zero, negative, garbage) prints a
+/// diagnostic and exits 2 — a mistyped thread count must not silently
+/// become an auto-sized run.
 inline unsigned cli_threads(int argc, char** argv) {
+  const char* operand = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 0));
-    }
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      return static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 0));
+      operand = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      operand = argv[i] + 10;
     }
   }
-  return 0;
+  if (operand == nullptr) {
+    return 0;
+  }
+  const std::optional<unsigned> threads = parse_thread_count(operand);
+  if (!threads.has_value()) {
+    std::fprintf(stderr,
+                 "error: --threads expects a positive integer "
+                 "(1..65536), got \"%s\"\n",
+                 operand);
+    std::exit(2);
+  }
+  return *threads;
 }
 
 /// Returns the base seed for a bench run: `--seed` flag, then the

@@ -35,6 +35,14 @@ struct SimSpeedConfig {
   sim::Duration window = sim::microseconds(100);
   u32 ring_capacity = 4096;
 
+  /// Cross-lane sync mode. Every lane context is a LaneCheckpointHook
+  /// (testbed snapshot + host-thread + FlowGen + sample counts), so all
+  /// three modes are available; the WORKLOAD fields of the result are
+  /// identical in every mode — only the sync-machinery counters move.
+  sim::SyncMode sync = sim::SyncMode::kConservative;
+  /// Max extra windows past the conservative horizon per round.
+  u32 speculation_depth = 3;
+
   /// Traffic shape (see net::FlowGenConfig).
   net::ArrivalProcess arrivals = net::ArrivalProcess::kMmpp2;
   double mean_gap_us = 50.0;
@@ -54,7 +62,8 @@ struct SimSpeedResult {
   // ---- deterministic at any thread count (the --stats-only JSON) ----
   u64 packets = 0;   ///< echo round trips completed
   u64 events = 0;    ///< lane scheduler events fired
-  u64 windows = 0;   ///< barrier phases
+  u64 windows = 0;   ///< committed window phases
+  u64 barriers = 0;  ///< barrier (round) phases executed
   u64 cross_lane_messages = 0;
   u64 cross_lane_received = 0;  ///< notification handlers that ran
   u64 dropped_messages = 0;     ///< must be 0: rings were sized right
@@ -65,6 +74,16 @@ struct SimSpeedResult {
   double sim_makespan_us = 0;  ///< latest lane activity, simulated time
   stats::LatencySummary latency{};  ///< merged echo latency
   u64 sample_count = 0;
+
+  // ---- sync machinery (deterministic per mode; the workload fields
+  // above are additionally identical ACROSS modes) --------------------
+  u64 window_growths = 0;
+  u64 window_shrinks = 0;
+  u64 speculative_rounds = 0;
+  u64 speculated_windows = 0;
+  u64 rollbacks = 0;
+  u64 checkpoint_bytes = 0;
+  std::vector<sim::LaneSet::LaneResidency> residency;
 
   // ---- allocator health (deterministic: same events -> same arenas) -
   /// EventArena chunk allocations summed across lane schedulers — the
@@ -116,6 +135,13 @@ struct FlowSoakConfig {
   bool adaptive = true;  ///< off = fixed window (the barrier baseline)
   u32 ring_capacity = 4096;
 
+  /// Cross-lane sync mode; each shard checkpoints through its FlowGen.
+  /// The soak's sparse notifications are the speculation-friendly case:
+  /// most rounds commit their full depth, the occasional notify round
+  /// rolls back once to the notifying window.
+  sim::SyncMode sync = sim::SyncMode::kConservative;
+  u32 speculation_depth = 3;
+
   /// Mice-heavy sizes so slots churn several times within the soak.
   u64 size_max_packets = 8;
   double mean_gap_us = 20.0;
@@ -135,8 +161,13 @@ struct FlowSoakResult {
   u64 flows_completed = 0;
   u64 flows_open = 0;  ///< live population when the soak stopped
   u64 windows = 0;
+  u64 barriers = 0;
   u64 window_growths = 0;
   u64 window_shrinks = 0;
+  u64 speculative_rounds = 0;
+  u64 speculated_windows = 0;
+  u64 rollbacks = 0;
+  u64 checkpoint_bytes = 0;
   u64 cross_lane_messages = 0;
   u64 cross_lane_received = 0;
   /// Allocated flow-table bytes across all shards, and per slot — the

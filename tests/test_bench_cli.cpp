@@ -1,0 +1,56 @@
+// CLI parsing shared by the benches: --threads validation. The parse
+// helper is the testable core; cli_threads wraps it with the
+// diagnostic-and-exit policy the benches share.
+#include <gtest/gtest.h>
+
+#include "../bench/bench_seed.hpp"
+
+namespace vfpga::bench {
+namespace {
+
+TEST(BenchCli, ParseThreadCountAcceptsPositiveIntegers) {
+  EXPECT_EQ(parse_thread_count("1"), 1u);
+  EXPECT_EQ(parse_thread_count("4"), 4u);
+  EXPECT_EQ(parse_thread_count("65536"), 65'536u);
+  EXPECT_EQ(parse_thread_count("0x10"), 16u);  // strtoll base 0
+}
+
+TEST(BenchCli, ParseThreadCountRejectsZeroNegativeAndGarbage) {
+  EXPECT_FALSE(parse_thread_count("0").has_value());
+  EXPECT_FALSE(parse_thread_count("-1").has_value());
+  EXPECT_FALSE(parse_thread_count("-4").has_value());
+  EXPECT_FALSE(parse_thread_count("4x").has_value());
+  EXPECT_FALSE(parse_thread_count("x4").has_value());
+  EXPECT_FALSE(parse_thread_count("").has_value());
+  EXPECT_FALSE(parse_thread_count(nullptr).has_value());
+  EXPECT_FALSE(parse_thread_count("4.5").has_value());
+  EXPECT_FALSE(parse_thread_count(" 4 ").has_value());
+  EXPECT_FALSE(parse_thread_count("65537").has_value());  // above the cap
+  EXPECT_FALSE(parse_thread_count("99999999999999999999").has_value());
+}
+
+TEST(BenchCli, CliThreadsReturnsZeroWhenAbsentAndLastFlagWins) {
+  const char* none[] = {"bench"};
+  EXPECT_EQ(cli_threads(1, const_cast<char**>(none)), 0u);
+
+  const char* eq[] = {"bench", "--threads=8"};
+  EXPECT_EQ(cli_threads(2, const_cast<char**>(eq)), 8u);
+
+  const char* spaced[] = {"bench", "--threads", "3"};
+  EXPECT_EQ(cli_threads(3, const_cast<char**>(spaced)), 3u);
+
+  const char* repeated[] = {"bench", "--threads", "3", "--threads=5"};
+  EXPECT_EQ(cli_threads(4, const_cast<char**>(repeated)), 5u);
+}
+
+TEST(BenchCliDeathTest, CliThreadsExitsWithDiagnosticOnBadOperand) {
+  const char* zero[] = {"bench", "--threads", "0"};
+  EXPECT_EXIT(cli_threads(3, const_cast<char**>(zero)),
+              ::testing::ExitedWithCode(2), "positive integer");
+  const char* garbage[] = {"bench", "--threads=4x"};
+  EXPECT_EXIT(cli_threads(2, const_cast<char**>(garbage)),
+              ::testing::ExitedWithCode(2), "got \"4x\"");
+}
+
+}  // namespace
+}  // namespace vfpga::bench

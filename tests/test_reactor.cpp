@@ -59,6 +59,39 @@ TEST(MessageRing, InvisibleHeadBlocksFifoOrder) {
   EXPECT_EQ(ring.dequeued(), 2u);
 }
 
+TEST(MessageRing, PeekLeavesEntriesInPlaceAndConsumeRetiresThePrefix) {
+  MessageRing ring{4};
+  int ran = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.try_push([&ran, i] { ran = i + 1; },
+                              sim::SimTime{10 * (i + 1)}));
+  }
+  // Peeked entries stay queued and re-invocable — the speculating
+  // consumer may invoke them, roll back, and invoke them again.
+  EXPECT_EQ(ring.peeked_at(0).picos(), 10);
+  EXPECT_EQ(ring.peeked_at(2).picos(), 30);
+  ring.peek(0)();
+  EXPECT_EQ(ran, 1);
+  ring.peek(0)();  // rollback path: same entry, same effect
+  EXPECT_EQ(ran, 1);
+  ring.peek(1)();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dequeued(), 0u);
+
+  // Commit: retire the delivered prefix. The survivor is the old third
+  // entry, now at the head for the next round's peek.
+  ring.consume(2);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.dequeued(), 2u);
+  EXPECT_EQ(ring.peeked_at(0).picos(), 30);
+  ring.peek(0)();
+  EXPECT_EQ(ran, 3);
+  ring.consume(1);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.dequeued(), 3u);
+}
+
 // ---- pollers --------------------------------------------------------------
 
 TEST_F(ReactorFixture, PollerRunsEveryIterationWithStats) {
